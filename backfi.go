@@ -1,0 +1,162 @@
+// Package backfi is a pure-Go reproduction of "BackFi: High Throughput
+// WiFi Backscatter" (Bharadia, Joshi, Kotaru, Katti — SIGCOMM 2015).
+//
+// BackFi lets a battery-free IoT tag piggyback megabit-class uplink
+// data on ordinary WiFi transmissions: the tag phase-modulates the
+// reflection of the AP's own packet, and the AP — transmitting at the
+// same time — cancels its self-interference, estimates the combined
+// two-way tag channel, and decodes the slow tag symbols by
+// maximal-ratio combining the many WiFi-rate samples inside each one.
+//
+// This package is the public facade over the simulator's subsystems:
+//
+//   - Link / LinkConfig: an end-to-end BackFi exchange (WiFi excitation
+//     → channels → tag → self-interference cancellation → MRC decode).
+//   - TagConfig: the tag's PSK order, code rate, and switching rate
+//     (the 36 operating points of the paper's Fig. 7).
+//   - ChannelConfig: the calibrated testbed model (placement, path
+//     loss, fading, TX hardware error).
+//   - Evaluate / Sweep / BestThroughput / MinREPBAtThroughput: the
+//     paper's rate-adaptation policies over Monte-Carlo feasibility.
+//   - REPB / EPB: the tag energy model fitted to the paper's Fig. 7.
+//
+// The experiment harnesses that regenerate every table and figure of
+// the paper's evaluation live in internal/experiments and are exposed
+// through cmd/backfi-bench and the benchmarks in bench_test.go.
+package backfi
+
+import (
+	"backfi/internal/channel"
+	"backfi/internal/core"
+	"backfi/internal/energy"
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+// Re-exported configuration and result types.
+type (
+	// LinkConfig assembles one BackFi link.
+	LinkConfig = core.LinkConfig
+	// Link is a realized link: one placement plus tag and reader.
+	Link = core.Link
+	// PacketResult reports one end-to-end packet exchange.
+	PacketResult = core.PacketResult
+	// Feasibility summarizes Monte-Carlo trials of one configuration.
+	Feasibility = core.Feasibility
+	// TagConfig selects the tag's transmission parameters.
+	TagConfig = tag.Config
+	// TagModulation is the tag's PSK order.
+	TagModulation = tag.Modulation
+	// ChannelConfig describes one placement of AP, tag and environment.
+	ChannelConfig = channel.Config
+	// CodeRate is a convolutional code rate (1/2, 2/3, 3/4).
+	CodeRate = fec.CodeRate
+)
+
+// Tag modulation constants.
+const (
+	BPSK  = tag.BPSK
+	QPSK  = tag.QPSK
+	PSK16 = tag.PSK16
+)
+
+// Code rate constants.
+const (
+	Rate12 = fec.Rate12
+	Rate23 = fec.Rate23
+	Rate34 = fec.Rate34
+)
+
+// Link-layer timing constants of paper Fig. 4.
+const (
+	// SilentSamples is the 16 µs silent period (20 MHz samples).
+	SilentSamples = tag.SilentSamples
+	// DefaultPreambleChips is the standard 32 µs tag preamble.
+	DefaultPreambleChips = tag.DefaultPreambleChips
+	// ExtendedPreambleChips is the 96 µs variant of paper Fig. 8.
+	ExtendedPreambleChips = tag.ExtendedPreambleChips
+)
+
+// NewLink draws a placement realization and builds the endpoints.
+func NewLink(cfg LinkConfig) (*Link, error) { return core.NewLink(cfg) }
+
+// DefaultLinkConfig returns the paper's standard operating point at
+// the given AP–tag distance.
+func DefaultLinkConfig(distanceM float64) LinkConfig { return core.DefaultLinkConfig(distanceM) }
+
+// DefaultChannelConfig returns the calibrated testbed model.
+func DefaultChannelConfig(distanceM float64) ChannelConfig { return channel.DefaultConfig(distanceM) }
+
+// StandardConfigs enumerates the paper's 36 tag configurations.
+func StandardConfigs(preambleChips, id int) []TagConfig {
+	return core.StandardConfigs(preambleChips, id)
+}
+
+// Evaluate runs Monte-Carlo packet trials of one configuration.
+func Evaluate(chanCfg ChannelConfig, tcfg TagConfig, trials, payloadBytes int, seed int64) (Feasibility, error) {
+	return core.Evaluate(chanCfg, tcfg, core.DefaultLinkConfig(chanCfg.DistanceM).Reader, trials, payloadBytes, seed)
+}
+
+// Sweep evaluates every configuration at one placement.
+func Sweep(chanCfg ChannelConfig, cfgs []TagConfig, trials, payloadBytes int, seed int64) ([]Feasibility, error) {
+	return core.Sweep(chanCfg, cfgs, core.DefaultLinkConfig(chanCfg.DistanceM).Reader, trials, payloadBytes, seed)
+}
+
+// BestThroughput returns the fastest decodable configuration.
+func BestThroughput(results []Feasibility) (Feasibility, bool) {
+	return core.BestThroughput(results)
+}
+
+// MinREPBAtThroughput returns the cheapest configuration achieving a
+// target bit rate — the paper's rate-adaptation policy.
+func MinREPBAtThroughput(results []Feasibility, minBps float64) (Feasibility, bool) {
+	return core.MinREPBAtThroughput(results, minBps)
+}
+
+// REPB returns the relative energy per bit of a tag configuration
+// (paper Fig. 7; reference = BPSK 1/2 at 1 Msym/s).
+func REPB(mod TagModulation, coding CodeRate, symbolRateHz float64) (float64, error) {
+	return energy.REPB(mod, coding, symbolRateHz)
+}
+
+// EPB returns the absolute modeled energy per bit in joules.
+func EPB(mod TagModulation, coding CodeRate, symbolRateHz float64) (float64, error) {
+	return energy.EPB(mod, coding, symbolRateHz)
+}
+
+// MIMO extension (paper Sec. 7): multiple receive antennas at the AP
+// add spatial diversity on top of the temporal MRC gain.
+type (
+	// MIMOLink is a BackFi link with multiple AP receive antennas.
+	MIMOLink = core.MIMOLink
+	// MIMOPacketResult reports one multi-antenna exchange.
+	MIMOPacketResult = core.MIMOPacketResult
+)
+
+// NewMIMOLink draws a placement with nrx receive antennas.
+func NewMIMOLink(cfg LinkConfig, nrx int) (*MIMOLink, error) {
+	return core.NewMIMOLink(cfg, nrx)
+}
+
+// Session layer: one placement with slowly evolving channels and
+// stop-and-wait ARQ — what an application actually talks to.
+type (
+	// Session is a long-lived BackFi connection.
+	Session = core.Session
+	// SessionStats summarizes a session's history.
+	SessionStats = core.SessionStats
+	// MultiTagLink is a deployment of several tags around one AP,
+	// addressed individually by wake sequence.
+	MultiTagLink = core.MultiTagLink
+)
+
+// NewSession opens a session at one placement; coherenceRho is the
+// packet-to-packet channel correlation and maxRetries the ARQ budget.
+func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session, error) {
+	return core.NewSession(cfg, coherenceRho, maxRetries)
+}
+
+// NewMultiTagLink places one tag per distance (IDs 0..n-1).
+func NewMultiTagLink(cfg LinkConfig, distances []float64) (*MultiTagLink, error) {
+	return core.NewMultiTagLink(cfg, distances)
+}

@@ -1,0 +1,64 @@
+package backfi
+
+import "testing"
+
+func TestFacadeEndToEnd(t *testing.T) {
+	link, err := NewLink(DefaultLinkConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.RunPacket(link.RandomPayload(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PayloadOK {
+		t.Fatal("facade link should decode at 1 m")
+	}
+}
+
+func TestFacadeEnergyModel(t *testing.T) {
+	repb, err := REPB(BPSK, Rate12, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repb < 0.99 || repb > 1.01 {
+		t.Fatalf("reference REPB %v", repb)
+	}
+	epb, err := EPB(PSK16, Rate23, 2.5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epb <= 0 {
+		t.Fatalf("EPB %v", epb)
+	}
+}
+
+func TestFacadeSweepAndSelection(t *testing.T) {
+	cfgs := StandardConfigs(DefaultPreambleChips, 1)
+	if len(cfgs) != 36 {
+		t.Fatalf("%d configs", len(cfgs))
+	}
+	// Evaluate a small subset through the facade.
+	subset := []TagConfig{cfgs[18], cfgs[20]} // 1 MHz BPSK/QPSK entries
+	results, err := Sweep(DefaultChannelConfig(1), subset, 3, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := BestThroughput(results); !ok {
+		t.Fatal("no decodable config at 1 m")
+	}
+	if _, ok := MinREPBAtThroughput(results, 1e3); !ok {
+		t.Fatal("nothing achieves 1 kbps?!")
+	}
+}
+
+func TestFacadeEvaluate(t *testing.T) {
+	tc := TagConfig{Mod: QPSK, Coding: Rate12, SymbolRateHz: 1e6, PreambleChips: DefaultPreambleChips, ID: 1}
+	f, err := Evaluate(DefaultChannelConfig(1), tc, 3, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Decodable() {
+		t.Fatalf("success rate %v", f.SuccessRate)
+	}
+}

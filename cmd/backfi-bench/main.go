@@ -1,0 +1,178 @@
+// Command backfi-bench regenerates the tables and figures of the
+// BackFi paper's evaluation (Sec. 6) and prints them in the paper's
+// layout. Use -fig to select one, or run everything.
+//
+// Example:
+//
+//	backfi-bench -fig 8 -trials 10
+//	backfi-bench -all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"backfi/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("backfi-bench: ")
+
+	fig := flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, headline, ablation (empty = all)")
+	trials := flag.Int("trials", 5, "Monte-Carlo trials per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	opt := experiments.Options{Trials: *trials, Seed: *seed}
+	figs := []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "headline", "ablation", "excitation", "mimo"}
+	if *fig != "" {
+		figs = []string{*fig}
+	}
+	if *jsonOut {
+		report := map[string]any{}
+		for _, f := range figs {
+			data, err := runData(f, opt)
+			if err != nil {
+				log.Fatalf("fig %s: %v", f, err)
+			}
+			report["fig"+f] = data
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, f := range figs {
+		start := time.Now()
+		out, err := run(f, opt)
+		if err != nil {
+			log.Fatalf("fig %s: %v", f, err)
+		}
+		fmt.Printf("=== Figure %s (%.1fs) ===\n%s\n", f, time.Since(start).Seconds(), out)
+	}
+}
+
+// runData returns the typed rows of one figure for JSON output.
+func runData(fig string, opt experiments.Options) (any, error) {
+	switch fig {
+	case "7":
+		return experiments.Fig7()
+	case "8":
+		return experiments.Fig8(opt)
+	case "9":
+		return experiments.Fig9(opt)
+	case "10":
+		return experiments.Fig10(opt)
+	case "11a":
+		return experiments.Fig11a(30, opt.Trials, opt)
+	case "11b":
+		return experiments.Fig11b(opt)
+	case "12a":
+		return experiments.Fig12a(20, opt)
+	case "12b":
+		return experiments.Fig12b(5, opt)
+	case "13":
+		return experiments.Fig13(opt)
+	case "headline":
+		return experiments.Headline(opt)
+	case "ablation":
+		return experiments.Ablations(opt)
+	case "excitation":
+		return experiments.ExcitationComparison(opt)
+	case "mimo":
+		return experiments.MIMOExtension(opt)
+	}
+	return nil, fmt.Errorf("unknown figure %q", fig)
+}
+
+func run(fig string, opt experiments.Options) (string, error) {
+	switch fig {
+	case "7":
+		rows, err := experiments.Fig7()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig7(rows), nil
+	case "8":
+		rows, err := experiments.Fig8(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig8(rows), nil
+	case "9":
+		curves, err := experiments.Fig9(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig9(curves), nil
+	case "10":
+		rows, err := experiments.Fig10(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig10(rows), nil
+	case "11a":
+		res, err := experiments.Fig11a(30, opt.Trials, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig11a(res), nil
+	case "11b":
+		rows, err := experiments.Fig11b(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig11b(rows), nil
+	case "12a":
+		res, err := experiments.Fig12a(20, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig12a(res), nil
+	case "12b":
+		rows, err := experiments.Fig12b(5, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig12b(rows), nil
+	case "13":
+		rows, err := experiments.Fig13(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig13(rows), nil
+	case "headline":
+		h, err := experiments.Headline(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderHeadline(h), nil
+	case "ablation":
+		rows, err := experiments.Ablations(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblations(rows), nil
+	case "excitation":
+		rows, err := experiments.ExcitationComparison(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderExcitation(rows), nil
+	case "mimo":
+		rows, err := experiments.MIMOExtension(opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderMIMO(rows), nil
+	}
+	return "", fmt.Errorf("unknown figure %q", fig)
+}

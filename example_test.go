@@ -1,0 +1,65 @@
+package backfi_test
+
+import (
+	"fmt"
+
+	"backfi"
+)
+
+// The simplest possible use: one packet from a tag at 1 m.
+func ExampleNewLink() {
+	cfg := backfi.DefaultLinkConfig(1.0)
+	cfg.Seed = 42
+	link, err := backfi.NewLink(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := link.RunPacket([]byte("hello"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.PayloadOK, string(res.Decode.Payload))
+	// Output: true hello
+}
+
+// Rate adaptation: evaluate candidate configurations and pick the
+// cheapest one that sustains a target rate.
+func ExampleMinREPBAtThroughput() {
+	candidates := []backfi.TagConfig{
+		{Mod: backfi.QPSK, Coding: backfi.Rate12, SymbolRateHz: 1e6, PreambleChips: 32, ID: 1},
+		{Mod: backfi.BPSK, Coding: backfi.Rate23, SymbolRateHz: 2e6, PreambleChips: 32, ID: 1},
+	}
+	results, err := backfi.Sweep(backfi.DefaultChannelConfig(1), candidates, 3, 16, 7)
+	if err != nil {
+		panic(err)
+	}
+	best, ok := backfi.MinREPBAtThroughput(results, 1e6)
+	fmt.Println(ok, best.Cfg.Mod == backfi.BPSK) // BPSK 2/3 @2M is cheaper per bit
+	// Output: true true
+}
+
+// The Fig. 7 energy model: the reference configuration is 1.0 by
+// definition, and 16PSK costs more per bit at the same symbol rate.
+func ExampleREPB() {
+	ref, _ := backfi.REPB(backfi.BPSK, backfi.Rate12, 1e6)
+	psk16, _ := backfi.REPB(backfi.PSK16, backfi.Rate12, 1e6)
+	fmt.Printf("%.2f %v\n", ref, psk16 > ref)
+	// Output: 1.00 true
+}
+
+// A session delivers a stream with ARQ over an evolving channel.
+func ExampleNewSession() {
+	cfg := backfi.DefaultLinkConfig(2)
+	cfg.Seed = 8
+	s, err := backfi.NewSession(cfg, 0.95, 2)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := s.Send([]byte("reading")); err != nil || !ok {
+			panic("undelivered")
+		}
+	}
+	fmt.Println(s.Stats.FramesDelivered)
+	// Output: 3
+}

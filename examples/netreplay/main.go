@@ -1,0 +1,60 @@
+// Netreplay: BackFi under realistic WiFi load (paper Sec. 6.3).
+//
+// The tag can only backscatter while its AP is transmitting. This
+// example generates loaded-AP airtime traces across a range of network
+// loads, replays them against the BackFi link-layer overhead, and
+// prints the throughput CDF — the experiment behind the paper's
+// "median 4 Mbps ≈ 80% of the 5 Mbps optimum" claim (Fig. 12a).
+//
+// Run: go run ./examples/netreplay
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"backfi/internal/mac"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("BackFi under loaded WiFi networks (trace replay)")
+	fmt.Println("------------------------------------------------")
+
+	r := rand.New(rand.NewSource(7))
+	opp := mac.DefaultOpportunityConfig() // 5 Mbps optimum at 1 m, per-burst protocol overhead
+
+	const numAPs = 20
+	type apRow struct {
+		airtime float64
+		bps     float64
+	}
+	rows := make([]apRow, 0, numAPs)
+	for ap := 0; ap < numAPs; ap++ {
+		air := 0.55 + 0.4*r.Float64() // heavily loaded: 55–95% AP airtime
+		cfg := mac.DefaultTraceConfig(air)
+		cfg.HorizonSec = 5
+		tr, err := mac.Generate(cfg, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, apRow{airtime: tr.AirtimeFraction(), bps: mac.Throughput(tr, opp)})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].bps < rows[j].bps })
+	fmt.Println("  CDF    AP airtime   BackFi throughput")
+	for i, row := range rows {
+		fmt.Printf("  %.2f   %5.1f%%       %.2f Mbps\n",
+			float64(i+1)/float64(len(rows)), row.airtime*100, row.bps/1e6)
+	}
+
+	median := rows[len(rows)/2].bps
+	fmt.Println()
+	fmt.Printf("median: %.2f Mbps = %.0f%% of the %.1f Mbps continuously-excited optimum\n",
+		median/1e6, median/opp.LinkBps*100, opp.LinkBps/1e6)
+	fmt.Println("(an idle AP can always create opportunities by sending dummy packets;")
+	fmt.Println(" the loaded case above is the interesting one — paper Sec. 6.3)")
+}

@@ -1,0 +1,3 @@
+module backfi
+
+go 1.22

@@ -1,0 +1,45 @@
+package backfi
+
+import "testing"
+
+// TestPaperHeadlineIntegration is the one-test summary of the
+// reproduction: the three headline behaviours of the paper's abstract,
+// executed end to end through the public API.
+func TestPaperHeadlineIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo integration")
+	}
+
+	// 1. Megabit-class uplink at 1 m: the 5 Mbps configuration decodes.
+	fast := TagConfig{Mod: PSK16, Coding: Rate12, SymbolRateHz: 2.5e6, PreambleChips: DefaultPreambleChips, ID: 1}
+	f, err := Evaluate(DefaultChannelConfig(1), fast, 5, 32, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Decodable() {
+		t.Fatalf("5 Mbps config at 1 m: success %.2f", f.SuccessRate)
+	}
+
+	// 2. Megabit at 5 m: the 1 Mbps configuration decodes most frames.
+	// This is the paper's operating edge, so allow the fading outage a
+	// real deployment would retransmit through (see core.Session).
+	mid := TagConfig{Mod: QPSK, Coding: Rate12, SymbolRateHz: 1e6, PreambleChips: DefaultPreambleChips, ID: 1}
+	f, err = Evaluate(DefaultChannelConfig(5), mid, 8, 32, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SuccessRate < 0.7 {
+		t.Fatalf("1 Mbps config at 5 m: success %.2f", f.SuccessRate)
+	}
+
+	// 3. The whole link is battery-free-compatible: the energy cost of
+	// the fast configuration stays within an ambient-harvesting budget.
+	epb, err := EPB(fast.Mod, fast.Coding, fast.SymbolRateHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerW := epb * fast.BitRate()
+	if powerW > 100e-6 {
+		t.Fatalf("5 Mbps draws %v W — beyond the 100 µW harvest budget (R2)", powerW)
+	}
+}

@@ -1,0 +1,255 @@
+// Package ble implements a Bluetooth Low Energy LE 1M PHY at complex
+// baseband: GFSK with modulation index 0.5 (±250 kHz deviation at
+// 1 Mbit/s), BT=0.5 Gaussian pulse shaping, the 8-bit preamble and
+// 32-bit access address, data whitening, and CRC-24 — resampled to the
+// simulator's 20 MHz rate.
+//
+// Together with internal/zigbee this closes the BackFi paper's
+// generality claim (Sec. 1): the backscatter reader needs only a known
+// excitation, whatever radio produced it.
+package ble
+
+import (
+	"fmt"
+	"math"
+
+	"backfi/internal/dsp"
+)
+
+// PHY constants for LE 1M.
+const (
+	// BitRateHz is the LE 1M symbol rate.
+	BitRateHz = 1e6
+	// SampleRate is the simulation baseband rate.
+	SampleRate = 20e6
+	// SamplesPerBit at 20 MHz.
+	SamplesPerBit = int(SampleRate / BitRateHz)
+	// DeviationHz is the nominal frequency deviation (h = 0.5).
+	DeviationHz = 250e3
+	// AccessAddress is the advertising-channel access address.
+	AccessAddress uint32 = 0x8E89BED6
+	// MaxPayload is the PDU ceiling handled here.
+	MaxPayload = 255
+)
+
+// gaussianTaps builds the BT=0.5 Gaussian pulse-shaping filter
+// spanning ±2 bit periods.
+var gaussianTaps = buildGaussian()
+
+func buildGaussian() []float64 {
+	const bt = 0.5
+	span := 2 * SamplesPerBit
+	sigma := math.Sqrt(math.Ln2) / (2 * math.Pi * bt) // in bit periods
+	taps := make([]float64, 2*span+1)
+	var sum float64
+	for i := range taps {
+		t := float64(i-span) / float64(SamplesPerBit)
+		taps[i] = math.Exp(-t * t / (2 * sigma * sigma))
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// whiten XORs the BLE-style whitening stream (7-bit LFSR, polynomial
+// x^7+x^4+1, channel-37 seed) into bits. Whitening is an involution:
+// applying it twice recovers the input, so the same function
+// dewhitens.
+func whiten(bits []byte) []byte {
+	state := byte(0x65) // 1 | channel index 37
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		w := state >> 6 & 1
+		out[i] = b ^ w
+		state = (state<<1 | w) & 0x7F
+		if w == 1 {
+			state ^= 0x10 // x^4 tap
+		}
+	}
+	return out
+}
+
+// crc24 computes the BLE CRC-24 (poly 0x00065B, init 0x555555) over
+// bits LSB-first, returning 24 bits LSB-first.
+func crc24(bits []byte) []byte {
+	state := uint32(0x555555)
+	for _, b := range bits {
+		fb := (state >> 23 & 1) ^ uint32(b&1)
+		state = (state << 1) & 0xFFFFFF
+		if fb == 1 {
+			state ^= 0x00065B
+		}
+	}
+	out := make([]byte, 24)
+	for i := 0; i < 24; i++ {
+		out[i] = byte(state >> uint(23-i) & 1)
+	}
+	return out
+}
+
+// bitsLSB unpacks bytes LSB-first (BLE air order).
+func bitsLSB(data []byte) []byte {
+	out := make([]byte, 0, 8*len(data))
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			out = append(out, b>>uint(i)&1)
+		}
+	}
+	return out
+}
+
+// Transmit modulates a PDU: preamble (0xAA), access address, whitened
+// PDU+CRC, GFSK at unit average power.
+func Transmit(pdu []byte) ([]complex128, error) {
+	if len(pdu) < 1 || len(pdu) > MaxPayload {
+		return nil, fmt.Errorf("ble: PDU length %d out of [1,%d]", len(pdu), MaxPayload)
+	}
+	var bits []byte
+	bits = append(bits, bitsLSB([]byte{0xAA})...)
+	aa := []byte{byte(AccessAddress & 0xFF), byte(AccessAddress >> 8 & 0xFF), byte(AccessAddress >> 16 & 0xFF), byte(AccessAddress >> 24)}
+	bits = append(bits, bitsLSB(aa)...)
+	body := bitsLSB(pdu)
+	body = append(body, crc24(body)...)
+	bits = append(bits, whiten(body)...)
+	return modulateGFSK(bits), nil
+}
+
+// modulateGFSK integrates Gaussian-shaped frequency pulses into phase.
+func modulateGFSK(bits []byte) []complex128 {
+	n := len(bits) * SamplesPerBit
+	freq := make([]float64, n)
+	for i, b := range bits {
+		v := 1.0
+		if b == 0 {
+			v = -1
+		}
+		for k := 0; k < SamplesPerBit; k++ {
+			freq[i*SamplesPerBit+k] = v
+		}
+	}
+	// Gaussian filter the NRZ frequency track.
+	shaped := make([]float64, n)
+	half := len(gaussianTaps) / 2
+	for i := range shaped {
+		var acc float64
+		for j, tp := range gaussianTaps {
+			if idx := i + j - half; idx >= 0 && idx < n {
+				acc += tp * freq[idx]
+			}
+		}
+		shaped[i] = acc
+	}
+	// Integrate to phase: dφ = 2π·Δf·dt.
+	out := make([]complex128, n)
+	phase := 0.0
+	dt := 1.0 / SampleRate
+	for i := range out {
+		phase += 2 * math.Pi * DeviationHz * shaped[i] * dt
+		out[i] = dsp.Phasor(phase)
+	}
+	return out
+}
+
+// rxFilter is the receive pre-filter: a windowed-sinc low-pass whose
+// passband covers the GFSK deviation plus Gaussian spread (≈±700 kHz)
+// and rejects out-of-channel noise before the discriminator — a 10+ dB
+// sensitivity improvement over discriminating the raw 20 MHz band.
+var rxFilter = dsp.LowPassFIR(700e3/SampleRate, 41)
+
+// Receive demodulates: channel-select filtering, frequency
+// discriminator, bit decisions, access address correlation,
+// dewhitening, CRC check.
+func Receive(samples []complex128) ([]byte, error) {
+	if len(samples) < 48*SamplesPerBit {
+		return nil, fmt.Errorf("ble: stream too short")
+	}
+	filtered := dsp.ConvolveSame(samples, rxFilter)
+	// Discriminator: instantaneous frequency from phase differences.
+	disc := make([]float64, len(filtered)-1)
+	for i := range disc {
+		d := filtered[i+1] * complexConj(filtered[i])
+		disc[i] = math.Atan2(imag(d), real(d))
+	}
+	// Integrate per candidate bit alignment; search the access address.
+	aaBits := bitsLSB([]byte{byte(AccessAddress & 0xFF), byte(AccessAddress >> 8 & 0xFF), byte(AccessAddress >> 16 & 0xFF), byte(AccessAddress >> 24)})
+	bestOff, bestScore := -1, 0.0
+	for off := 0; off < SamplesPerBit; off++ {
+		bits := sliceBits(disc, off)
+		for pos := 0; pos+len(aaBits) <= len(bits); pos++ {
+			score := 0
+			for i, a := range aaBits {
+				if bits[pos+i] == a {
+					score++
+				}
+			}
+			if float64(score) > bestScore {
+				bestScore = float64(score)
+				bestOff = off*1000000 + pos // pack (offset, position)
+			}
+		}
+	}
+	if bestOff < 0 || bestScore < float64(len(aaBits)-1) {
+		return nil, fmt.Errorf("ble: access address not found (best %d/32)", int(bestScore))
+	}
+	off, pos := bestOff/1000000, bestOff%1000000
+	bits := sliceBits(disc, off)
+	payloadBits := bits[pos+len(aaBits):]
+	// Dewhiten everything after the access address.
+	clear := whiten(payloadBits) // whitening is an XOR stream: same op
+	// We don't know the PDU length a priori at this layer; try every
+	// byte length until the CRC matches (the caller's framing usually
+	// knows, but this keeps the receiver self-contained).
+	for n := 1; n <= MaxPayload && 8*n+24 <= len(clear); n++ {
+		body := clear[:8*n]
+		crc := clear[8*n : 8*n+24]
+		want := crc24(body)
+		ok := true
+		for i := range want {
+			if crc[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out := make([]byte, n)
+			for i := 0; i < 8*n; i++ {
+				if body[i] == 1 {
+					out[i/8] |= 1 << uint(i%8)
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("ble: no CRC-valid PDU length")
+}
+
+// sliceBits integrates the discriminator over the central half of each
+// bit period at the given sample offset and thresholds at zero. The
+// edges of a bit carry the Gaussian inter-symbol transitions, so
+// excluding them roughly doubles the decision margin on isolated bits.
+func sliceBits(disc []float64, off int) []byte {
+	var out []byte
+	lo, hi := SamplesPerBit/4, 3*SamplesPerBit/4
+	for p := off; p+SamplesPerBit <= len(disc); p += SamplesPerBit {
+		var acc float64
+		for k := lo; k < hi; k++ {
+			acc += disc[p+k]
+		}
+		if acc > 0 {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func complexConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+
+// AirtimeSeconds returns the on-air duration of a PDU.
+func AirtimeSeconds(pduLen int) float64 {
+	bits := 8 + 32 + 8*pduLen + 24
+	return float64(bits) / BitRateHz
+}

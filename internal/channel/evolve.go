@@ -1,0 +1,82 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Packet-to-packet channel evolution. Within one excitation packet the
+// paper treats h_f/h_b/h_env as time-invariant (delay spread ≪ symbol,
+// coherence time ≫ packet); across packets, people and doors move. The
+// evolver applies a first-order Gauss-Markov (AR(1)) process to each
+// tap around its *stationary* power — captured when the evolver is
+// created — which is the standard slow-fading model between channel
+// uses: t ← ρ·t + √(1−ρ²)·w with w drawn at the stationary tap power,
+// so E|t|² stays at the stationary value for all time.
+
+// Evolver perturbs one scenario's channels between packets.
+type Evolver struct {
+	rng *rand.Rand
+	rho float64
+	// Stationary per-tap powers captured at construction.
+	refEnv, refF, refB []float64
+	scenario           *Scenario
+}
+
+// NewEvolver builds an evolver bound to a scenario, with AR(1)
+// correlation rho in [0, 1] (1 = frozen, 0 = independent redraw per
+// step).
+func NewEvolver(r *rand.Rand, rho float64, s *Scenario) *Evolver {
+	if rho < 0 || rho > 1 {
+		panic("channel: evolution rho must be in [0,1]")
+	}
+	e := &Evolver{rng: r, rho: rho, scenario: s}
+	// The leakage tap (index 0 of h_env) is AP-internal and does not
+	// fade; mark it with a zero reference so Step leaves it alone.
+	e.refEnv = tapPowers(s.HEnv)
+	if len(e.refEnv) > 0 {
+		e.refEnv[0] = 0
+	}
+	e.refF = tapPowers(s.HF)
+	e.refB = tapPowers(s.HB)
+	return e
+}
+
+func tapPowers(t Taps) []float64 {
+	out := make([]float64, len(t))
+	for i, v := range t {
+		out[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return out
+}
+
+// Step advances the bound scenario's channels by one packet interval.
+func (e *Evolver) Step() {
+	if e.rho == 1 {
+		return
+	}
+	e.step(e.scenario.HEnv, e.refEnv)
+	e.step(e.scenario.HF, e.refF)
+	e.step(e.scenario.HB, e.refB)
+}
+
+func (e *Evolver) step(t Taps, ref []float64) {
+	inno := math.Sqrt(1 - e.rho*e.rho)
+	for i := range t {
+		if ref[i] == 0 {
+			continue // non-fading component
+		}
+		sigma := math.Sqrt(ref[i] / 2)
+		w := complex(e.rng.NormFloat64()*sigma, e.rng.NormFloat64()*sigma)
+		t[i] = complex(e.rho, 0)*t[i] + complex(inno, 0)*w
+	}
+}
+
+// CoherenceRho converts a physical coherence time and packet interval
+// to the AR(1) ρ: ρ = exp(−Δt/τ).
+func CoherenceRho(packetIntervalSec, coherenceSec float64) float64 {
+	if coherenceSec <= 0 {
+		return 0
+	}
+	return math.Exp(-packetIntervalSec / coherenceSec)
+}

@@ -1,0 +1,110 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMIMOScenarioStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m := NewMIMOScenario(DefaultConfig(2), 3, r)
+	if m.NumRx() != 3 {
+		t.Fatalf("NumRx = %d", m.NumRx())
+	}
+	if len(m.HEnv) != 3 || len(m.HB) != 3 {
+		t.Fatalf("per-antenna channels missing: %d/%d", len(m.HEnv), len(m.HB))
+	}
+	// Antenna channels must be distinct realizations (independent
+	// fading is the point of diversity).
+	same := true
+	for i := range m.HB[0] {
+		if m.HB[0][i] != m.HB[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("antenna channels identical — no diversity")
+	}
+	// Single forward channel shared.
+	if m.HF.Gain() == 0 {
+		t.Fatal("forward channel missing")
+	}
+}
+
+func TestMIMOScenarioPanicsOnZeroAntennas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMIMOScenario(DefaultConfig(1), 0, rand.New(rand.NewSource(1)))
+}
+
+func TestEvolverStationaryStatistics(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	s := NewScenario(DefaultConfig(2), r)
+	ref := s.HF.Gain()
+	ev := NewEvolver(r, 0.9, s)
+	var mean float64
+	const steps = 2000
+	for i := 0; i < steps; i++ {
+		ev.Step()
+		mean += s.HF.Gain()
+	}
+	mean /= steps
+	// Long-run mean power within a factor of a few of the stationary
+	// value (Rayleigh fading spread around it).
+	if mean < ref/5 || mean > ref*5 {
+		t.Fatalf("mean gain %v vs stationary %v", mean, ref)
+	}
+}
+
+func TestEvolverLeakageTapFrozen(t *testing.T) {
+	// The circulator leakage (h_env tap 0) is AP-internal and must not
+	// fade.
+	r := rand.New(rand.NewSource(3))
+	s := NewScenario(DefaultConfig(1), r)
+	leak := s.HEnv[0]
+	ev := NewEvolver(r, 0.5, s)
+	for i := 0; i < 50; i++ {
+		ev.Step()
+	}
+	if s.HEnv[0] != leak {
+		t.Fatal("leakage tap faded")
+	}
+	// Environmental taps do evolve.
+	evolved := false
+	for i := 1; i < len(s.HEnv); i++ {
+		if s.HEnv[i] != 0 {
+			evolved = true
+		}
+	}
+	if !evolved {
+		t.Fatal("environment taps vanished")
+	}
+}
+
+func TestEvolverRhoValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := NewScenario(DefaultConfig(1), r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rho out of range")
+		}
+	}()
+	NewEvolver(r, 1.5, s)
+}
+
+func TestCoherenceRhoMonotone(t *testing.T) {
+	// Longer coherence → higher correlation.
+	fast := CoherenceRho(0.01, 0.02)
+	slow := CoherenceRho(0.01, 1.0)
+	if !(slow > fast && slow < 1 && fast > 0) {
+		t.Fatalf("rho ordering wrong: %v vs %v", fast, slow)
+	}
+	if math.Abs(CoherenceRho(0.693, 1)-0.5) > 0.01 {
+		t.Fatalf("rho(ln2) = %v, want 0.5", CoherenceRho(0.693, 1))
+	}
+}

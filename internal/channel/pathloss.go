@@ -1,0 +1,56 @@
+// Package channel models the propagation environment of the BackFi
+// testbed at complex baseband: path loss, sample-spaced multipath
+// fading taps, thermal noise, and transmit-hardware distortion. It
+// builds the three FIR channels of the paper's signal model (Eq. 1):
+// h_env (self-interference: direct TX→RX leakage plus environmental
+// reflections), h_f (AP→tag forward), and h_b (tag→AP backward).
+//
+// Convention: waveforms are in units of √watts, so dsp.Power of a
+// signal is its power in watts and channel tap magnitudes are linear
+// amplitude gains.
+package channel
+
+import "math"
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0
+
+// DefaultCarrierHz is WiFi channel 6 (2.437 GHz), the band used in the
+// paper's experiments.
+const DefaultCarrierHz = 2.437e9
+
+// BoltzmannK is Boltzmann's constant in J/K.
+const BoltzmannK = 1.380649e-23
+
+// FSPLdB returns the free-space path loss in dB between isotropic
+// antennas at distance d meters and carrier frequency f Hz.
+func FSPLdB(d, f float64) float64 {
+	if d <= 0 || f <= 0 {
+		panic("channel: FSPL requires positive distance and frequency")
+	}
+	return 20 * math.Log10(4*math.Pi*d*f/SpeedOfLight)
+}
+
+// LogDistancePLdB returns path loss under the log-distance model:
+// the free-space loss at reference distance d0, plus 10·η·log10(d/d0).
+// η=2 is free space; indoor NLOS is typically 2.5–4. BackFi's
+// backscatter link uses a calibrated shallow exponent (see package
+// backscatter scenario) reflecting the rich-reflection lab of the paper.
+func LogDistancePLdB(d, f, eta, d0 float64) float64 {
+	if d <= 0 || d0 <= 0 {
+		panic("channel: log-distance requires positive distances")
+	}
+	return FSPLdB(d0, f) + 10*eta*math.Log10(d/d0)
+}
+
+// ThermalNoiseW returns thermal noise power kTB in watts over bandwidth
+// b Hz at temperature 290 K, increased by a receiver noise figure in dB.
+func ThermalNoiseW(b, noiseFigureDB float64) float64 {
+	return BoltzmannK * 290 * b * math.Pow(10, noiseFigureDB/10)
+}
+
+// PropagationDelaySamples returns the one-way propagation delay in
+// (possibly fractional) samples at the given sample rate.
+func PropagationDelaySamples(d, sampleRate float64) float64 {
+	return d / SpeedOfLight * sampleRate
+}

@@ -1,0 +1,130 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"backfi/internal/dsp"
+)
+
+// Taps is a causal FIR channel impulse response at sample spacing.
+type Taps []complex128
+
+// Gain returns the total power gain sum |h[k]|².
+func (t Taps) Gain() float64 {
+	var g float64
+	for _, v := range t {
+		g += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return g
+}
+
+// GainDB returns Gain in dB.
+func (t Taps) GainDB() float64 { return dsp.DB(t.Gain()) }
+
+// Apply convolves x with the channel, keeping the input length (causal
+// FIR semantics).
+func (t Taps) Apply(x []complex128) []complex128 {
+	return dsp.ConvolveSame(x, t)
+}
+
+// Scale returns a copy of the taps scaled so the total power gain is
+// gainDB.
+func (t Taps) Scale(gainDB float64) Taps {
+	g := t.Gain()
+	if g == 0 {
+		out := make(Taps, len(t))
+		copy(out, t)
+		return out
+	}
+	s := complex(math.Sqrt(dsp.UnDB(gainDB)/g), 0)
+	out := make(Taps, len(t))
+	for i, v := range t {
+		out[i] = v * s
+	}
+	return out
+}
+
+// Convolve returns the cascade of two channels (t then u).
+func (t Taps) Convolve(u Taps) Taps {
+	return Taps(dsp.Convolve(t, u))
+}
+
+// RayleighTaps draws an n-tap Rayleigh-fading profile with an
+// exponential power-delay profile of the given decay (power ratio
+// between successive taps, in (0,1]); total gain is normalized to 0 dB
+// before the caller scales it. n must be >= 1.
+func RayleighTaps(r *rand.Rand, n int, decay float64) Taps {
+	if n < 1 {
+		panic("channel: need at least one tap")
+	}
+	if decay <= 0 || decay > 1 {
+		panic("channel: decay must be in (0,1]")
+	}
+	t := make(Taps, n)
+	p := 1.0
+	for i := range t {
+		sigma := math.Sqrt(p / 2)
+		t[i] = complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+		p *= decay
+	}
+	return t.Scale(0)
+}
+
+// RicianTaps draws an n-tap profile whose first tap has a deterministic
+// line-of-sight component with Rician K-factor kdB (LOS/NLOS power
+// ratio); the remaining energy is Rayleigh with exponential decay.
+// Total gain is normalized to 0 dB. The LOS phase is drawn uniformly.
+func RicianTaps(r *rand.Rand, n int, kdB, decay float64) Taps {
+	t := RayleighTaps(r, n, decay)
+	k := dsp.UnDB(kdB)
+	// Split power: LOS fraction k/(k+1) on tap 0, scatter 1/(k+1).
+	scatter := math.Sqrt(1 / (k + 1))
+	for i := range t {
+		t[i] *= complex(scatter, 0)
+	}
+	los := math.Sqrt(k / (k + 1))
+	t[0] += dsp.Phasor(r.Float64()*2*math.Pi) * complex(los, 0)
+	return t.Scale(0)
+}
+
+// DelayTaps prepends d zero taps to a channel (integer bulk delay).
+func (t Taps) DelayTaps(d int) Taps {
+	if d < 0 {
+		panic("channel: negative delay")
+	}
+	out := make(Taps, d+len(t))
+	copy(out[d:], t)
+	return out
+}
+
+// FrequencyResponse returns the channel's DFT over nfft bins (FFT
+// order): H[k] = Σ_n h[n] e^{−j2πkn/nfft}. Useful for inspecting the
+// frequency selectivity that breaks single-tap (tone-style)
+// cancellation on wideband excitations (paper Sec. 3.2).
+func (t Taps) FrequencyResponse(nfft int) []complex128 {
+	padded := make([]complex128, nfft)
+	copy(padded, t)
+	return dsp.FFT(padded)
+}
+
+// SelectivityDB returns the max-to-min power ratio of the frequency
+// response over nfft bins, in dB — 0 for a single tap (flat channel),
+// large for multipath.
+func (t Taps) SelectivityDB(nfft int) float64 {
+	h := t.FrequencyResponse(nfft)
+	minP, maxP := math.Inf(1), 0.0
+	for _, v := range h {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if minP <= 0 {
+		return math.Inf(1)
+	}
+	return dsp.DB(maxP / minP)
+}

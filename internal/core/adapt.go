@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"backfi/internal/channel"
+	"backfi/internal/energy"
+	"backfi/internal/fec"
+	"backfi/internal/reader"
+	"backfi/internal/tag"
+)
+
+// StandardSymbolRates are the tag switching rates of paper Fig. 7.
+var StandardSymbolRates = []float64{10e3, 100e3, 500e3, 1e6, 2e6, 2.5e6}
+
+// StandardConfigs enumerates the paper's 36 tag configurations
+// ({BPSK,QPSK,16PSK} × {1/2,2/3} × six symbol rates).
+func StandardConfigs(preambleChips, id int) []tag.Config {
+	var out []tag.Config
+	for _, rs := range StandardSymbolRates {
+		for _, mod := range tag.Modulations {
+			for _, coding := range []fec.CodeRate{fec.Rate12, fec.Rate23} {
+				out = append(out, tag.Config{
+					Mod:           mod,
+					Coding:        coding,
+					SymbolRateHz:  rs,
+					PreambleChips: preambleChips,
+					ID:            id,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Feasibility summarizes Monte-Carlo packet trials of one configuration
+// at one distance.
+type Feasibility struct {
+	Cfg tag.Config
+	// SuccessRate is the fraction of trials whose frame decoded
+	// correctly.
+	SuccessRate float64
+	// MeanSNRdB averages the measured post-MRC symbol SNR.
+	MeanSNRdB float64
+	// MeanRawBER averages the pre-FEC bit error rate.
+	MeanRawBER float64
+	// ThroughputBps is the configuration's information bit rate.
+	ThroughputBps float64
+	// REPB is the configuration's relative energy per bit.
+	REPB float64
+}
+
+// Decodable applies the paper's operating criterion: the link is usable
+// if the overwhelming majority of frames decode.
+func (f Feasibility) Decodable() bool { return f.SuccessRate >= 0.9 }
+
+// Evaluate runs `trials` independent placements/packets of one tag
+// configuration and summarizes the outcome.
+func Evaluate(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64) (Feasibility, error) {
+	if trials <= 0 {
+		return Feasibility{}, fmt.Errorf("core: trials must be positive")
+	}
+	f := Feasibility{Cfg: tcfg, ThroughputBps: tcfg.BitRate()}
+	if repb, err := energy.ConfigREPB(tcfg); err == nil {
+		f.REPB = repb
+	}
+	var snrSum, berSum float64
+	success := 0
+	for i := 0; i < trials; i++ {
+		lc := LinkConfig{
+			Channel:       chanCfg,
+			Tag:           tcfg,
+			Reader:        rdrCfg,
+			WiFiMbps:      24,
+			WiFiPSDUBytes: 1500,
+			Seed:          seed + int64(i)*7919,
+		}
+		link, err := NewLink(lc)
+		if err != nil {
+			return Feasibility{}, err
+		}
+		res, err := link.RunPacket(link.RandomPayload(payloadBytes))
+		if err != nil {
+			// A tag that cannot wake (out of detector range) simply
+			// yields no throughput at this placement.
+			continue
+		}
+		if res.PayloadOK {
+			success++
+		}
+		snrSum += res.MeasuredSNRdB
+		berSum += res.RawBER()
+	}
+	f.SuccessRate = float64(success) / float64(trials)
+	f.MeanSNRdB = snrSum / float64(trials)
+	f.MeanRawBER = berSum / float64(trials)
+	return f, nil
+}
+
+// Sweep evaluates every configuration in cfgs at one distance.
+func Sweep(chanCfg channel.Config, cfgs []tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64) ([]Feasibility, error) {
+	out := make([]Feasibility, 0, len(cfgs))
+	for i, c := range cfgs {
+		f, err := Evaluate(chanCfg, c, rdrCfg, trials, payloadBytes, seed+int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// BestThroughput returns the decodable configuration with the highest
+// bit rate (ties broken by lower REPB), or ok=false if nothing decodes.
+func BestThroughput(results []Feasibility) (Feasibility, bool) {
+	var best Feasibility
+	found := false
+	for _, f := range results {
+		if !f.Decodable() {
+			continue
+		}
+		if !found || f.ThroughputBps > best.ThroughputBps ||
+			(f.ThroughputBps == best.ThroughputBps && f.REPB < best.REPB) {
+			best = f
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MinREPBAtThroughput returns the decodable configuration with the
+// lowest REPB among those achieving at least the target bit rate —
+// the paper's rate-adaptation policy ("the most precious resource here
+// is energy", Sec. 6.1).
+func MinREPBAtThroughput(results []Feasibility, minBps float64) (Feasibility, bool) {
+	var best Feasibility
+	found := false
+	for _, f := range results {
+		if !f.Decodable() || f.ThroughputBps < minBps {
+			continue
+		}
+		if !found || f.REPB < best.REPB {
+			best = f
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ParetoREPB returns, for each distinct achieved throughput among
+// decodable configs, the minimum REPB — the per-range curves of paper
+// Fig. 9.
+func ParetoREPB(results []Feasibility) []Feasibility {
+	byTput := map[float64]Feasibility{}
+	for _, f := range results {
+		if !f.Decodable() {
+			continue
+		}
+		if cur, ok := byTput[f.ThroughputBps]; !ok || f.REPB < cur.REPB {
+			byTput[f.ThroughputBps] = f
+		}
+	}
+	out := make([]Feasibility, 0, len(byTput))
+	for _, f := range byTput {
+		out = append(out, f)
+	}
+	sortByThroughput(out)
+	return out
+}
+
+func sortByThroughput(fs []Feasibility) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].ThroughputBps < fs[j-1].ThroughputBps; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}

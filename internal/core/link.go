@@ -1,0 +1,294 @@
+// Package core wires the BackFi system together: the WiFi AP's
+// excitation transmission, the propagation scenario, the tag's wake-up
+// and backscatter modulation, self-interference cancellation, and the
+// MRC decoder. It exposes a per-packet link simulator plus the rate
+// adaptation used by the paper's evaluation (pick the minimum-REPB
+// configuration that decodes at the operating SNR).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"backfi/internal/channel"
+	"backfi/internal/dsp"
+	"backfi/internal/fec"
+	"backfi/internal/reader"
+	"backfi/internal/tag"
+	"backfi/internal/wifi"
+)
+
+// LinkConfig assembles one BackFi link.
+type LinkConfig struct {
+	// Channel is the placement/propagation model.
+	Channel channel.Config
+	// Tag is the tag's transmission configuration.
+	Tag tag.Config
+	// Reader is the AP decoder configuration.
+	Reader reader.Config
+	// WiFiMbps is the excitation packet bitrate (paper: 24 Mbps).
+	WiFiMbps int
+	// WiFiPSDUBytes is the excitation PSDU size per PPDU.
+	WiFiPSDUBytes int
+	// Seed drives all randomness (placement, noise, payloads).
+	Seed int64
+}
+
+// DefaultLinkConfig returns the paper's standard operating point at the
+// given AP–tag distance: 24 Mbps excitation packets, QPSK 1/2 tag at
+// 1 Msym/s.
+func DefaultLinkConfig(distanceM float64) LinkConfig {
+	return LinkConfig{
+		Channel: channel.DefaultConfig(distanceM),
+		Tag: tag.Config{
+			Mod:           tag.QPSK,
+			Coding:        fec.Rate12,
+			SymbolRateHz:  1e6,
+			PreambleChips: tag.DefaultPreambleChips,
+			ID:            1,
+		},
+		Reader:        reader.DefaultConfig(),
+		WiFiMbps:      24,
+		WiFiPSDUBytes: 1500,
+		Seed:          1,
+	}
+}
+
+// PacketResult reports one end-to-end packet exchange.
+type PacketResult struct {
+	// Decode is the reader's output.
+	Decode *reader.Result
+	// Sent is the payload the tag transmitted.
+	Sent []byte
+	// PayloadOK reports whether the decoded payload matched exactly.
+	PayloadOK bool
+	// RawBitErrors / RawBits count pre-FEC coded-bit errors (hard
+	// decisions on the MRC symbol estimates vs the transmitted coded
+	// bits) — the BER axis of paper Fig. 11b.
+	RawBitErrors, RawBits int
+	// ExpectedSNRdB is the oracle (VNA-style) per-sample backscatter
+	// SNR from the true channels against thermal noise alone.
+	ExpectedSNRdB float64
+	// ExpectedMRCSNRdB is the paper Fig. 11a x-axis: the oracle
+	// backscatter power over the receiver's *measured*
+	// post-cancellation floor (thermal noise + SI residue, as a VNA
+	// plus a floor measurement would predict), plus the MRC combining
+	// gain. Measured − expected is then the decoder's own loss.
+	ExpectedMRCSNRdB float64
+	// MeasuredSNRdB is the decoder's post-MRC symbol SNR — Fig. 11a's
+	// y-axis (compare with ExpectedMRCSNRdB).
+	MeasuredSNRdB float64
+	// ExcitationSamples is the excitation length used.
+	ExcitationSamples int
+	// TagAirtimeSec is the tag's active modulation time.
+	TagAirtimeSec float64
+}
+
+// RawBER returns the pre-FEC bit error rate.
+func (p *PacketResult) RawBER() float64 {
+	if p.RawBits == 0 {
+		return 0
+	}
+	return float64(p.RawBitErrors) / float64(p.RawBits)
+}
+
+// Link is a realized BackFi link: one placement draw plus the tag and
+// reader instances.
+type Link struct {
+	Cfg      LinkConfig
+	Scenario *channel.Scenario
+	Tag      *tag.Tag
+	rdr      *reader.Reader
+	rng      *rand.Rand
+	rate     wifi.Rate
+}
+
+// NewLink draws a placement realization and builds the endpoints.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	rate, err := wifi.RateByMbps(cfg.WiFiMbps)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WiFiPSDUBytes <= 0 {
+		return nil, fmt.Errorf("core: WiFiPSDUBytes must be positive")
+	}
+	tg, err := tag.New(cfg.Tag)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Link{
+		Cfg:      cfg,
+		Scenario: channel.NewScenario(cfg.Channel, rng),
+		Tag:      tg,
+		rdr:      reader.New(cfg.Reader),
+		rng:      rng,
+		rate:     rate,
+	}, nil
+}
+
+// Well-known addresses of the simulated cell.
+var (
+	apAddr     = wifi.MACAddr{0x02, 0x00, 0x00, 0xba, 0xcf, 0x01}
+	clientAddr = wifi.MACAddr{0x02, 0x00, 0x00, 0xc1, 0x1e, 0x42}
+)
+
+// buildExcitation assembles the AP's transmission for one exchange,
+// following the paper's protocol (Sec. 4.1/Fig. 4): a CTS-to-SELF to
+// silence the cell, the tag's 16 µs wake preamble, then back-to-back
+// framed downlink MPDUs as the excitation. It returns the ideal
+// baseband samples and the index where the excitation packet (= the
+// tag's timing origin) begins.
+func buildExcitation(rng *rand.Rand, rate wifi.Rate, psduBytes int, txPowerW float64, tg *tag.Tag, nppdu int) ([]complex128, int, error) {
+	amp := complex(math.Sqrt(txPowerW), 0)
+
+	// CTS-to-SELF at the 6 Mbps basic rate, NAV covering the exchange.
+	basic, err := wifi.RateByMbps(6)
+	if err != nil {
+		return nil, 0, err
+	}
+	navUs := 16 + nppdu*int(wifi.AirtimeSeconds(psduBytes, rate)*1e6)
+	if navUs > 32767 {
+		navUs = 32767
+	}
+	cts, err := wifi.BuildCTSToSelf(apAddr, navUs)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctsWave, err := wifi.Transmit(cts, basic, wifi.DefaultScramblerSeed)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	wake := tag.WakeWaveform(tg.WakeSeq(), math.Sqrt(txPowerW))
+	x := append(dsp.Scale(ctsWave, amp), wake...)
+	packetStart := len(x)
+
+	// Downlink MPDUs: psduBytes on the air, of which 28 bytes are MAC
+	// header + FCS.
+	msduBytes := psduBytes - 28
+	if msduBytes < 1 {
+		msduBytes = 1
+	}
+	for i := 0; i < nppdu; i++ {
+		msdu := make([]byte, msduBytes)
+		rng.Read(msdu)
+		mpdu, err := wifi.BuildDataMPDU(wifi.MPDUHeader{
+			Addr1: clientAddr, Addr2: apAddr, Addr3: apAddr, Seq: i & 0xFFF,
+		}, msdu)
+		if err != nil {
+			return nil, 0, err
+		}
+		wave, err := wifi.Transmit(mpdu, rate, wifi.DefaultScramblerSeed)
+		if err != nil {
+			return nil, 0, err
+		}
+		x = append(x, dsp.Scale(wave, amp)...)
+	}
+	return x, packetStart, nil
+}
+
+// RunPacket performs one full exchange: the AP transmits a CTS-to-SELF,
+// the wake preamble, and enough back-to-back WiFi PPDUs for the
+// payload; the tag wakes and backscatters; the AP decodes.
+func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
+	// Excitation sizing: enough PPDU samples to carry the payload.
+	need := tag.SilentSamples + l.Tag.Cfg.PreambleSamples() +
+		tag.SymbolsForPayload(len(payload), l.Tag.Cfg.Coding, l.Tag.Cfg.Mod)*l.Tag.Cfg.SamplesPerSymbol()
+	ppduLen := wifi.PPDULen(l.Cfg.WiFiPSDUBytes, l.rate)
+	nppdu := (need + ppduLen - 1) / ppduLen
+	if nppdu < 1 {
+		nppdu = 1
+	}
+
+	x, packetStart, err := buildExcitation(l.rng, l.rate, l.Cfg.WiFiPSDUBytes, l.Scenario.TxPowerW(), l.Tag, nppdu)
+	if err != nil {
+		return nil, err
+	}
+	packetLen := len(x) - packetStart
+
+	// Air: the transmitted waveform carries hardware distortion the
+	// receiver cannot reconstruct.
+	xAir := l.Scenario.Distortion.Apply(x)
+
+	// Tag side: excitation through the forward channel; wake detection.
+	// The tag scans only the region after the CTS-to-SELF (its envelope
+	// detector ignores the constant-on CTS burst, which cannot match
+	// the balanced wake sequence, but we keep the search window tight
+	// like a real comparator would).
+	z := l.Scenario.HF.Apply(xAir)
+	wakeIdx, ok := l.Tag.TryWake(z[:packetStart+tag.SilentSamples])
+	if !ok {
+		return nil, fmt.Errorf("core: tag did not wake at %.2g m", l.Cfg.Channel.DistanceM)
+	}
+	// The detector quantizes to 1 µs bits; snap to the true PPDU start
+	// (within one bit period, as the real tag's comparator clock does).
+	if d := wakeIdx - packetStart; d < -tag.WakeBitSamples || d > tag.WakeBitSamples {
+		return nil, fmt.Errorf("core: wake timing off by %d samples", d)
+	}
+
+	m, plan, err := l.Tag.ModulationSequence(packetLen, payload)
+	if err != nil {
+		return nil, err
+	}
+	mFull := make([]complex128, len(x))
+	copy(mFull[packetStart:], m)
+	reflected := tag.Backscatter(z, mFull)
+	bs := l.Scenario.HB.Apply(reflected)
+
+	// AP receive: self-interference + backscatter + thermal noise.
+	y := l.Scenario.Noise.Add(dsp.Add(l.Scenario.HEnv.Apply(xAir), bs))
+
+	res, err := l.rdr.Decode(x, xAir, y, packetStart, packetLen, l.Tag.Cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ground-truth comparisons.
+	pr := &PacketResult{
+		Decode:            res,
+		Sent:              payload,
+		ExcitationSamples: packetLen,
+		TagAirtimeSec:     float64(plan.End()-plan.SilentEnd) / tag.SampleRate,
+		ExpectedSNRdB:     l.Scenario.ExpectedSNRdB(),
+		MeasuredSNRdB:     res.SNRdB,
+	}
+	sps := l.Tag.Cfg.SamplesPerSymbol()
+	guard := l.Cfg.Reader.ChannelTaps
+	if guard > sps/2 {
+		guard = sps / 2
+	}
+	floorW := dsp.UnDBm(res.SIC.AfterDBm)
+	pr.ExpectedMRCSNRdB = dsp.SNRdB(l.Scenario.BackscatterRxPowerW(), floorW) + dsp.DB(float64(sps-guard))
+	pr.PayloadOK = res.FrameOK && bytesEqual(res.Payload, payload)
+
+	// Raw coded-bit errors over the frame's symbols.
+	hard := l.Tag.Cfg.Mod.DemapHard(res.SymbolEstimates[:min(len(plan.Symbols), len(res.SymbolEstimates))])
+	for i, b := range plan.CodedBits[:min(len(plan.CodedBits), len(hard))] {
+		if hard[i] != b {
+			pr.RawBitErrors++
+		}
+		pr.RawBits++
+	}
+	return pr, nil
+}
+
+// RandomPayload draws a payload of n bytes from the link's RNG.
+func (l *Link) RandomPayload(n int) []byte {
+	p := make([]byte, n)
+	l.rng.Read(p)
+	return p
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

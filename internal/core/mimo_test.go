@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMIMODecodesAndCombines(t *testing.T) {
+	cfg := DefaultLinkConfig(2)
+	cfg.Seed = 5
+	link, err := NewMIMOLink(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := link.RandomPayload(80)
+	res, err := link.RunPacket(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PayloadOK || !bytes.Equal(res.Decode.Payload, payload) {
+		t.Fatal("3-antenna link should decode at 2 m")
+	}
+	if len(res.PerAntennaSNRdB) != 3 || len(res.Decode.PerAntennaSIC) != 3 {
+		t.Fatalf("per-antenna diagnostics missing: %d / %d",
+			len(res.PerAntennaSNRdB), len(res.Decode.PerAntennaSIC))
+	}
+	// The joint combine must beat the average single antenna.
+	var mean float64
+	for _, s := range res.PerAntennaSNRdB {
+		mean += s
+	}
+	mean /= 3
+	if res.JointSNRdB <= mean {
+		t.Fatalf("joint SNR %v not above per-antenna mean %v", res.JointSNRdB, mean)
+	}
+}
+
+func TestMIMOGainOverSISO(t *testing.T) {
+	// Average the combining gain over several placements: ~10log10(N)
+	// plus diversity, so 4 antennas should give >4 dB on average.
+	var gain float64
+	const reps = 6
+	for i := 0; i < reps; i++ {
+		cfg := DefaultLinkConfig(3)
+		cfg.Seed = 40 + int64(i)
+		link, err := NewMIMOLink(cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := link.RunPacket(link.RandomPayload(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mean float64
+		for _, s := range res.PerAntennaSNRdB {
+			mean += s
+		}
+		gain += res.JointSNRdB - mean/4
+	}
+	gain /= reps
+	if gain < 3 {
+		t.Fatalf("4-antenna combining gain %v dB, want ≥ 3", gain)
+	}
+}
+
+func TestMIMOSingleAntennaMatchesSISOBehaviour(t *testing.T) {
+	cfg := DefaultLinkConfig(1)
+	cfg.Seed = 9
+	link, err := NewMIMOLink(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.RunPacket(link.RandomPayload(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PayloadOK {
+		t.Fatal("single-antenna MIMO link should decode at 1 m")
+	}
+	if len(res.PerAntennaSNRdB) != 1 {
+		t.Fatalf("%d per-antenna entries", len(res.PerAntennaSNRdB))
+	}
+}
+
+func TestMIMOValidation(t *testing.T) {
+	if _, err := NewMIMOLink(DefaultLinkConfig(1), 0); err == nil {
+		t.Fatal("expected error for zero antennas")
+	}
+	bad := DefaultLinkConfig(1)
+	bad.Tag.SymbolRateHz = 0
+	if _, err := NewMIMOLink(bad, 2); err == nil {
+		t.Fatal("expected config validation error")
+	}
+}
+
+func TestMIMOExtendsRange(t *testing.T) {
+	// At a distance where one antenna struggles, four antennas should
+	// succeed at least as often.
+	success := func(nrx int) int {
+		ok := 0
+		for i := 0; i < 5; i++ {
+			cfg := DefaultLinkConfig(6)
+			cfg.Tag.SymbolRateHz = 2e6
+			cfg.Seed = 70 + int64(i)
+			link, err := NewMIMOLink(cfg, nrx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := link.RunPacket(link.RandomPayload(24))
+			if err != nil {
+				continue
+			}
+			if res.PayloadOK {
+				ok++
+			}
+		}
+		return ok
+	}
+	if s1, s4 := success(1), success(4); s4 < s1 {
+		t.Fatalf("4 antennas (%d/5) worse than 1 (%d/5) at 6 m", s4, s1)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"backfi/internal/channel"
+	"backfi/internal/dsp"
+	"backfi/internal/reader"
+	"backfi/internal/tag"
+	"backfi/internal/wifi"
+)
+
+// Multi-tag deployments (paper Sec. 4.1: "a preamble can be unique to
+// a particular BackFi tag ... and can be used to select which BackFi
+// tag gets to backscatter at that instant"). A MultiTagLink places
+// several tags around one AP; each exchange addresses one tag by its
+// wake sequence. Correctly-behaving unaddressed tags stay asleep; a
+// misconfigured tag sharing the addressed tag's ID backscatters
+// concurrently and collides.
+type MultiTagLink struct {
+	Cfg LinkConfig
+	// Tags and their independent placements; Tags[i] sits at
+	// Distances[i].
+	Tags      []*tag.Tag
+	Scenarios []*channel.Scenario
+	rdr       *reader.Reader
+	rng       *rand.Rand
+	rate      wifi.Rate
+}
+
+// NewMultiTagLink builds a deployment: one tag per distance, with IDs
+// 0..n-1 and otherwise identical configuration.
+func NewMultiTagLink(cfg LinkConfig, distances []float64) (*MultiTagLink, error) {
+	if len(distances) == 0 {
+		return nil, fmt.Errorf("core: need at least one tag")
+	}
+	base, err := NewLink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiTagLink{Cfg: cfg, rng: base.rng, rate: base.rate}
+	for i, d := range distances {
+		tcfg := cfg.Tag
+		tcfg.ID = i
+		tg, err := tag.New(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		chanCfg := cfg.Channel
+		chanCfg.DistanceM = d
+		m.Tags = append(m.Tags, tg)
+		m.Scenarios = append(m.Scenarios, channel.NewScenario(chanCfg, m.rng))
+	}
+	m.rdr = base.rdr
+	return m, nil
+}
+
+// MultiTagResult reports one addressed exchange.
+type MultiTagResult struct {
+	// Addressed is the polled tag index.
+	Addressed int
+	// Woke[i] reports whether tag i's detector fired on this wake
+	// preamble.
+	Woke []bool
+	// Result is the decode outcome for the addressed tag.
+	Result *PacketResult
+}
+
+// RunPacket polls one tag: the AP transmits that tag's wake sequence,
+// every tag's detector inspects it, and only tags whose correlator
+// matches backscatter. All active reflections superpose at the AP.
+func (m *MultiTagLink) RunPacket(addressed int, payload []byte) (*MultiTagResult, error) {
+	if addressed < 0 || addressed >= len(m.Tags) {
+		return nil, fmt.Errorf("core: tag index %d out of range", addressed)
+	}
+	tgt := m.Tags[addressed]
+	need := tag.SilentSamples + tgt.Cfg.PreambleSamples() +
+		tag.SymbolsForPayload(len(payload), tgt.Cfg.Coding, tgt.Cfg.Mod)*tgt.Cfg.SamplesPerSymbol()
+	ppduLen := wifi.PPDULen(m.Cfg.WiFiPSDUBytes, m.rate)
+	nppdu := (need + ppduLen - 1) / ppduLen
+	if nppdu < 1 {
+		nppdu = 1
+	}
+	// The excitation carries the addressed tag's wake sequence.
+	x, packetStart, err := buildExcitation(m.rng, m.rate, m.Cfg.WiFiPSDUBytes,
+		m.Scenarios[addressed].TxPowerW(), tgt, nppdu)
+	if err != nil {
+		return nil, err
+	}
+	packetLen := len(x) - packetStart
+	xAir := m.Scenarios[addressed].Distortion.Apply(x)
+
+	res := &MultiTagResult{Addressed: addressed, Woke: make([]bool, len(m.Tags))}
+
+	// Every tag sees the excitation through its own forward channel and
+	// decides independently whether it was addressed.
+	total := m.Scenarios[addressed].HEnv.Apply(xAir)
+	for i, tg := range m.Tags {
+		sc := m.Scenarios[i]
+		z := sc.HF.Apply(xAir)
+		_, woke := tg.TryWake(z[:packetStart+tag.SilentSamples])
+		res.Woke[i] = woke
+		if !woke {
+			continue
+		}
+		// A woken tag backscatters its own frame. The addressed tag
+		// sends the caller's payload; an impostor (same wake sequence)
+		// sends its own junk.
+		body := payload
+		if i != addressed {
+			body = make([]byte, len(payload))
+			m.rng.Read(body)
+		}
+		mSeq, _, err := tg.ModulationSequence(packetLen, body)
+		if err != nil {
+			return nil, err
+		}
+		mFull := make([]complex128, len(x))
+		copy(mFull[packetStart:], mSeq)
+		total = dsp.Add(total, sc.HB.Apply(tag.Backscatter(z, mFull)))
+	}
+	y := m.Scenarios[addressed].Noise.Add(total)
+
+	dec, err := m.rdr.Decode(x, xAir, y, packetStart, packetLen, tgt.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Result = &PacketResult{
+		Decode:            dec,
+		Sent:              payload,
+		PayloadOK:         dec.FrameOK && bytesEqual(dec.Payload, payload),
+		ExcitationSamples: packetLen,
+		MeasuredSNRdB:     dec.SNRdB,
+	}
+	return res, nil
+}

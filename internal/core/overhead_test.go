@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"backfi/internal/tag"
+)
+
+// The paper's reader "transmits 1 to 4 ms long packet[s]" (Sec. 6.1):
+// each excitation pays a fixed protocol cost (CTS-to-SELF + 16 µs wake
+// + 16 µs silence + 32 µs tag preamble), so longer excitations carry
+// proportionally more payload.
+
+func TestLongerExcitationAmortizesOverhead(t *testing.T) {
+	goodputPerAirtime := func(payloadBytes int) float64 {
+		cfg := DefaultLinkConfig(1)
+		cfg.Seed = 14
+		link, err := NewLink(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := link.RunPacket(link.RandomPayload(payloadBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PayloadOK {
+			t.Fatalf("payload of %d bytes failed at 1 m", payloadBytes)
+		}
+		totalAir := float64(res.ExcitationSamples) / tag.SampleRate
+		return float64(8*payloadBytes) / totalAir
+	}
+	short := goodputPerAirtime(16)  // tiny frame: overhead-dominated
+	long := goodputPerAirtime(1200) // multi-ms excitation
+	if long <= short*1.5 {
+		t.Fatalf("amortization missing: %.0f bps (16 B) vs %.0f bps (1200 B)", short, long)
+	}
+	// The long exchange approaches the configuration bit rate.
+	cfgRate := DefaultLinkConfig(1).Tag.BitRate()
+	if long < 0.5*cfgRate {
+		t.Fatalf("long-frame goodput %.0f bps below half the %.0f bps config rate", long, cfgRate)
+	}
+}
+
+func TestProtocolOverheadAccounting(t *testing.T) {
+	// The fixed cost before payload symbols: silent period + tag
+	// preamble, in samples, exactly as the link lays them out.
+	cfg := DefaultLinkConfig(1)
+	cfg.Seed = 15
+	link, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.RunPacket(link.RandomPayload(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := tag.SymbolsForPayload(100, cfg.Tag.Coding, cfg.Tag.Mod)
+	minSamples := tag.SilentSamples + cfg.Tag.PreambleSamples() + syms*cfg.Tag.SamplesPerSymbol()
+	if res.ExcitationSamples < minSamples {
+		t.Fatalf("excitation %d shorter than the protocol minimum %d", res.ExcitationSamples, minSamples)
+	}
+	// TagAirtime covers preamble + payload symbols (not the silence).
+	wantAir := float64(cfg.Tag.PreambleSamples()+syms*cfg.Tag.SamplesPerSymbol()) / tag.SampleRate
+	if res.TagAirtimeSec < wantAir*0.99 || res.TagAirtimeSec > wantAir*1.01 {
+		t.Fatalf("tag airtime %v, want %v", res.TagAirtimeSec, wantAir)
+	}
+}

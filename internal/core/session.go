@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"backfi/internal/channel"
+)
+
+// Session is a long-lived BackFi connection: one placement whose
+// channels evolve slowly between packets, with stop-and-wait ARQ on
+// top of the frame CRC. It is the layer an application (a sensor
+// streaming readings) actually talks to.
+type Session struct {
+	link    *Link
+	evolver *channel.Evolver
+	// MaxRetries bounds retransmissions per frame.
+	MaxRetries int
+	// Stats accumulates over the session.
+	Stats SessionStats
+}
+
+// SessionStats summarizes a session's history.
+type SessionStats struct {
+	// FramesOffered / FramesDelivered count application frames.
+	FramesOffered, FramesDelivered int
+	// PacketsSent counts air transmissions (including retries).
+	PacketsSent int
+	// PayloadBits counts successfully delivered information bits.
+	PayloadBits int
+	// AirtimeSec accumulates tag modulation time across attempts.
+	AirtimeSec float64
+}
+
+// Retries returns the retransmission count.
+func (s SessionStats) Retries() int { return s.PacketsSent - s.FramesOffered }
+
+// DeliveryRate returns delivered/offered.
+func (s SessionStats) DeliveryRate() float64 {
+	if s.FramesOffered == 0 {
+		return 0
+	}
+	return float64(s.FramesDelivered) / float64(s.FramesOffered)
+}
+
+// GoodputBps returns delivered bits over accumulated tag airtime.
+func (s SessionStats) GoodputBps() float64 {
+	if s.AirtimeSec == 0 {
+		return 0
+	}
+	return float64(s.PayloadBits) / s.AirtimeSec
+}
+
+// NewSession opens a session at one placement. coherenceRho is the
+// packet-to-packet channel correlation (use
+// channel.CoherenceRho(interval, coherence); 1 freezes the channel).
+func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session, error) {
+	link, err := NewLink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if maxRetries < 0 {
+		return nil, fmt.Errorf("core: negative retry budget")
+	}
+	return &Session{
+		link:       link,
+		evolver:    channel.NewEvolver(link.rng, coherenceRho, link.Scenario),
+		MaxRetries: maxRetries,
+	}, nil
+}
+
+// Link exposes the underlying link (e.g. for diagnostics).
+func (s *Session) Link() *Link { return s.link }
+
+// Send delivers one application frame with stop-and-wait ARQ: on CRC
+// failure the tag retransmits (the AP polls again) up to MaxRetries
+// times, with the channel evolving between attempts. It returns the
+// last attempt's result and whether the frame was delivered.
+func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
+	s.Stats.FramesOffered++
+	var last *PacketResult
+	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
+		if attempt > 0 || s.Stats.PacketsSent > 0 {
+			s.evolver.Step()
+		}
+		res, err := s.link.RunPacket(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		s.Stats.PacketsSent++
+		s.Stats.AirtimeSec += res.TagAirtimeSec
+		last = res
+		if res.PayloadOK {
+			s.Stats.FramesDelivered++
+			s.Stats.PayloadBits += 8 * len(payload)
+			return res, true, nil
+		}
+	}
+	return last, false, nil
+}

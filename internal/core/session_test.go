@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"backfi/internal/channel"
+)
+
+func TestSessionDeliversStream(t *testing.T) {
+	cfg := DefaultLinkConfig(2)
+	cfg.Seed = 8
+	s, err := NewSession(cfg, 0.95, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		payload := make([]byte, 64)
+		payload[0] = byte(i)
+		_, ok, err := s.Send(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("frame %d undelivered at 2 m with retries", i)
+		}
+	}
+	if s.Stats.DeliveryRate() != 1 {
+		t.Fatalf("delivery rate %v", s.Stats.DeliveryRate())
+	}
+	if s.Stats.GoodputBps() <= 0 {
+		t.Fatal("goodput not accounted")
+	}
+	if s.Stats.PacketsSent < s.Stats.FramesOffered {
+		t.Fatal("packet accounting broken")
+	}
+}
+
+func TestSessionARQRescuesMarginalLink(t *testing.T) {
+	// At a marginal range/config, retries must deliver more frames
+	// than a single shot, because the channel evolves between attempts.
+	send := func(retries int) float64 {
+		delivered := 0
+		const frames = 10
+		for i := 0; i < frames; i++ {
+			cfg := DefaultLinkConfig(5)
+			cfg.Tag.SymbolRateHz = 2e6 // marginal at 5 m
+			cfg.Seed = 500 + int64(i)
+			s, err := NewSession(cfg, 0.7, retries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, ok, err := s.Send(make([]byte, 32))
+			if err != nil {
+				continue
+			}
+			if ok {
+				delivered++
+			}
+		}
+		return float64(delivered) / frames
+	}
+	zero := send(0)
+	three := send(3)
+	if three < zero {
+		t.Fatalf("retries should not hurt: %v vs %v", three, zero)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(DefaultLinkConfig(1), 0.9, -1); err == nil {
+		t.Fatal("expected error for negative retries")
+	}
+	bad := DefaultLinkConfig(1)
+	bad.Tag.SymbolRateHz = 0
+	if _, err := NewSession(bad, 0.9, 1); err == nil {
+		t.Fatal("expected link config error")
+	}
+}
+
+func TestEvolverPreservesPowerAndCorrelates(t *testing.T) {
+	cfg := DefaultLinkConfig(2)
+	cfg.Seed = 9
+	link, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := channel.NewEvolver(link.rng, 0.99, link.Scenario)
+	before := link.Scenario.HF.Gain()
+	const steps = 500
+	var meanGain float64
+	for i := 0; i < steps; i++ {
+		ev.Step()
+		meanGain += link.Scenario.HF.Gain()
+	}
+	meanGain /= steps
+	// The AR(1) is stationary around the initial power: the long-run
+	// mean gain stays within the fading spread of the original.
+	if meanGain < before/10 || meanGain > before*10 {
+		t.Fatalf("mean power drifted: %v vs %v", meanGain, before)
+	}
+	// Consecutive steps must correlate at rho=0.99: one step changes
+	// the channel only slightly.
+	snap := append([]complex128{}, link.Scenario.HF...)
+	ev.Step()
+	var diff, ref float64
+	for i := range snap {
+		d := link.Scenario.HF[i] - snap[i]
+		diff += real(d)*real(d) + imag(d)*imag(d)
+		ref += real(snap[i])*real(snap[i]) + imag(snap[i])*imag(snap[i])
+	}
+	if diff/ref > 0.2 {
+		t.Fatalf("one rho=0.99 step moved the channel by %v", diff/ref)
+	}
+	// Frozen channel: rho=1 must be exactly invariant.
+	frozen := channel.NewEvolver(link.rng, 1, link.Scenario)
+	snapshot := append([]complex128{}, link.Scenario.HF...)
+	frozen.Step()
+	for i := range snapshot {
+		if link.Scenario.HF[i] != snapshot[i] {
+			t.Fatal("rho=1 should freeze the channel")
+		}
+	}
+}
+
+func TestCoherenceRho(t *testing.T) {
+	if got := channel.CoherenceRho(0, 1); got != 1 {
+		t.Fatalf("zero interval rho %v", got)
+	}
+	if got := channel.CoherenceRho(1, 0); got != 0 {
+		t.Fatalf("zero coherence rho %v", got)
+	}
+	mid := channel.CoherenceRho(0.1, 0.5)
+	if mid <= 0 || mid >= 1 {
+		t.Fatalf("rho %v out of range", mid)
+	}
+}

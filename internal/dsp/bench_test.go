@@ -1,0 +1,53 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []complex128 {
+	r := rand.New(rand.NewSource(1))
+	return randSignal(r, n)
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	x := benchSignal(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := benchSignal(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkConvolveSame32Taps(b *testing.B) {
+	x := benchSignal(20000) // 1 ms at 20 MHz
+	h := benchSignal(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConvolveSame(x, h)
+	}
+}
+
+func BenchmarkNormalizedCrossCorrelate(b *testing.B) {
+	x := benchSignal(4000)
+	ref := benchSignal(160)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NormalizedCrossCorrelate(x, ref)
+	}
+}
+
+func BenchmarkWelchPSD(b *testing.B) {
+	x := benchSignal(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WelchPSD(x, 64)
+	}
+}

@@ -1,0 +1,91 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-order radix-2 decimation-in-time discrete Fourier
+// transform of x. len(x) must be a power of two. The input is not
+// modified. The forward transform is unnormalized:
+//
+//	X[k] = sum_n x[n] * e^{-j 2π k n / N}
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse DFT with 1/N normalization so that
+// IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	n := complex(1/float64(len(x)), 0)
+	for i := range out {
+		out[i] *= n
+	}
+	return out
+}
+
+// fftInPlace runs an iterative radix-2 Cooley-Tukey transform.
+func fftInPlace(a []complex128, inverse bool) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wstep := Phasor(step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				t := a[start+k+half] * w
+				a[start+k] = u + t
+				a[start+k+half] = u - t
+				w *= wstep
+			}
+		}
+	}
+}
+
+// FFTShift swaps the two halves of a spectrum so DC moves to the center.
+// len(x) must be even.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	if n%2 != 0 {
+		panic("dsp: FFTShift requires even length")
+	}
+	out := make([]complex128, n)
+	copy(out, x[n/2:])
+	copy(out[n/2:], x[:n/2])
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}

@@ -1,0 +1,140 @@
+package dsp
+
+import "math"
+
+// Convolve returns the full linear convolution of x and h, of length
+// len(x)+len(h)-1. Either argument may be empty, yielding nil.
+//
+// Direct convolution is used for short kernels (the simulator's channels
+// are ≤ 64 taps); FFT-based overlap is not needed at these sizes.
+func Convolve(x, h []complex128) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]complex128, len(x)+len(h)-1)
+	for i, hv := range h {
+		if hv == 0 {
+			continue
+		}
+		for j, xv := range x {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+// ConvolveSame returns the causal "same-length" convolution: the first
+// len(x) samples of the full convolution. This is the natural model of a
+// causal FIR channel acting on a signal: output sample n depends on
+// x[n-k] for tap k.
+func ConvolveSame(x, h []complex128) []complex128 {
+	full := Convolve(x, h)
+	if full == nil {
+		return Zeros(len(x))
+	}
+	return full[:len(x)]
+}
+
+// FIR is a streaming finite-impulse-response filter with persistent
+// state, so successive Process calls behave like one long convolution.
+type FIR struct {
+	taps  []complex128
+	state []complex128 // most recent len(taps)-1 inputs, newest last
+}
+
+// NewFIR returns a streaming filter with the given taps (tap 0 applied to
+// the current sample). The taps are copied.
+func NewFIR(taps []complex128) *FIR {
+	t := make([]complex128, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t, state: make([]complex128, max(0, len(taps)-1))}
+}
+
+// Taps returns a copy of the filter taps.
+func (f *FIR) Taps() []complex128 {
+	t := make([]complex128, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// Reset clears the filter memory.
+func (f *FIR) Reset() {
+	for i := range f.state {
+		f.state[i] = 0
+	}
+}
+
+// Process filters x, returning len(x) output samples and updating the
+// internal delay line.
+func (f *FIR) Process(x []complex128) []complex128 {
+	if len(f.taps) == 0 {
+		return Zeros(len(x))
+	}
+	// Work on the concatenation [state | x].
+	buf := make([]complex128, len(f.state)+len(x))
+	copy(buf, f.state)
+	copy(buf[len(f.state):], x)
+	out := make([]complex128, len(x))
+	off := len(f.state)
+	for n := range x {
+		var acc complex128
+		for k, tap := range f.taps {
+			idx := off + n - k
+			if idx < 0 {
+				break
+			}
+			acc += tap * buf[idx]
+		}
+		out[n] = acc
+	}
+	// Save the trailing samples as new state.
+	if len(f.state) > 0 {
+		tail := buf[len(buf)-len(f.state):]
+		copy(f.state, tail)
+	}
+	return out
+}
+
+// Delay returns x delayed by d samples (zero-padded at the front),
+// truncated to the original length. d must be >= 0.
+func Delay(x []complex128, d int) []complex128 {
+	if d < 0 {
+		panic("dsp: negative delay")
+	}
+	out := make([]complex128, len(x))
+	copy(out[min(d, len(x)):], x)
+	return out
+}
+
+// LowPassFIR designs a linear-phase low-pass filter by the
+// Hamming-windowed-sinc method: cutoff is the normalized frequency
+// (cycles/sample, 0 < cutoff < 0.5) and taps the odd filter length.
+// The passband gain is normalized to exactly 1 at DC.
+func LowPassFIR(cutoff float64, taps int) []complex128 {
+	if cutoff <= 0 || cutoff >= 0.5 {
+		panic("dsp: low-pass cutoff must be in (0, 0.5)")
+	}
+	if taps < 3 || taps%2 == 0 {
+		panic("dsp: low-pass taps must be odd and >= 3")
+	}
+	h := make([]complex128, taps)
+	w := Hamming(taps)
+	mid := taps / 2
+	var sum float64
+	for i := range h {
+		n := float64(i - mid)
+		var v float64
+		if n == 0 {
+			v = 2 * cutoff
+		} else {
+			v = math.Sin(2*math.Pi*cutoff*n) / (math.Pi * n)
+		}
+		v *= w[i]
+		sum += v
+		h[i] = complex(v, 0)
+	}
+	for i := range h {
+		h[i] /= complex(sum, 0)
+	}
+	return h
+}

@@ -1,0 +1,194 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvolveKnownValues(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	h := []complex128{1, -1}
+	got := Convolve(x, h)
+	want := []complex128{1, 1, 1, -3}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !capprox(got[i], want[i], eps) {
+			t.Fatalf("sample %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []complex128{1}) != nil {
+		t.Fatal("empty x should give nil")
+	}
+	if Convolve([]complex128{1}, nil) != nil {
+		t.Fatal("empty h should give nil")
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	x := randSignal(r, 15)
+	h := randSignal(r, 7)
+	a := Convolve(x, h)
+	b := Convolve(h, x)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("commutativity violated at %d", i)
+		}
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	f := func(re, im float64, n uint8) bool {
+		m := int(n%16) + 1
+		x := make([]complex128, m)
+		for i := range x {
+			x[i] = complex(re, im)
+		}
+		y := Convolve(x, []complex128{1})
+		if len(y) != m {
+			return false
+		}
+		for i := range x {
+			if y[i] != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveSameLength(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	x := randSignal(r, 40)
+	h := randSignal(r, 5)
+	y := ConvolveSame(x, h)
+	if len(y) != len(x) {
+		t.Fatalf("length %d, want %d", len(y), len(x))
+	}
+	full := Convolve(x, h)
+	for i := range y {
+		if y[i] != full[i] {
+			t.Fatalf("sample %d differs from full convolution", i)
+		}
+	}
+}
+
+func TestFIRStreamingMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	taps := randSignal(r, 8)
+	x := randSignal(r, 200)
+	want := ConvolveSame(x, taps)
+
+	f := NewFIR(taps)
+	var got []complex128
+	// Feed in uneven chunks to exercise state carry-over.
+	for _, chunk := range [][2]int{{0, 13}, {13, 14}, {14, 77}, {77, 200}} {
+		got = append(got, f.Process(x[chunk[0]:chunk[1]])...)
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("sample %d: streaming %v batch %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	taps := []complex128{1, 1}
+	f := NewFIR(taps)
+	f.Process([]complex128{5})
+	f.Reset()
+	out := f.Process([]complex128{1})
+	if !capprox(out[0], 1, eps) {
+		t.Fatalf("after reset, output %v, want 1 (no memory)", out[0])
+	}
+}
+
+func TestFIRTapsCopied(t *testing.T) {
+	taps := []complex128{1, 2}
+	f := NewFIR(taps)
+	taps[0] = 99
+	if f.Taps()[0] != 1 {
+		t.Fatal("NewFIR should copy taps")
+	}
+	got := f.Taps()
+	got[1] = 42
+	if f.Taps()[1] != 2 {
+		t.Fatal("Taps should return a copy")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	y := Delay(x, 2)
+	want := []complex128{0, 0, 1, 2}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Delay = %v", y)
+		}
+	}
+	if z := Delay(x, 10); Energy(z) != 0 {
+		t.Fatal("over-delay should zero the signal")
+	}
+}
+
+func TestDelayNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Delay([]complex128{1}, -1)
+}
+
+func TestLowPassFIRResponse(t *testing.T) {
+	h := LowPassFIR(0.1, 63)
+	// DC gain exactly 1.
+	var dc complex128
+	for _, v := range h {
+		dc += v
+	}
+	if cmplx.Abs(dc-1) > 1e-12 {
+		t.Fatalf("DC gain %v", dc)
+	}
+	// Evaluate the frequency response: passband (0.05) near 0 dB,
+	// stopband (0.25) strongly attenuated.
+	resp := func(f float64) float64 {
+		var acc complex128
+		for n, v := range h {
+			acc += v * Phasor(-2*3.141592653589793*f*float64(n))
+		}
+		return cmplx.Abs(acc)
+	}
+	if g := resp(0.05); g < 0.95 || g > 1.05 {
+		t.Fatalf("passband gain %v", g)
+	}
+	if g := resp(0.25); g > 0.02 {
+		t.Fatalf("stopband gain %v", g)
+	}
+}
+
+func TestLowPassFIRValidation(t *testing.T) {
+	for _, c := range []struct {
+		cutoff float64
+		taps   int
+	}{{0, 11}, {0.5, 11}, {0.1, 4}, {0.1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for cutoff=%v taps=%d", c.cutoff, c.taps)
+				}
+			}()
+			LowPassFIR(c.cutoff, c.taps)
+		}()
+	}
+}

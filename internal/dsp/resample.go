@@ -1,0 +1,61 @@
+package dsp
+
+import "math"
+
+// Decimate returns every factor-th sample of x starting at offset.
+// factor must be >= 1 and offset in [0, factor).
+func Decimate(x []complex128, factor, offset int) []complex128 {
+	if factor < 1 {
+		panic("dsp: decimation factor must be >= 1")
+	}
+	if offset < 0 || offset >= factor {
+		panic("dsp: decimation offset out of range")
+	}
+	out := make([]complex128, 0, (len(x)-offset+factor-1)/factor)
+	for i := offset; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Upsample inserts factor-1 zeros after every sample of x.
+func Upsample(x []complex128, factor int) []complex128 {
+	if factor < 1 {
+		panic("dsp: upsample factor must be >= 1")
+	}
+	out := make([]complex128, len(x)*factor)
+	for i, v := range x {
+		out[i*factor] = v
+	}
+	return out
+}
+
+// RepeatHold repeats each sample of x factor times (zero-order hold),
+// the waveform a switching modulator produces when it holds one phase
+// state for several baseband samples.
+func RepeatHold(x []complex128, factor int) []complex128 {
+	if factor < 1 {
+		panic("dsp: hold factor must be >= 1")
+	}
+	out := make([]complex128, len(x)*factor)
+	for i, v := range x {
+		for k := 0; k < factor; k++ {
+			out[i*factor+k] = v
+		}
+	}
+	return out
+}
+
+// Goertzel evaluates the DFT of x at a single normalized frequency
+// f (cycles per sample), returning sum_n x[n] e^{-j2π f n}. It is the
+// cheap way to probe one tone, e.g. for tone-excitation RFID baselines.
+func Goertzel(x []complex128, f float64) complex128 {
+	var acc complex128
+	w := Phasor(-2 * math.Pi * f)
+	rot := complex(1, 0)
+	for _, v := range x {
+		acc += v * rot
+		rot *= w
+	}
+	return acc
+}

@@ -1,0 +1,87 @@
+package dsp
+
+import "math"
+
+// WelchPSD estimates the power spectral density of x by Welch's
+// method: Hann-windowed segments of length nfft (a power of two) with
+// 50% overlap, periodograms averaged. The result has nfft bins in FFT
+// order (bin 0 = DC) and is normalized so that the mean of the bins
+// equals the signal's average power.
+func WelchPSD(x []complex128, nfft int) []float64 {
+	if nfft < 2 || nfft&(nfft-1) != 0 {
+		panic("dsp: Welch nfft must be a power of two >= 2")
+	}
+	if len(x) < nfft {
+		panic("dsp: signal shorter than one Welch segment")
+	}
+	win := Hann(nfft)
+	var winPow float64
+	for _, w := range win {
+		winPow += w * w
+	}
+	psd := make([]float64, nfft)
+	segments := 0
+	for start := 0; start+nfft <= len(x); start += nfft / 2 {
+		seg := ApplyWindow(x[start:start+nfft], win)
+		spec := FFT(seg)
+		// Parseval: Σ_k |FFT|² = nfft·Σ_n |w·x|² ≈ nfft·winPow·Power, so
+		// dividing by winPow makes the bins *average* to the signal
+		// power.
+		for k, v := range spec {
+			psd[k] += (real(v)*real(v) + imag(v)*imag(v)) / winPow
+		}
+		segments++
+	}
+	for k := range psd {
+		psd[k] /= float64(segments)
+	}
+	return psd
+}
+
+// OccupiedBandwidth returns the fraction of nfft bins needed to hold
+// `fraction` (e.g. 0.99) of the total PSD power, counting bins from
+// strongest to weakest — a quick flatness/occupancy measure for
+// checking that an OFDM signal fills its channel.
+func OccupiedBandwidth(psd []float64, fraction float64) float64 {
+	if len(psd) == 0 {
+		return 0
+	}
+	var total float64
+	sorted := append([]float64{}, psd...)
+	for _, p := range sorted {
+		total += p
+	}
+	if total <= 0 {
+		return 0
+	}
+	// Insertion sort descending (bins counts are small).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var acc float64
+	for i, p := range sorted {
+		acc += p
+		if acc >= fraction*total {
+			return float64(i+1) / float64(len(sorted))
+		}
+	}
+	return 1
+}
+
+// PAPRdB returns the peak-to-average power ratio of x in dB — the
+// OFDM crest factor.
+func PAPRdB(x []complex128) float64 {
+	avg := Power(x)
+	if avg == 0 {
+		return 0
+	}
+	peak := 0.0
+	for _, v := range x {
+		if p := real(v)*real(v) + imag(v)*imag(v); p > peak {
+			peak = p
+		}
+	}
+	return 10 * math.Log10(peak/avg)
+}

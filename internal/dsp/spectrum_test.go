@@ -1,0 +1,99 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchPSDTotalPower(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := randSignal(r, 8192)
+	psd := WelchPSD(x, 256)
+	var mean float64
+	for _, p := range psd {
+		mean += p
+	}
+	mean /= float64(len(psd))
+	if math.Abs(mean-Power(x))/Power(x) > 0.1 {
+		t.Fatalf("PSD mean %v vs signal power %v", mean, Power(x))
+	}
+}
+
+func TestWelchPSDToneConcentration(t *testing.T) {
+	const n = 4096
+	const bin = 32 // of 256
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = Phasor(2 * math.Pi * float64(bin) / 256 * float64(i))
+	}
+	psd := WelchPSD(x, 256)
+	if got := PeakIndex(psd); got != bin {
+		t.Fatalf("peak at %d, want %d", got, bin)
+	}
+	// A tone occupies a tiny fraction of the band.
+	if occ := OccupiedBandwidth(psd, 0.99); occ > 0.05 {
+		t.Fatalf("tone occupancy %v", occ)
+	}
+}
+
+func TestWelchPSDWhiteNoiseFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randSignal(r, 65536)
+	psd := WelchPSD(x, 64)
+	// White noise occupies nearly the whole band.
+	if occ := OccupiedBandwidth(psd, 0.9); occ < 0.7 {
+		t.Fatalf("white-noise occupancy %v", occ)
+	}
+}
+
+func TestWelchPSDPanics(t *testing.T) {
+	for _, c := range []struct {
+		n, nfft int
+	}{{100, 12}, {100, 0}, {10, 64}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for n=%d nfft=%d", c.n, c.nfft)
+				}
+			}()
+			WelchPSD(make([]complex128, c.n), c.nfft)
+		}()
+	}
+}
+
+func TestOccupiedBandwidthEdges(t *testing.T) {
+	if OccupiedBandwidth(nil, 0.99) != 0 {
+		t.Fatal("empty PSD should give 0")
+	}
+	if OccupiedBandwidth([]float64{0, 0}, 0.99) != 0 {
+		t.Fatal("zero PSD should give 0")
+	}
+	// Uniform PSD: fraction f needs ≈f of the bins.
+	uniform := make([]float64, 100)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	if got := OccupiedBandwidth(uniform, 0.5); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("uniform occupancy %v", got)
+	}
+}
+
+func TestPAPR(t *testing.T) {
+	// Constant-envelope signal: 0 dB PAPR.
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = Phasor(float64(i))
+	}
+	if got := PAPRdB(x); math.Abs(got) > 1e-9 {
+		t.Fatalf("constant-envelope PAPR %v", got)
+	}
+	// One big peak: positive PAPR.
+	x[3] *= 10
+	if got := PAPRdB(x); got < 15 {
+		t.Fatalf("peaky PAPR %v", got)
+	}
+	if PAPRdB(Zeros(4)) != 0 {
+		t.Fatal("zero signal PAPR should be 0")
+	}
+}

@@ -1,0 +1,38 @@
+package dsp
+
+import "math"
+
+// DB converts a linear power ratio to decibels. Non-positive ratios map
+// to -Inf.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// UnDB converts decibels to a linear power ratio.
+func UnDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// DBm converts a power in watts to dBm.
+func DBm(watts float64) float64 { return DB(watts) + 30 }
+
+// UnDBm converts dBm to watts.
+func UnDBm(dbm float64) float64 { return UnDB(dbm - 30) }
+
+// SNRdB returns the signal-to-noise ratio of (signal, noise) powers in dB.
+func SNRdB(signalPower, noisePower float64) float64 {
+	if noisePower <= 0 {
+		return math.Inf(1)
+	}
+	return DB(signalPower / noisePower)
+}
+
+// EVMToSNRdB converts an error-vector-magnitude ratio (RMS error / RMS
+// reference) to an equivalent SNR in dB.
+func EVMToSNRdB(evm float64) float64 {
+	if evm <= 0 {
+		return math.Inf(1)
+	}
+	return -20 * math.Log10(evm)
+}

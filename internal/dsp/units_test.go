@@ -1,0 +1,65 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBKnownValues(t *testing.T) {
+	if !approx(DB(10), 10, eps) {
+		t.Fatalf("DB(10) = %v", DB(10))
+	}
+	if !approx(DB(1), 0, eps) {
+		t.Fatalf("DB(1) = %v", DB(1))
+	}
+	if !approx(DB(0.5), -3.0103, 1e-3) {
+		t.Fatalf("DB(0.5) = %v", DB(0.5))
+	}
+	if !math.IsInf(DB(0), -1) || !math.IsInf(DB(-1), -1) {
+		t.Fatal("DB of non-positive should be -Inf")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		if math.Abs(db) > 200 || math.IsNaN(db) {
+			return true
+		}
+		return approx(DB(UnDB(db)), db, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	if !approx(DBm(1), 30, eps) {
+		t.Fatalf("DBm(1 W) = %v, want 30", DBm(1))
+	}
+	if !approx(DBm(0.001), 0, eps) {
+		t.Fatalf("DBm(1 mW) = %v, want 0", DBm(0.001))
+	}
+	if !approx(UnDBm(20), 0.1, 1e-12) {
+		t.Fatalf("UnDBm(20) = %v, want 0.1 W", UnDBm(20))
+	}
+}
+
+func TestSNRdB(t *testing.T) {
+	if !approx(SNRdB(100, 1), 20, eps) {
+		t.Fatalf("SNRdB = %v", SNRdB(100, 1))
+	}
+	if !math.IsInf(SNRdB(1, 0), 1) {
+		t.Fatal("zero noise should give +Inf")
+	}
+}
+
+func TestEVMToSNRdB(t *testing.T) {
+	// EVM of 10% is 20 dB SNR.
+	if !approx(EVMToSNRdB(0.1), 20, eps) {
+		t.Fatalf("EVMToSNRdB(0.1) = %v", EVMToSNRdB(0.1))
+	}
+	if !math.IsInf(EVMToSNRdB(0), 1) {
+		t.Fatal("zero EVM should give +Inf")
+	}
+}

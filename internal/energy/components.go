@@ -1,0 +1,134 @@
+package energy
+
+import (
+	"fmt"
+
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+// Bottom-up component model of Eq. 8. The fitted per-column (S, D)
+// pairs of the headline model are totals; this file decomposes them
+// into the paper's three contributors — RF modulator, channel encoder,
+// and memory read — using the structure the paper describes:
+//
+//   - modulator dynamic energy scales with switch-uses per information
+//     bit, N_sw/(b·r) (paper Sec. 5.2.1: BPSK→QPSK raises modulator
+//     EPB by 3/2, BPSK→16PSK by 15/4, and a rate-r code multiplies it
+//     by 1/r);
+//   - encoder dynamic energy scales with coded bits per information
+//     bit (1/r) and is tiny ("6 shift registers and a few XOR gates");
+//   - memory read energy is per information bit;
+//   - static power is a base (memory + encoder leakage) plus a
+//     per-switch term.
+//
+// The dynamic decomposition reproduces the fitted D values almost
+// exactly (the published table is internally consistent with this
+// structure); the static decomposition is a least-squares fit across
+// switch counts with a residual of up to ~40% at the static-dominated
+// 10 kHz rows, because the published statics vary with coding rate and
+// grow sub-linearly in switch count — structure a physical leakage
+// model cannot express. Use the fitted headline model for numbers and
+// this decomposition for attribution.
+
+// Components holds the per-operation energies and static powers of the
+// tag's subsystems.
+type Components struct {
+	// MemReadJ is the SRAM read energy per information bit
+	// (CY62146EV30-class).
+	MemReadJ float64
+	// EncoderBitJ is the convolutional encoder energy per coded bit.
+	EncoderBitJ float64
+	// SwitchUseJ is the RF switch-tree energy per switch-use per
+	// symbol (ADG904-class).
+	SwitchUseJ float64
+	// BaseStaticW is the memory + encoder leakage power.
+	BaseStaticW float64
+	// SwitchStaticW is the per-SPDT-switch static power.
+	SwitchStaticW float64
+}
+
+// DeriveComponents solves the component energies from the fitted
+// headline model (which itself reproduces the published Fig. 7 table).
+func DeriveComponents() Components {
+	var c Components
+	// Dynamics from the three rate-1/2 columns: D = M' + u·(N_sw/b)/r
+	// with r = 1/2 → D = M' + 2u·(N_sw/b). Solve u from BPSK vs 16PSK,
+	// M' from BPSK; then split M' = mem + 2·enc using the BPSK 2/3
+	// column.
+	dB, _ := DynamicEPBJoules(tag.BPSK, fec.Rate12)
+	d16, _ := DynamicEPBJoules(tag.PSK16, fec.Rate12)
+	dB23, _ := DynamicEPBJoules(tag.BPSK, fec.Rate23)
+	// Switch-uses per info bit at rate 1/2: BPSK 2·1, 16PSK 2·15/4.
+	c.SwitchUseJ = (d16 - dB) / (2*15.0/4 - 2*1)
+	mPrime := dB - 2*c.SwitchUseJ // mem + 2·enc
+	// BPSK 2/3: D = mem + 1.5·enc + 1.5·u.
+	memPlus15Enc := dB23 - 1.5*c.SwitchUseJ
+	c.EncoderBitJ = 2 * (mPrime - memPlus15Enc)
+	if c.EncoderBitJ < 0 {
+		c.EncoderBitJ = 0 // the encoder term is below the table's resolution
+	}
+	c.MemReadJ = mPrime - 2*c.EncoderBitJ
+
+	// Statics: least squares of S(N_sw) = base + N_sw·perSwitch over
+	// all six columns (N_sw = 1, 3, 15 at both coding rates — the
+	// published statics vary slightly with coding rate, which a
+	// leakage model cannot express, so the fit centers the residual).
+	var sumN, sumS, sumNN, sumNS, k float64
+	for _, col := range Columns {
+		s, _ := StaticPowerW(col.Mod, col.Coding)
+		n := float64(col.Mod.SwitchCount())
+		sumN += n
+		sumS += s
+		sumNN += n * n
+		sumNS += n * s
+		k++
+	}
+	c.SwitchStaticW = (k*sumNS - sumN*sumS) / (k*sumNN - sumN*sumN)
+	c.BaseStaticW = (sumS - c.SwitchStaticW*sumN) / k
+	return c
+}
+
+// Breakdown is the Eq. 8 attribution of one configuration's EPB.
+type Breakdown struct {
+	// MemJ, ModJ, EncJ are the per-information-bit energies of the
+	// three subsystems (dynamic + that subsystem's static share).
+	MemJ, ModJ, EncJ float64
+}
+
+// TotalJ sums the contributions.
+func (b Breakdown) TotalJ() float64 { return b.MemJ + b.ModJ + b.EncJ }
+
+// EPB computes the bottom-up energy per information bit.
+func (c Components) EPB(mod tag.Modulation, coding fec.CodeRate, symbolRateHz float64) (float64, error) {
+	b, err := c.BreakdownFor(mod, coding, symbolRateHz)
+	if err != nil {
+		return 0, err
+	}
+	return b.TotalJ(), nil
+}
+
+// BreakdownFor attributes the energy per information bit.
+func (c Components) BreakdownFor(mod tag.Modulation, coding fec.CodeRate, symbolRateHz float64) (Breakdown, error) {
+	if symbolRateHz <= 0 {
+		return Breakdown{}, fmt.Errorf("energy: symbol rate must be positive")
+	}
+	r := coding.Fraction()
+	b := float64(mod.BitsPerSymbol())
+	rb := symbolRateHz * b * r // information bit rate
+	var out Breakdown
+	// Dynamic parts.
+	out.MemJ = c.MemReadJ
+	out.EncJ = c.EncoderBitJ / r
+	out.ModJ = c.SwitchUseJ * modUnitUses(mod) / r
+	// Static parts, amortized over the information bit rate.
+	out.MemJ += c.BaseStaticW / rb
+	out.ModJ += c.SwitchStaticW * float64(mod.SwitchCount()) / rb
+	return out, nil
+}
+
+// modUnitUses returns N_sw/b — the paper's modulator scaling units per
+// coded bit.
+func modUnitUses(mod tag.Modulation) float64 {
+	return float64(mod.SwitchCount()) / float64(mod.BitsPerSymbol())
+}

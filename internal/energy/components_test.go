@@ -1,0 +1,99 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+func TestDerivedComponentsPhysical(t *testing.T) {
+	c := DeriveComponents()
+	if c.MemReadJ <= 0 || c.MemReadJ > 10e-12 {
+		t.Fatalf("memory read %v J implausible", c.MemReadJ)
+	}
+	if c.EncoderBitJ < 0 || c.EncoderBitJ > 1e-12 {
+		t.Fatalf("encoder %v J should be tiny (paper: shift registers + XORs)", c.EncoderBitJ)
+	}
+	if c.SwitchUseJ <= 0 || c.SwitchUseJ > 10e-12 {
+		t.Fatalf("switch use %v J implausible", c.SwitchUseJ)
+	}
+	if c.BaseStaticW <= 0 || c.BaseStaticW > 10e-6 {
+		t.Fatalf("base static %v W implausible", c.BaseStaticW)
+	}
+	if c.SwitchStaticW <= 0 || c.SwitchStaticW > 1e-6 {
+		t.Fatalf("per-switch static %v W implausible", c.SwitchStaticW)
+	}
+}
+
+func TestComponentDynamicsMatchFitExactly(t *testing.T) {
+	// The published table's dynamic energies are internally consistent
+	// with the component structure, so the bottom-up dynamics must
+	// reproduce the fitted D of every rate-1/2 column to ≪1%.
+	c := DeriveComponents()
+	for _, mod := range tag.Modulations {
+		fitted, _ := DynamicEPBJoules(mod, fec.Rate12)
+		b, err := c.BreakdownFor(mod, fec.Rate12, 1e12) // statics vanish at huge rate
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(b.TotalJ()-fitted) / fitted; rel > 0.01 {
+			t.Fatalf("%v 1/2: bottom-up dynamic %v vs fitted %v (%.2f%%)", mod, b.TotalJ(), fitted, rel*100)
+		}
+	}
+}
+
+func TestComponentEPBApproximatesHeadlineModel(t *testing.T) {
+	// Across all columns and symbol rates, the bottom-up EPB must stay
+	// within 45% of the table-fitted model. The residual is entirely in
+	// the static terms: the published statics vary with coding rate and
+	// grow sub-linearly in switch count, which a physical leakage model
+	// cannot express (see the package comment).
+	c := DeriveComponents()
+	for _, col := range Columns {
+		for _, rs := range TableSymbolRates {
+			fitted, _ := EPB(col.Mod, col.Coding, rs)
+			bottom, err := c.EPB(col.Mod, col.Coding, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(bottom-fitted) / fitted; rel > 0.45 {
+				t.Fatalf("(%v,%v,%v): bottom-up %v vs fitted %v (%.1f%%)",
+					col.Mod, col.Coding, rs, bottom, fitted, rel*100)
+			}
+		}
+	}
+}
+
+func TestBreakdownAttribution(t *testing.T) {
+	c := DeriveComponents()
+	// At 16PSK the modulator dominates the dynamics (15 switches for 4
+	// bits); at BPSK the split is more even.
+	b16, err := c.BreakdownFor(tag.PSK16, fec.Rate12, 2.5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b16.ModJ < b16.MemJ {
+		t.Fatalf("16PSK modulator %v should dominate memory %v", b16.ModJ, b16.MemJ)
+	}
+	// Encoder is a small fraction everywhere (paper Sec. 5.2.1).
+	if b16.EncJ > 0.2*b16.TotalJ() {
+		t.Fatalf("encoder share %v too large", b16.EncJ/b16.TotalJ())
+	}
+	// Lower symbol rate → statics dominate → bigger totals.
+	slow, _ := c.BreakdownFor(tag.PSK16, fec.Rate12, 10e3)
+	if slow.TotalJ() <= b16.TotalJ() {
+		t.Fatal("static amortization missing")
+	}
+}
+
+func TestBreakdownErrors(t *testing.T) {
+	c := DeriveComponents()
+	if _, err := c.BreakdownFor(tag.BPSK, fec.Rate12, 0); err == nil {
+		t.Fatal("expected error for zero symbol rate")
+	}
+	if _, err := c.EPB(tag.BPSK, fec.Rate12, -1); err == nil {
+		t.Fatal("expected error passthrough")
+	}
+}

@@ -1,0 +1,177 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+func TestModelReproducesAllPublishedCells(t *testing.T) {
+	// Every one of the 36 Fig. 7 REPB cells must be reproduced to
+	// better than 0.5%.
+	for row, rs := range TableSymbolRates {
+		for col, c := range Columns {
+			want := publishedREPB[row][col]
+			got, err := REPB(c.Mod, c.Coding, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relErr := math.Abs(got-want) / want; relErr > 0.005 {
+				t.Fatalf("(%v, %v, %v Hz): model %v vs published %v (%.3f%%)",
+					c.Mod, c.Coding, rs, got, want, relErr*100)
+			}
+		}
+	}
+}
+
+func TestReferenceConfigurationIsUnity(t *testing.T) {
+	got, err := REPB(tag.BPSK, fec.Rate12, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 0.005 {
+		t.Fatalf("reference REPB = %v, want 1", got)
+	}
+	epb, _ := EPB(tag.BPSK, fec.Rate12, 1e6)
+	if math.Abs(epb-ReferenceEPBJoules)/ReferenceEPBJoules > 0.005 {
+		t.Fatalf("reference EPB = %v, want %v", epb, ReferenceEPBJoules)
+	}
+}
+
+func TestPublishedREPBLookup(t *testing.T) {
+	got, err := PublishedREPB(tag.PSK16, fec.Rate23, 2.5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.9019 {
+		t.Fatalf("lookup = %v", got)
+	}
+	if _, err := PublishedREPB(tag.BPSK, fec.Rate12, 123); err == nil {
+		t.Fatal("expected error for off-table symbol rate")
+	}
+	if _, err := PublishedREPB(tag.BPSK, fec.Rate34, 1e6); err == nil {
+		t.Fatal("expected error for off-table coding rate")
+	}
+}
+
+func TestEPBDecreasesWithSymbolRate(t *testing.T) {
+	// Static power amortizes over more bits at higher rates (the
+	// paper's observation that REPB falls down each Fig. 7 column).
+	for _, c := range Columns {
+		prev := math.Inf(1)
+		for _, rs := range TableSymbolRates {
+			e, err := EPB(c.Mod, c.Coding, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e >= prev {
+				t.Fatalf("(%v,%v): EPB %v at %v Hz not below %v", c.Mod, c.Coding, e, rs, prev)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestHigherCodingRateLowersEPB(t *testing.T) {
+	// Paper Sec. 6.1: going 1/2 → 2/3 at the same symbol rate lowers
+	// REPB (more info bits for nearly the same energy).
+	for _, mod := range tag.Modulations {
+		for _, rs := range TableSymbolRates {
+			e12, _ := EPB(mod, fec.Rate12, rs)
+			e23, _ := EPB(mod, fec.Rate23, rs)
+			if e23 >= e12 {
+				t.Fatalf("%v @ %v Hz: rate 2/3 EPB %v not below 1/2's %v", mod, rs, e23, e12)
+			}
+		}
+	}
+}
+
+func TestHigherModulationCostsMoreEnergyPerBit(t *testing.T) {
+	// 16PSK needs 15 switches for 4× BPSK's throughput, so its EPB is
+	// higher at the same symbol rate (paper Sec. 5.2.1).
+	for _, rs := range []float64{500e3, 1e6, 2.5e6} {
+		eb, _ := EPB(tag.BPSK, fec.Rate12, rs)
+		e16, _ := EPB(tag.PSK16, fec.Rate12, rs)
+		if e16 <= eb {
+			t.Fatalf("@%v Hz: 16PSK EPB %v not above BPSK %v", rs, e16, eb)
+		}
+	}
+}
+
+func TestThroughputMatchesPublishedColumn(t *testing.T) {
+	// Fig. 7 throughput cells: 16PSK 2/3 at 2.5 MHz is 6.67 Mbps.
+	got := ThroughputBps(tag.PSK16, fec.Rate23, 2.5e6)
+	if math.Abs(got-6.6667e6) > 1e3 {
+		t.Fatalf("throughput = %v", got)
+	}
+	// BPSK 1/2 at 10 kHz is 5 kbps.
+	if ThroughputBps(tag.BPSK, fec.Rate12, 10e3) != 5e3 {
+		t.Fatal("BPSK 1/2 @ 10 kHz should be 5 kbps")
+	}
+}
+
+func TestFittedParametersPhysical(t *testing.T) {
+	// Static powers must be positive, sub-milliwatt (it's a tag), and
+	// grow with switch count.
+	sB, _ := StaticPowerW(tag.BPSK, fec.Rate12)
+	sQ, _ := StaticPowerW(tag.QPSK, fec.Rate12)
+	s16, _ := StaticPowerW(tag.PSK16, fec.Rate12)
+	for _, s := range []float64{sB, sQ, s16} {
+		if s <= 0 || s > 1e-3 {
+			t.Fatalf("unphysical static power %v W", s)
+		}
+	}
+	if !(sB < sQ && sQ < s16) {
+		t.Fatalf("static power not increasing with switches: %v %v %v", sB, sQ, s16)
+	}
+	dB, _ := DynamicEPBJoules(tag.BPSK, fec.Rate12)
+	if dB <= 0 || dB > 100e-12 {
+		t.Fatalf("unphysical dynamic EPB %v J", dB)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := EPB(tag.BPSK, fec.Rate34, 1e6); err == nil {
+		t.Fatal("expected error for unmodeled coding rate")
+	}
+	if _, err := EPB(tag.BPSK, fec.Rate12, 0); err == nil {
+		t.Fatal("expected error for zero symbol rate")
+	}
+	if _, err := REPB(tag.BPSK, fec.Rate34, 1e6); err == nil {
+		t.Fatal("expected REPB error passthrough")
+	}
+	if _, err := StaticPowerW(tag.QPSK, fec.Rate34); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := DynamicEPBJoules(tag.QPSK, fec.Rate34); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConfigREPB(t *testing.T) {
+	cfg := tag.Config{Mod: tag.QPSK, Coding: fec.Rate12, SymbolRateHz: 1e6, PreambleChips: 32}
+	got, err := ConfigREPB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := REPB(tag.QPSK, fec.Rate12, 1e6)
+	if got != want {
+		t.Fatalf("ConfigREPB = %v, want %v", got, want)
+	}
+}
+
+func TestInterpolatedRateBetweenRows(t *testing.T) {
+	// The model extrapolates smoothly: REPB at 750 kHz must sit between
+	// the 500 kHz and 1 MHz cells.
+	lo, _ := REPB(tag.QPSK, fec.Rate12, 1e6)
+	hi, _ := REPB(tag.QPSK, fec.Rate12, 500e3)
+	mid, err := REPB(tag.QPSK, fec.Rate12, 750e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid <= lo || mid >= hi {
+		t.Fatalf("REPB(750k)=%v not between %v and %v", mid, lo, hi)
+	}
+}

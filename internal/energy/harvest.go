@@ -1,0 +1,81 @@
+package energy
+
+import (
+	"fmt"
+
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+// Harvesting budget analysis for requirement R2 (paper Sec. 1): a
+// battery-free tag powered by ambient RF harvests on the order of
+// 60–100 µW [46, 51, 44, 29]; the radio must fit its communication
+// inside that budget. Power while transmitting is
+//
+//	P_tx = S + D · R_b
+//
+// (the fitted static power plus dynamic energy times the information
+// rate), and a tag whose P_tx exceeds the harvest rate must duty-cycle:
+// bank energy while idle, burst while transmitting.
+
+// HarvestedPowerW is the paper's representative ambient-RF harvesting
+// rate (100 µW from TV-band signals).
+const HarvestedPowerW = 100e-6
+
+// TxPowerW returns the tag's total power draw while actively
+// backscattering with the given configuration.
+func TxPowerW(mod tag.Modulation, coding fec.CodeRate, symbolRateHz float64) (float64, error) {
+	epb, err := EPB(mod, coding, symbolRateHz)
+	if err != nil {
+		return 0, err
+	}
+	return epb * ThroughputBps(mod, coding, symbolRateHz), nil
+}
+
+// SustainableDutyCycle returns the fraction of time the tag can spend
+// transmitting when it harvests harvestW continuously, assuming the
+// idle (banking) power is negligible next to the transmit power. A
+// value ≥ 1 means the tag can transmit continuously.
+func SustainableDutyCycle(mod tag.Modulation, coding fec.CodeRate, symbolRateHz, harvestW float64) (float64, error) {
+	if harvestW <= 0 {
+		return 0, fmt.Errorf("energy: harvest power must be positive")
+	}
+	p, err := TxPowerW(mod, coding, symbolRateHz)
+	if err != nil {
+		return 0, err
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("energy: non-positive transmit power")
+	}
+	return harvestW / p, nil
+}
+
+// SustainedThroughputBps returns the long-run information rate a
+// harvesting tag can sustain: the configuration's bit rate times the
+// sustainable duty cycle, capped at continuous operation.
+func SustainedThroughputBps(mod tag.Modulation, coding fec.CodeRate, symbolRateHz, harvestW float64) (float64, error) {
+	duty, err := SustainableDutyCycle(mod, coding, symbolRateHz, harvestW)
+	if err != nil {
+		return 0, err
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	return duty * ThroughputBps(mod, coding, symbolRateHz), nil
+}
+
+// BatteryLifeSeconds returns how long a battery of capacityJoules
+// lasts while transmitting a payload of bitsPerDay information bits
+// per day with the given configuration (idle power ignored) — the
+// "years on a coin cell" arithmetic for duty-cycled sensors.
+func BatteryLifeSeconds(mod tag.Modulation, coding fec.CodeRate, symbolRateHz, capacityJoules, bitsPerDay float64) (float64, error) {
+	if capacityJoules <= 0 || bitsPerDay <= 0 {
+		return 0, fmt.Errorf("energy: capacity and traffic must be positive")
+	}
+	epb, err := EPB(mod, coding, symbolRateHz)
+	if err != nil {
+		return 0, err
+	}
+	joulesPerDay := epb * bitsPerDay
+	return capacityJoules / joulesPerDay * 86400, nil
+}

@@ -1,0 +1,105 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+func TestTxPowerMicrowattScale(t *testing.T) {
+	// The headline configurations must draw a few µW — the point of R2
+	// (tens of µW available from harvesting).
+	for _, c := range Columns {
+		p, err := TxPowerW(c.Mod, c.Coding, 2.5e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.5e-6 || p > 50e-6 {
+			t.Fatalf("(%v,%v): transmit power %v W out of µW scale", c.Mod, c.Coding, p)
+		}
+	}
+}
+
+func TestContinuousOperationUnderHarvest(t *testing.T) {
+	// At 100 µW harvested, every Fig. 7 configuration can run
+	// continuously — BackFi's battery-free claim.
+	for _, c := range Columns {
+		for _, rs := range TableSymbolRates {
+			duty, err := SustainableDutyCycle(c.Mod, c.Coding, rs, HarvestedPowerW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if duty < 1 {
+				t.Fatalf("(%v,%v,%v): duty %v < 1 at 100 µW", c.Mod, c.Coding, rs, duty)
+			}
+		}
+	}
+}
+
+func TestDutyCycleUnderScarceHarvest(t *testing.T) {
+	// At 1 µW the fastest configuration must duty-cycle, and the
+	// sustained throughput reflects it.
+	duty, err := SustainableDutyCycle(tag.PSK16, fec.Rate23, 2.5e6, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duty >= 1 {
+		t.Fatalf("duty %v should be < 1 at 1 µW", duty)
+	}
+	sustained, err := SustainedThroughputBps(tag.PSK16, fec.Rate23, 2.5e6, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ThroughputBps(tag.PSK16, fec.Rate23, 2.5e6)
+	if math.Abs(sustained-duty*full)/full > 1e-12 {
+		t.Fatalf("sustained %v vs duty×rate %v", sustained, duty*full)
+	}
+}
+
+func TestSustainedThroughputCapped(t *testing.T) {
+	// Plenty of power: sustained equals the configuration rate.
+	got, err := SustainedThroughputBps(tag.BPSK, fec.Rate12, 1e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ThroughputBps(tag.BPSK, fec.Rate12, 1e6) {
+		t.Fatalf("sustained %v not capped at the config rate", got)
+	}
+}
+
+func TestBatteryLifeArithmetic(t *testing.T) {
+	// A CR2032 (~2400 J) sending 1 Mbit/day at the reference config
+	// (3.15 pJ/bit) lasts essentially forever; sanity: > 100 years.
+	life, err := BatteryLifeSeconds(tag.BPSK, fec.Rate12, 1e6, 2400, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life < 100*365*86400 {
+		t.Fatalf("battery life %v s implausibly short", life)
+	}
+	// More traffic → shorter life.
+	busy, _ := BatteryLifeSeconds(tag.BPSK, fec.Rate12, 1e6, 2400, 1e9)
+	if busy >= life {
+		t.Fatal("heavier traffic should shorten life")
+	}
+}
+
+func TestHarvestErrors(t *testing.T) {
+	if _, err := SustainableDutyCycle(tag.BPSK, fec.Rate12, 1e6, 0); err == nil {
+		t.Fatal("expected error for zero harvest")
+	}
+	if _, err := SustainableDutyCycle(tag.BPSK, fec.Rate34, 1e6, 1); err == nil {
+		t.Fatal("expected error for unmodeled rate")
+	}
+	if _, err := SustainedThroughputBps(tag.BPSK, fec.Rate34, 1e6, 1); err == nil {
+		t.Fatal("expected error passthrough")
+	}
+	if _, err := BatteryLifeSeconds(tag.BPSK, fec.Rate12, 1e6, 0, 1); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+	if _, err := TxPowerW(tag.BPSK, fec.Rate34, 1e6); err == nil {
+		t.Fatal("expected error for unmodeled rate")
+	}
+}

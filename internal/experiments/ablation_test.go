@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo sweep")
+	}
+	rows, err := Ablations(Options{Trials: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Study+"/"+r.Variant] = r
+	}
+
+	// The PA-tapped analog stage is what makes 1 m work: digital-only
+	// cancellation leaves the TX-noise residue and the link collapses.
+	full := byKey["analog cancellation stage/analog+digital (BackFi)"]
+	digOnly := byKey["analog cancellation stage/digital-only"]
+	if full.SuccessRate < 0.75 {
+		t.Fatalf("full SIC success %v", full.SuccessRate)
+	}
+	if digOnly.MeanSNRdB >= full.MeanSNRdB-5 {
+		t.Fatalf("digital-only SNR %v should be far below full %v", digOnly.MeanSNRdB, full.MeanSNRdB)
+	}
+
+	// Longer preambles can't hurt at the edge (channel estimate
+	// improves with training).
+	p8 := byKey["tag preamble length @6 m/8 µs"]
+	p96 := byKey["tag preamble length @6 m/96 µs"]
+	if p96.MeanSNRdB < p8.MeanSNRdB-1 {
+		t.Fatalf("96 µs SNR %v below 8 µs %v", p96.MeanSNRdB, p8.MeanSNRdB)
+	}
+
+	// Ideal TX beats −20 dB EVM at short range with 16PSK.
+	ideal := byKey["TX hardware EVM @0.5 m (16PSK)/ideal TX"]
+	bad := byKey["TX hardware EVM @0.5 m (16PSK)/-20 dB EVM"]
+	if ideal.MeanSNRdB <= bad.MeanSNRdB {
+		t.Fatalf("ideal TX SNR %v not above −20 dB EVM's %v", ideal.MeanSNRdB, bad.MeanSNRdB)
+	}
+
+	// Coding must deliver at least as many frames as raw slicing would.
+	coded := byKey["convolutional code @4 m/coded (BackFi)"]
+	uncoded := byKey["convolutional code @4 m/uncoded (raw-slice proxy)"]
+	if coded.SuccessRate < uncoded.SuccessRate {
+		t.Fatalf("coded %v below uncoded proxy %v", coded.SuccessRate, uncoded.SuccessRate)
+	}
+
+	if !strings.Contains(RenderAblations(rows), "analog") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationPSKBeatsQAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo sweep")
+	}
+	rows, err := Ablations(Options{Trials: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var psk, qam AblationRow
+	for _, r := range rows {
+		if r.Study != "modulation family @2 m, 4 b/sym" {
+			continue
+		}
+		if r.Variant == "16PSK (BackFi)" {
+			psk = r
+		} else {
+			qam = r
+		}
+	}
+	// The paper's design argument: at equal bits/symbol, the
+	// constant-envelope PSK reflection yields a lower raw BER than the
+	// peak-limited QAM one.
+	if psk.MeanRawBER > qam.MeanRawBER {
+		t.Fatalf("PSK raw BER %v should not exceed QAM's %v", psk.MeanRawBER, qam.MeanRawBER)
+	}
+}

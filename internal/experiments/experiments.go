@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the
+// BackFi paper's evaluation (Sec. 6). Each harness returns typed rows
+// plus a paper-style text rendering; cmd/backfi-bench drives them all
+// and bench_test.go exposes each as a testing.B benchmark.
+//
+// Absolute numbers come from the calibrated simulator (see DESIGN.md);
+// what is asserted and reported is the paper's shape: who wins, by
+// what rough factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tunes experiment fidelity.
+type Options struct {
+	// Trials is the Monte-Carlo packet count per point.
+	Trials int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultOptions gives publication-grade fidelity; QuickOptions is for
+// benchmarks and CI.
+func DefaultOptions() Options { return Options{Trials: 10, Seed: 1} }
+
+// QuickOptions runs each point with the minimum statistically useful
+// trial count.
+func QuickOptions() Options { return Options{Trials: 3, Seed: 1} }
+
+func (o Options) withDefaults() Options {
+	if o.Trials <= 0 {
+		o.Trials = DefaultOptions().Trials
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// table renders aligned columns.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// cdf returns sorted values and a function giving the percentile value.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64{}, values...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+func mbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e6) }

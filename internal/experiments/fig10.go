@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"backfi/internal/core"
+	"backfi/internal/tag"
+)
+
+// Fig10Targets are the fixed throughputs of paper Fig. 10.
+var Fig10Targets = []float64{1.25e6, 5e6}
+
+// Fig10Row is one (range, target throughput) point: the cheapest
+// configuration achieving the target.
+type Fig10Row struct {
+	DistanceM float64
+	TargetBps float64
+	// REPB of the chosen config; 0 with Achieved=false when the target
+	// is infeasible at this range.
+	REPB     float64
+	Config   string
+	Achieved bool
+}
+
+// Fig10 computes REPB vs range at the paper's two fixed throughputs:
+// for each range, sweep all configurations and pick the minimum-REPB
+// one that still delivers the target.
+func Fig10(opt Options) ([]Fig10Row, error) {
+	opt = opt.withDefaults()
+	cfgs := core.StandardConfigs(tag.DefaultPreambleChips, 1)
+	ranges := []float64{0.5, 1, 2, 3, 4, 5}
+	var rows []Fig10Row
+	for di, d := range ranges {
+		results, err := sweepWithBudget(d, cfgs, opt, 100+int64(di))
+		if err != nil {
+			return nil, err
+		}
+		for _, target := range Fig10Targets {
+			row := Fig10Row{DistanceM: d, TargetBps: target}
+			if f, ok := core.MinREPBAtThroughput(results, target); ok {
+				row.REPB = f.REPB
+				row.Config = f.Cfg.String()
+				row.Achieved = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig10 prints the two REPB-vs-range series.
+func RenderFig10(rows []Fig10Row) string {
+	header := []string{"Range(m)", "Target(Mbps)", "REPB", "Config"}
+	var out [][]string
+	for _, r := range rows {
+		repb, cfg := "infeasible", ""
+		if r.Achieved {
+			repb = fmt.Sprintf("%.3f", r.REPB)
+			cfg = r.Config
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%.1f", r.DistanceM),
+			mbps(r.TargetBps),
+			repb, cfg,
+		})
+	}
+	return table(header, out)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"backfi/internal/energy"
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+// Fig7Cell is one (symbol rate, modulation, coding) entry of the
+// paper's Fig. 7 table.
+type Fig7Cell struct {
+	Mod           tag.Modulation
+	Coding        fec.CodeRate
+	SymbolRateHz  float64
+	ModelREPB     float64
+	PublishedREPB float64
+	ThroughputBps float64
+}
+
+// Fig7Row groups the cells of one symbol rate.
+type Fig7Row struct {
+	SymbolRateHz float64
+	Cells        []Fig7Cell
+}
+
+// Fig7 regenerates the REPB/throughput table from the energy model and
+// pairs each cell with the published value.
+func Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, rs := range energy.TableSymbolRates {
+		row := Fig7Row{SymbolRateHz: rs}
+		for _, col := range energy.Columns {
+			repb, err := energy.REPB(col.Mod, col.Coding, rs)
+			if err != nil {
+				return nil, err
+			}
+			pub, err := energy.PublishedREPB(col.Mod, col.Coding, rs)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, Fig7Cell{
+				Mod:           col.Mod,
+				Coding:        col.Coding,
+				SymbolRateHz:  rs,
+				ModelREPB:     repb,
+				PublishedREPB: pub,
+				ThroughputBps: energy.ThroughputBps(col.Mod, col.Coding, rs),
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig7 prints the table in the paper's layout with model and
+// published REPB side by side.
+func RenderFig7(rows []Fig7Row) string {
+	header := []string{"SymRate"}
+	for _, col := range energy.Columns {
+		header = append(header, fmt.Sprintf("%s,%s", col.Mod, col.Coding))
+	}
+	var out [][]string
+	for _, row := range rows {
+		repb := []string{fmt.Sprintf("%g kHz REPB", row.SymbolRateHz/1e3)}
+		pub := []string{"     (paper)"}
+		tput := []string{"     Thrput(Mbps)"}
+		for _, c := range row.Cells {
+			repb = append(repb, fmt.Sprintf("%.4f", c.ModelREPB))
+			pub = append(pub, fmt.Sprintf("%.4f", c.PublishedREPB))
+			tput = append(tput, mbps(c.ThroughputBps))
+		}
+		out = append(out, repb, pub, tput)
+	}
+	return table(header, out)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"backfi/internal/channel"
+	"backfi/internal/core"
+	"backfi/internal/reader"
+	"backfi/internal/tag"
+)
+
+// Fig8Distances are the evaluated AP–tag ranges (paper: 0.5–7 m).
+var Fig8Distances = []float64{0.5, 1, 2, 3, 4, 5, 6, 7}
+
+// Fig8Row is one range point: the maximum decodable throughput with
+// the standard 32 µs tag preamble and the extended 96 µs one.
+type Fig8Row struct {
+	DistanceM float64
+	Best32Bps float64
+	Config32  string
+	Best96Bps float64
+	Config96  string
+}
+
+// Fig8 reproduces throughput vs range for the two preamble durations.
+// For each distance it scans the Fig. 7 configurations from fastest to
+// slowest and reports the first that decodes reliably.
+func Fig8(opt Options) ([]Fig8Row, error) {
+	opt = opt.withDefaults()
+	rows := make([]Fig8Row, 0, len(Fig8Distances))
+	for di, d := range Fig8Distances {
+		row := Fig8Row{DistanceM: d}
+		for _, chips := range []int{tag.DefaultPreambleChips, tag.ExtendedPreambleChips} {
+			bps, name, err := maxThroughputAt(d, chips, opt, int64(di))
+			if err != nil {
+				return nil, err
+			}
+			if chips == tag.DefaultPreambleChips {
+				row.Best32Bps, row.Config32 = bps, name
+			} else {
+				row.Best96Bps, row.Config96 = bps, name
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// maxThroughputAt finds the fastest decodable configuration at one
+// distance. Configurations are scanned in descending bit-rate order so
+// the scan can stop at the first success.
+func maxThroughputAt(d float64, preambleChips int, opt Options, salt int64) (float64, string, error) {
+	cfgs := core.StandardConfigs(preambleChips, 1)
+	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].BitRate() > cfgs[j].BitRate() })
+	rdr := reader.DefaultConfig()
+	for i, c := range cfgs {
+		payload := 24
+		if c.SymbolRateHz < 100e3 {
+			payload = 4 // keep very-low-rate excitations tractable
+		}
+		f, err := core.Evaluate(channel.DefaultConfig(d), c, rdr, opt.Trials, payload, opt.Seed+salt*1000+int64(i)*37)
+		if err != nil {
+			return 0, "", err
+		}
+		if f.Decodable() {
+			return f.ThroughputBps, c.String(), nil
+		}
+	}
+	return 0, "none", nil
+}
+
+// RenderFig8 prints the two throughput-vs-range series.
+func RenderFig8(rows []Fig8Row) string {
+	header := []string{"Range(m)", "32µs Mbps", "32µs config", "96µs Mbps", "96µs config"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.1f", r.DistanceM),
+			mbps(r.Best32Bps), r.Config32,
+			mbps(r.Best96Bps), r.Config96,
+		})
+	}
+	return table(header, out)
+}

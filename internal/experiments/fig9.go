@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"backfi/internal/channel"
+	"backfi/internal/core"
+	"backfi/internal/reader"
+	"backfi/internal/tag"
+)
+
+// Fig9Ranges are the per-curve distances of paper Fig. 9.
+var Fig9Ranges = []float64{0.5, 1, 2, 4, 5}
+
+// Fig9Curve is one range's REPB-vs-throughput frontier: for every
+// achievable throughput among decodable configurations, the minimum
+// REPB.
+type Fig9Curve struct {
+	DistanceM float64
+	Points    []core.Feasibility
+}
+
+// MaxThroughputBps returns the curve's vertical-cutoff throughput.
+func (c Fig9Curve) MaxThroughputBps() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[len(c.Points)-1].ThroughputBps
+}
+
+// Fig9 sweeps all Fig. 7 configurations at each range and reduces to
+// the min-REPB frontier (paper Fig. 9).
+func Fig9(opt Options) ([]Fig9Curve, error) {
+	opt = opt.withDefaults()
+	cfgs := core.StandardConfigs(tag.DefaultPreambleChips, 1)
+	curves := make([]Fig9Curve, 0, len(Fig9Ranges))
+	for di, d := range Fig9Ranges {
+		results, err := sweepWithBudget(d, cfgs, opt, int64(di))
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, Fig9Curve{DistanceM: d, Points: core.ParetoREPB(results)})
+	}
+	return curves, nil
+}
+
+// sweepWithBudget evaluates every configuration, shrinking payloads at
+// very low symbol rates to bound excitation length.
+func sweepWithBudget(d float64, cfgs []tag.Config, opt Options, salt int64) ([]core.Feasibility, error) {
+	rdr := reader.DefaultConfig()
+	out := make([]core.Feasibility, 0, len(cfgs))
+	for i, c := range cfgs {
+		payload := 24
+		if c.SymbolRateHz < 100e3 {
+			payload = 4
+		}
+		f, err := core.Evaluate(channel.DefaultConfig(d), c, rdr, opt.Trials, payload, opt.Seed+salt*5000+int64(i)*101)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// RenderFig9 prints each range's frontier.
+func RenderFig9(curves []Fig9Curve) string {
+	header := []string{"Range(m)", "Thrput(Mbps)", "REPB", "Config"}
+	var out [][]string
+	for _, c := range curves {
+		for _, p := range c.Points {
+			out = append(out, []string{
+				fmt.Sprintf("%.1f", c.DistanceM),
+				mbps(p.ThroughputBps),
+				fmt.Sprintf("%.3f", p.REPB),
+				p.Cfg.String(),
+			})
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%.1f", c.DistanceM), "cutoff → " + mbps(c.MaxThroughputBps()), "", "",
+		})
+	}
+	return table(header, out)
+}

@@ -1,0 +1,39 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkConvEncode1500B(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	bits := randBits(r, 12000)
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		ConvEncode(bits)
+	}
+}
+
+func BenchmarkViterbiDecode1500B(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	bits := randBits(r, 12000)
+	soft := HardToSoft(EncodeTerminated(bits))
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		if _, err := ViterbiDecode(soft, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScramble1500B(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	bits := randBits(r, 12000)
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		NewScrambler(0x5D).Scramble(bits)
+	}
+}

@@ -1,0 +1,86 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based coverage of the FEC invariants.
+
+func TestQuickViterbiInvertsEncoder(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		bits := make([]byte, 1+int(n)%400)
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		got, err := ViterbiDecode(HardToSoft(EncodeTerminated(bits)), true)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPuncturedRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16, rateSel uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		rate := []CodeRate{Rate12, Rate23, Rate34}[int(rateSel)%3]
+		bits := make([]byte, 12+int(n)%300)
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		got, err := DecodePunctured(HardToSoft(EncodePunctured(bits, rate)), rate, len(bits), true)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickScramblerInvolution(t *testing.T) {
+	f := func(seed int64, scrSeed uint8, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := scrSeed&0x7F | 1
+		bits := make([]byte, int(n)%1000+1)
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		round := NewScrambler(s).Scramble(NewScrambler(s).Scramble(bits))
+		return bytes.Equal(round, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitsBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCRC8LinearityUnderAppend(t *testing.T) {
+	// CRC of data with its own CRC appended passes verification — the
+	// property frames rely on.
+	f := func(data []byte) bool {
+		c := CRC8(data)
+		full := append(append([]byte{}, data...), c)
+		// Recomputing over data must match the trailer.
+		return CRC8(full[:len(full)-1]) == full[len(full)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScramblerKnownSequence(t *testing.T) {
+	// With the all-ones seed the 802.11 scrambler emits the well-known
+	// 127-bit sequence beginning 0000 1110 1111 0010 1100 1001 0000...
+	s := NewScrambler(0x7F)
+	want := []byte{0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("bit %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestScramblerPeriod127(t *testing.T) {
+	s := NewScrambler(0x7F)
+	var seq []byte
+	for i := 0; i < 254; i++ {
+		seq = append(seq, s.Next())
+	}
+	for i := 0; i < 127; i++ {
+		if seq[i] != seq[i+127] {
+			t.Fatalf("sequence not periodic with 127 at %d", i)
+		}
+	}
+	// Maximal-length: 127 bits contain 64 ones and 63 zeros.
+	ones := 0
+	for _, b := range seq[:127] {
+		ones += int(b)
+	}
+	if ones != 64 {
+		t.Fatalf("ones in period = %d, want 64", ones)
+	}
+}
+
+func TestScrambleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	bits := randBits(r, 333)
+	for _, seed := range []byte{0x7F, 0x5D, 0x01} {
+		enc := NewScrambler(seed).Scramble(bits)
+		dec := NewScrambler(seed).Scramble(enc)
+		for i := range bits {
+			if dec[i] != bits[i] {
+				t.Fatalf("seed %#x: bit %d differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestScramblerZeroSeedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero seed")
+		}
+	}()
+	NewScrambler(0x80) // 0x80 & 0x7F == 0
+}
+
+func TestScramblerWhitens(t *testing.T) {
+	// Scrambling a long run of zeros should produce a balanced stream.
+	zeros := make([]byte, 1270)
+	out := NewScrambler(0x7F).Scramble(zeros)
+	ones := 0
+	for _, b := range out {
+		ones += int(b)
+	}
+	if ones < 500 || ones > 770 {
+		t.Fatalf("scrambled zeros have %d ones of %d", ones, len(out))
+	}
+}
+
+func TestFCS32KnownValue(t *testing.T) {
+	// CRC-32/IEEE of "123456789" is 0xCBF43926.
+	if got := FCS32([]byte("123456789")); got != 0xCBF43926 {
+		t.Fatalf("FCS32 = %#x", got)
+	}
+}
+
+func TestCRC8KnownValueAndErrorDetection(t *testing.T) {
+	// CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+	if got := CRC8([]byte("123456789")); got != 0xF4 {
+		t.Fatalf("CRC8 = %#x", got)
+	}
+	data := []byte{1, 2, 3, 4}
+	c := CRC8(data)
+	data[2] ^= 0x10
+	if CRC8(data) == c {
+		t.Fatal("CRC8 failed to detect single-bit error")
+	}
+}
+
+func TestBytesBitsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	data := make([]byte, 64)
+	r.Read(data)
+	bits := BytesToBits(data)
+	if len(bits) != 512 {
+		t.Fatalf("bit length %d", len(bits))
+	}
+	back := BitsToBytes(bits)
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+func TestBytesToBitsLSBFirst(t *testing.T) {
+	bits := BytesToBits([]byte{0x01, 0x80})
+	if bits[0] != 1 || bits[7] != 0 || bits[8] != 0 || bits[15] != 1 {
+		t.Fatalf("LSB-first ordering violated: %v", bits)
+	}
+}
+
+func TestBitsToBytesBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BitsToBytes(make([]byte, 7))
+}
+
+func TestCRC16CCITTKnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := CRC16CCITT([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 = %#x", got)
+	}
+	data := []byte{1, 2, 3}
+	c := CRC16CCITT(data)
+	data[1] ^= 4
+	if CRC16CCITT(data) == c {
+		t.Fatal("CRC16 missed an error")
+	}
+}
+
+func TestSelfSyncScramblerRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	bits := randBits(r, 500)
+	enc := SelfSyncScramble(bits, 0x1B)
+	dec := SelfSyncDescramble(enc, 0x1B)
+	for i := range bits {
+		if dec[i] != bits[i] {
+			t.Fatalf("bit %d differs", i)
+		}
+	}
+}
+
+func TestSelfSyncDescramblerSelfAligns(t *testing.T) {
+	// Start the descrambler mid-stream with the WRONG seed: after 7
+	// bits it must recover (the self-synchronizing property that makes
+	// 802.11b reception offset-tolerant).
+	r := rand.New(rand.NewSource(10))
+	bits := randBits(r, 400)
+	enc := SelfSyncScramble(bits, 0x1B)
+	dec := SelfSyncDescramble(enc[100:], 0x00)
+	for i := 7; i < len(dec); i++ {
+		if dec[i] != bits[100+i] {
+			t.Fatalf("bit %d not aligned", i)
+		}
+	}
+}
+
+func TestSelfSyncScramblerWhitens(t *testing.T) {
+	zeros := make([]byte, 1000)
+	ones := 0
+	for _, b := range SelfSyncScramble(zeros, 0x6C) {
+		ones += int(b)
+	}
+	if ones < 350 || ones > 650 {
+		t.Fatalf("scrambled zeros: %d ones of 1000", ones)
+	}
+}

@@ -1,0 +1,145 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// viterbiTables holds the precomputed trellis structure of the (133,171)
+// code: for each state and input bit, the next state and the two
+// expected output bits.
+type viterbiTables struct {
+	nextState [NumStates][2]int
+	// outSign[s][b][i] is +1 if expected output bit i (0=A, 1=B) for
+	// transition (state s, input b) is 0, else −1; matches the soft
+	// convention so branch metrics are plain dot products.
+	outSign [NumStates][2][2]float64
+}
+
+var trellis = buildTrellis()
+
+func buildTrellis() *viterbiTables {
+	t := &viterbiTables{}
+	for s := 0; s < NumStates; s++ {
+		for b := 0; b < 2; b++ {
+			window := uint32(s) | uint32(b)<<(ConstraintLength-1)
+			a := parity(window & G0)
+			bb := parity(window & G1)
+			t.nextState[s][b] = int(window >> 1)
+			t.outSign[s][b][0] = 1 - 2*float64(a)
+			t.outSign[s][b][1] = 1 - 2*float64(bb)
+		}
+	}
+	return t
+}
+
+// ViterbiDecode performs maximum-likelihood sequence decoding of the
+// rate-1/2 mother code from soft values (+1 → bit 0, −1 → bit 1,
+// 0 → erasure; magnitudes act as reliabilities). len(soft) must be even;
+// each pair (A, B) is one trellis step.
+//
+// If terminated is true the encoder is assumed to have appended TailBits
+// zeros (EncodeTerminated): the survivor ending in state 0 is chosen and
+// the tail is stripped from the returned bits. Otherwise the best final
+// state is used and all decisions are returned.
+func ViterbiDecode(soft []float64, terminated bool) ([]byte, error) {
+	if len(soft)%2 != 0 {
+		return nil, fmt.Errorf("fec: soft stream length %d is odd", len(soft))
+	}
+	steps := len(soft) / 2
+	if steps == 0 {
+		return nil, nil
+	}
+	if terminated && steps < TailBits {
+		return nil, fmt.Errorf("fec: %d steps too short for terminated trellis", steps)
+	}
+
+	negInf := math.Inf(-1)
+	metric := make([]float64, NumStates)
+	next := make([]float64, NumStates)
+	for s := 1; s < NumStates; s++ {
+		metric[s] = negInf // encoder starts in state 0
+	}
+	// decisions[t*NumStates+s] packs the survivor entering state s at
+	// step t: predecessor state in the low bits, input bit in bit 7
+	// (NumStates = 64 fits in 6 bits).
+	decisions := make([]uint8, steps*NumStates)
+
+	for t := 0; t < steps; t++ {
+		sa, sb := soft[2*t], soft[2*t+1]
+		dec := decisions[t*NumStates : (t+1)*NumStates]
+		for i := range next {
+			next[i] = negInf
+		}
+		for s := 0; s < NumStates; s++ {
+			m := metric[s]
+			if m == negInf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				ns := trellis.nextState[s][b]
+				bm := m + sa*trellis.outSign[s][b][0] + sb*trellis.outSign[s][b][1]
+				if bm > next[ns] {
+					next[ns] = bm
+					dec[ns] = uint8(s) | uint8(b)<<7
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Pick the final state.
+	final := 0
+	if !terminated {
+		best := negInf
+		for s, m := range metric {
+			if m > best {
+				best, final = m, s
+			}
+		}
+	} else if metric[0] == negInf {
+		return nil, fmt.Errorf("fec: no survivor reaches the zero state")
+	}
+
+	// Traceback.
+	bits := make([]byte, steps)
+	s := final
+	for t := steps - 1; t >= 0; t-- {
+		d := decisions[t*NumStates+s]
+		bits[t] = d >> 7
+		s = int(d & 0x3F)
+	}
+	if terminated {
+		bits = bits[:steps-TailBits]
+	}
+	return bits, nil
+}
+
+// DecodePunctured depunctures a soft stream of the given rate and runs
+// the Viterbi decoder. nInfo is the number of information bits expected
+// (excluding tail); terminated indicates whether TailBits zeros were
+// appended before encoding.
+func DecodePunctured(soft []float64, rate CodeRate, nInfo int, terminated bool) ([]byte, error) {
+	steps := nInfo
+	if terminated {
+		steps += TailBits
+	}
+	mother, err := Depuncture(soft, rate, 2*steps)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := ViterbiDecode(mother, terminated)
+	if err != nil {
+		return nil, err
+	}
+	if len(bits) < nInfo {
+		return nil, fmt.Errorf("fec: decoded %d bits, expected %d", len(bits), nInfo)
+	}
+	return bits[:nInfo], nil
+}
+
+// EncodePunctured encodes bits with the terminated mother code and
+// punctures to the given rate.
+func EncodePunctured(bits []byte, rate CodeRate) []byte {
+	return Puncture(EncodeTerminated(bits), rate)
+}

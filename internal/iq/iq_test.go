@@ -1,0 +1,125 @@
+package iq
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randSamples(r *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return out
+}
+
+func TestCF32RoundTripExactToFloat32(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	in := randSamples(r, 500)
+	var buf bytes.Buffer
+	if err := Write(&buf, in, CF32, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 500*8 {
+		t.Fatalf("cf32 size %d", buf.Len())
+	}
+	out, err := Read(&buf, CF32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d samples", len(out))
+	}
+	for i := range in {
+		want := complex(float64(float32(real(in[i]))), float64(float32(imag(in[i]))))
+		if out[i] != want {
+			t.Fatalf("sample %d: %v vs %v", i, out[i], want)
+		}
+	}
+}
+
+func TestCS16RoundTripWithinQuantization(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	in := randSamples(r, 300)
+	const fs = 4.0
+	var buf bytes.Buffer
+	if err := Write(&buf, in, CS16, fs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 300*4 {
+		t.Fatalf("cs16 size %d", buf.Len())
+	}
+	out, err := Read(&buf, CS16, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := fs / 32767
+	for i := range in {
+		if cmplx.Abs(out[i]-in[i]) > step*1.5 {
+			t.Fatalf("sample %d: error %v exceeds quantization step", i, cmplx.Abs(out[i]-in[i]))
+		}
+	}
+}
+
+func TestCS16Clipping(t *testing.T) {
+	in := []complex128{complex(10, -10)} // far beyond full scale 1
+	var buf bytes.Buffer
+	if err := Write(&buf, in, CS16, 1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf, CS16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(out[0])-1) > 1e-3 || math.Abs(imag(out[0])+32768.0/32767) > 1e-3 {
+		t.Fatalf("clipping wrong: %v", out[0])
+	}
+}
+
+func TestCS16NeedsFullScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []complex128{1}, CS16, 0); err == nil {
+		t.Fatal("expected error for zero full scale")
+	}
+	if _, err := Read(&buf, CS16, -1); err == nil {
+		t.Fatal("expected error for negative full scale")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []complex128{1, 2}, CF32, 0); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:11])
+	if _, err := Read(trunc, CF32, 0); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	out, err := Read(bytes.NewReader(nil), CF32, 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty read: %v, %d", err, len(out))
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	f, err := ParseFormat("cf32")
+	if err != nil || f != CF32 {
+		t.Fatalf("cf32: %v %v", f, err)
+	}
+	f, err = ParseFormat("cs16")
+	if err != nil || f != CS16 {
+		t.Fatalf("cs16: %v %v", f, err)
+	}
+	if _, err := ParseFormat("wav"); err == nil {
+		t.Fatal("expected error")
+	}
+	if CF32.String() != "cf32" || CS16.String() != "cs16" {
+		t.Fatal("String names wrong")
+	}
+}

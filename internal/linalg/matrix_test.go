@@ -1,0 +1,264 @@
+package linalg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randVec(r *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return v
+}
+
+func randMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return m
+}
+
+func vecApprox(t *testing.T, got, want []complex128, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("element %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, complex(5, -1))
+	if m.At(1, 2) != complex(5, -1) {
+		t.Fatal("At/Set mismatch")
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("fresh matrix should be zero")
+	}
+}
+
+func TestMulVecIdentity(t *testing.T) {
+	m := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, 1)
+	}
+	x := []complex128{1, complex(0, 2), -3}
+	vecApprox(t, m.MulVec(x), x, 1e-12)
+}
+
+func TestConjTransposeMulVecMatchesExplicit(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := randMatrix(r, 5, 3)
+	y := randVec(r, 5)
+	got := a.ConjTransposeMulVec(y)
+	// Explicit: out[c] = sum_r conj(a[r][c]) y[r]
+	want := make([]complex128, 3)
+	for c := 0; c < 3; c++ {
+		for row := 0; row < 5; row++ {
+			want[c] += cmplx.Conj(a.At(row, c)) * y[row]
+		}
+	}
+	vecApprox(t, got, want, 1e-12)
+}
+
+func TestGramIsHermitianPSD(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randMatrix(r, 10, 4)
+	g := a.Gram()
+	for i := 0; i < 4; i++ {
+		if imag(g.At(i, i)) != 0 && cmplx.Abs(complex(0, imag(g.At(i, i)))) > 1e-12 {
+			t.Fatalf("diagonal not real: %v", g.At(i, i))
+		}
+		if real(g.At(i, i)) < 0 {
+			t.Fatalf("diagonal negative: %v", g.At(i, i))
+		}
+		for j := 0; j < 4; j++ {
+			if cmplx.Abs(g.At(i, j)-cmplx.Conj(g.At(j, i))) > 1e-12 {
+				t.Fatalf("not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+	// xᴴ G x >= 0 for random x.
+	for trial := 0; trial < 10; trial++ {
+		x := randVec(r, 4)
+		gx := g.MulVec(x)
+		var quad complex128
+		for i := range x {
+			quad += cmplx.Conj(x[i]) * gx[i]
+		}
+		if real(quad) < -1e-9 {
+			t.Fatalf("Gram not PSD: %v", quad)
+		}
+	}
+}
+
+func TestSolveHermitianExact(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Build an SPD matrix A = BᴴB + I and a known solution.
+	b := randMatrix(r, 8, 5)
+	a := b.Gram()
+	for i := 0; i < 5; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	want := randVec(r, 5)
+	rhs := a.MulVec(want)
+	got, err := SolveHermitian(a, rhs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecApprox(t, got, want, 1e-9)
+}
+
+func TestSolveHermitianRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, -1)
+	a.Set(1, 1, 1)
+	if _, err := SolveHermitian(a, []complex128{1, 1}, 0); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+}
+
+func TestSolveHermitianShapeErrors(t *testing.T) {
+	if _, err := SolveHermitian(NewMatrix(2, 3), []complex128{1, 1}, 0); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+	if _, err := SolveHermitian(NewMatrix(2, 2), []complex128{1}, 0); err == nil {
+		t.Fatal("expected error for rhs length mismatch")
+	}
+}
+
+func TestLeastSquaresRecoversExactSolution(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := randMatrix(r, 20, 6)
+	want := randVec(r, 6)
+	b := a.MulVec(want)
+	got, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecApprox(t, got, want, 1e-8)
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The LS residual must be orthogonal to the column space: Aᴴ r = 0.
+	r := rand.New(rand.NewSource(5))
+	a := randMatrix(r, 30, 5)
+	b := randVec(r, 30)
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Residual(a, x, b)
+	proj := a.ConjTransposeMulVec(res)
+	for i, v := range proj {
+		if cmplx.Abs(v) > 1e-8 {
+			t.Fatalf("residual not orthogonal: Aᴴr[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	if _, err := LeastSquares(NewMatrix(2, 5), randVec(rand.New(rand.NewSource(6)), 2), 0); err == nil {
+		t.Fatal("expected error for underdetermined system")
+	}
+}
+
+func TestLeastSquaresRidgeShrinks(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randMatrix(r, 25, 4)
+	b := randVec(r, 25)
+	x0, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := LeastSquares(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, e1 := 0.0, 0.0
+	for i := range x0 {
+		e0 += real(x0[i])*real(x0[i]) + imag(x0[i])*imag(x0[i])
+		e1 += real(x1[i])*real(x1[i]) + imag(x1[i])*imag(x1[i])
+	}
+	if e1 >= e0 {
+		t.Fatalf("ridge should shrink solution: %v vs %v", e1, e0)
+	}
+}
+
+func TestToeplitzLSIdentifiesFIR(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	x := randVec(r, 300)
+	h := []complex128{complex(0.9, 0.1), complex(-0.3, 0.2), complex(0.05, -0.4)}
+	// y[n] = sum_k h[k] x[n-k]
+	y := make([]complex128, len(x))
+	for n := range x {
+		for k, hv := range h {
+			if n-k >= 0 {
+				y[n] += hv * x[n-k]
+			}
+		}
+	}
+	got, err := ToeplitzLS(x, y, len(h), 10, 290, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecApprox(t, got, h, 1e-9)
+}
+
+func TestToeplitzLSNoisyStillClose(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	x := randVec(r, 2000)
+	h := []complex128{1, complex(0.5, -0.5)}
+	y := make([]complex128, len(x))
+	for n := range x {
+		for k, hv := range h {
+			if n-k >= 0 {
+				y[n] += hv * x[n-k]
+			}
+		}
+		y[n] += complex(r.NormFloat64(), r.NormFloat64()) * 0.01
+	}
+	got, err := ToeplitzLS(x, y, 2, 5, 1995, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h {
+		if cmplx.Abs(got[i]-h[i]) > 0.01 {
+			t.Fatalf("tap %d: got %v want %v", i, got[i], h[i])
+		}
+	}
+}
+
+func TestToeplitzLSArgErrors(t *testing.T) {
+	x := randVec(rand.New(rand.NewSource(10)), 50)
+	if _, err := ToeplitzLS(x, x, 0, 0, 10, 0); err == nil {
+		t.Fatal("expected error for ntaps=0")
+	}
+	if _, err := ToeplitzLS(x, x, 2, 10, 5, 0); err == nil {
+		t.Fatal("expected error for inverted range")
+	}
+	if _, err := ToeplitzLS(x, x, 2, 0, 100, 0); err == nil {
+		t.Fatal("expected error for out-of-range stop")
+	}
+	if _, err := ToeplitzLS(x, x, 20, 0, 10, 0); err == nil {
+		t.Fatal("expected error for too few observations")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone should be independent")
+	}
+}

@@ -1,0 +1,199 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Event-driven 802.11 DCF (CSMA/CA) simulation. Where Generate draws
+// AP airtime statistically, SimulateDCF derives it from contention:
+// stations with saturated queues run the standard
+// DIFS → backoff → transmit → SIFS/ACK cycle with binary exponential
+// backoff on collision. The AP's transmissions become the backscatter
+// opportunities of Fig. 12a, so the trace's burst structure emerges
+// from the MAC rather than being parameterized.
+
+// 802.11a/g DCF timing (µs).
+const (
+	slotUs = 9
+	sifsUs = 16
+	difsUs = 34 // SIFS + 2 slots
+	ackUs  = 44 // ACK at a basic rate including preamble
+	cwMin  = 15
+	cwMax  = 1023
+)
+
+// DCFStation is one contender.
+type DCFStation struct {
+	// Name labels the station ("AP", "sta1", ...).
+	Name string
+	// Weight is the relative offered load: a station with weight 0
+	// idles; the AP in a downlink-heavy cell has the largest weight.
+	// Between its own transmissions a station re-queues with
+	// probability Weight (1 = saturated).
+	Weight float64
+	// PacketAirtimeUs is the duration of one of its transmissions
+	// (PPDU at its rate).
+	PacketAirtimeUs int
+}
+
+// DCFConfig describes the cell.
+type DCFConfig struct {
+	Stations []DCFStation
+	// HorizonUs is the simulated duration.
+	HorizonUs int
+}
+
+// DCFResult carries the outcome.
+type DCFResult struct {
+	// Trace holds the AP's transmissions (station 0) as backscatter
+	// opportunities.
+	Trace *Trace
+	// AirtimeShare maps station name → fraction of the horizon spent
+	// transmitting successfully.
+	AirtimeShare map[string]float64
+	// Collisions counts collision events.
+	Collisions int
+	// Attempts counts transmission attempts.
+	Attempts int
+}
+
+// SimulateDCF runs the contention process. Station 0 must be the AP.
+func SimulateDCF(cfg DCFConfig, r *rand.Rand) (*DCFResult, error) {
+	if len(cfg.Stations) == 0 {
+		return nil, fmt.Errorf("mac: no stations")
+	}
+	if cfg.HorizonUs <= 0 {
+		return nil, fmt.Errorf("mac: horizon must be positive")
+	}
+	for i, s := range cfg.Stations {
+		if s.PacketAirtimeUs <= 0 {
+			return nil, fmt.Errorf("mac: station %d has no airtime", i)
+		}
+		if s.Weight < 0 || s.Weight > 1 {
+			return nil, fmt.Errorf("mac: station %d weight %v out of [0,1]", i, s.Weight)
+		}
+	}
+
+	type stationState struct {
+		backoff int // remaining backoff slots; -1 = no pending packet
+		cw      int
+	}
+	states := make([]stationState, len(cfg.Stations))
+	for i := range states {
+		states[i] = stationState{backoff: -1, cw: cwMin}
+	}
+	// enqueue draws whether a station has a packet ready and a fresh
+	// backoff for it.
+	enqueue := func(i int) {
+		if r.Float64() < cfg.Stations[i].Weight {
+			states[i].backoff = r.Intn(states[i].cw + 1)
+		} else {
+			states[i].backoff = -1
+		}
+	}
+	for i := range states {
+		enqueue(i)
+	}
+
+	res := &DCFResult{
+		Trace:        &Trace{HorizonSec: float64(cfg.HorizonUs) * 1e-6},
+		AirtimeShare: map[string]float64{},
+	}
+	busyUs := make([]int, len(cfg.Stations))
+
+	now := difsUs
+	for now < cfg.HorizonUs {
+		// Find contenders with zero backoff; others count down one slot.
+		var ready []int
+		anyPending := false
+		for i := range states {
+			if states[i].backoff == 0 {
+				ready = append(ready, i)
+			}
+			if states[i].backoff >= 0 {
+				anyPending = true
+			}
+		}
+		if !anyPending {
+			// Idle slot: stations may receive fresh traffic.
+			now += slotUs
+			for i := range states {
+				if states[i].backoff < 0 {
+					enqueue(i)
+				}
+			}
+			continue
+		}
+		if len(ready) == 0 {
+			for i := range states {
+				if states[i].backoff > 0 {
+					states[i].backoff--
+				}
+			}
+			now += slotUs
+			continue
+		}
+
+		res.Attempts += len(ready)
+		if len(ready) == 1 {
+			i := ready[0]
+			dur := cfg.Stations[i].PacketAirtimeUs
+			if now+dur > cfg.HorizonUs {
+				dur = cfg.HorizonUs - now
+			}
+			if i == 0 && dur > 0 {
+				res.Trace.Bursts = append(res.Trace.Bursts, Burst{
+					StartSec: float64(now) * 1e-6,
+					DurSec:   float64(dur) * 1e-6,
+				})
+			}
+			busyUs[i] += dur
+			now += dur + sifsUs + ackUs + difsUs
+			states[i].cw = cwMin
+			enqueue(i)
+		} else {
+			// Collision: everyone transmits, nothing delivered, CW
+			// doubles.
+			maxDur := 0
+			for _, i := range ready {
+				if cfg.Stations[i].PacketAirtimeUs > maxDur {
+					maxDur = cfg.Stations[i].PacketAirtimeUs
+				}
+			}
+			res.Collisions++
+			now += maxDur + difsUs
+			for _, i := range ready {
+				states[i].cw = min(2*(states[i].cw+1)-1, cwMax)
+				states[i].backoff = r.Intn(states[i].cw + 1)
+			}
+		}
+	}
+
+	for i, s := range cfg.Stations {
+		res.AirtimeShare[s.Name] = float64(busyUs[i]) / float64(cfg.HorizonUs)
+	}
+	sort.Slice(res.Trace.Bursts, func(a, b int) bool {
+		return res.Trace.Bursts[a].StartSec < res.Trace.Bursts[b].StartSec
+	})
+	return res, nil
+}
+
+// DownlinkHeavyCell builds the typical BackFi deployment: a saturated
+// AP pushing large downlink packets plus nClients lightly loaded
+// clients.
+func DownlinkHeavyCell(nClients int, clientLoad float64, horizonUs int) DCFConfig {
+	cfg := DCFConfig{HorizonUs: horizonUs}
+	cfg.Stations = append(cfg.Stations, DCFStation{
+		Name: "AP", Weight: 1.0, PacketAirtimeUs: 1100, // ~1500 B A-MSDU exchange at 24 Mbps
+	})
+	for i := 0; i < nClients; i++ {
+		cfg.Stations = append(cfg.Stations, DCFStation{
+			Name:            fmt.Sprintf("sta%d", i+1),
+			Weight:          clientLoad,
+			PacketAirtimeUs: 300, // small uplink frames
+		})
+	}
+	return cfg
+}

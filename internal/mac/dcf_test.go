@@ -1,0 +1,158 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDCFSaturatedAPAloneOwnsTheAir(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	res, err := SimulateDCF(DownlinkHeavyCell(0, 0, 2_000_000), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alone, a saturated AP spends most of the air transmitting (the
+	// rest is DIFS/SIFS/ACK/backoff overhead).
+	if share := res.AirtimeShare["AP"]; share < 0.6 || share > 0.95 {
+		t.Fatalf("solo AP airtime %v", share)
+	}
+	if res.Collisions != 0 {
+		t.Fatalf("%d collisions with one station", res.Collisions)
+	}
+	if len(res.Trace.Bursts) < 100 {
+		t.Fatalf("only %d bursts", len(res.Trace.Bursts))
+	}
+}
+
+func TestDCFContentionReducesAPShare(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	solo, err := SimulateDCF(DownlinkHeavyCell(0, 0, 2_000_000), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := SimulateDCF(DownlinkHeavyCell(8, 0.5, 2_000_000), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.AirtimeShare["AP"] >= solo.AirtimeShare["AP"] {
+		t.Fatalf("contention should cut AP share: %v vs %v",
+			busy.AirtimeShare["AP"], solo.AirtimeShare["AP"])
+	}
+	if busy.Collisions == 0 {
+		t.Fatal("nine saturated-ish stations should collide sometimes")
+	}
+}
+
+func TestDCFIdleStationsNeverTransmit(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cfg := DownlinkHeavyCell(3, 0, 1_000_000)
+	res, err := SimulateDCF(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cfg.Stations[1:] {
+		if res.AirtimeShare[s.Name] != 0 {
+			t.Fatalf("idle station %s transmitted", s.Name)
+		}
+	}
+}
+
+func TestDCFTraceWellFormedAndFeedsOpportunity(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	res, err := SimulateDCF(DownlinkHeavyCell(4, 0.3, 2_000_000), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := 0.0
+	for i, b := range res.Trace.Bursts {
+		if b.StartSec < prevEnd {
+			t.Fatalf("burst %d overlaps", i)
+		}
+		if b.DurSec <= 0 {
+			t.Fatalf("burst %d empty", i)
+		}
+		prevEnd = b.StartSec + b.DurSec
+	}
+	// The DCF trace plugs straight into the Fig. 12a opportunity
+	// calculation.
+	tput := Throughput(res.Trace, DefaultOpportunityConfig())
+	if tput <= 0 {
+		t.Fatal("no backscatter throughput from a busy AP")
+	}
+	// It cannot exceed airtime × link rate.
+	if max := res.AirtimeShare["AP"] * DefaultOpportunityConfig().LinkBps; tput > max {
+		t.Fatalf("throughput %v exceeds airtime bound %v", tput, max)
+	}
+}
+
+func TestDCFFairnessAmongEqualStations(t *testing.T) {
+	// Equal saturated stations should split the air roughly evenly.
+	r := rand.New(rand.NewSource(5))
+	cfg := DCFConfig{HorizonUs: 4_000_000}
+	for i := 0; i < 4; i++ {
+		cfg.Stations = append(cfg.Stations, DCFStation{
+			Name: []string{"AP", "a", "b", "c"}[i], Weight: 1, PacketAirtimeUs: 500,
+		})
+	}
+	res, err := SimulateDCF(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minS, maxS float64 = 1, 0
+	for _, s := range cfg.Stations {
+		v := res.AirtimeShare[s.Name]
+		if v < minS {
+			minS = v
+		}
+		if v > maxS {
+			maxS = v
+		}
+	}
+	if maxS > 2.2*minS {
+		t.Fatalf("unfair split: min %v max %v", minS, maxS)
+	}
+}
+
+func TestDCFValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	if _, err := SimulateDCF(DCFConfig{HorizonUs: 100}, r); err == nil {
+		t.Fatal("expected error for no stations")
+	}
+	bad := DownlinkHeavyCell(0, 0, 0)
+	if _, err := SimulateDCF(bad, r); err == nil {
+		t.Fatal("expected error for zero horizon")
+	}
+	bad = DownlinkHeavyCell(0, 0, 100)
+	bad.Stations[0].PacketAirtimeUs = 0
+	if _, err := SimulateDCF(bad, r); err == nil {
+		t.Fatal("expected error for zero airtime")
+	}
+	bad = DownlinkHeavyCell(1, 0, 100)
+	bad.Stations[1].Weight = 2
+	if _, err := SimulateDCF(bad, r); err == nil {
+		t.Fatal("expected error for weight > 1")
+	}
+}
+
+func TestDCFBackoffExpandsUnderCollisions(t *testing.T) {
+	// With many saturated equal stations the collision count is
+	// substantial but bounded (exponential backoff does its job: far
+	// fewer collisions than attempts).
+	r := rand.New(rand.NewSource(7))
+	cfg := DCFConfig{HorizonUs: 2_000_000}
+	for i := 0; i < 10; i++ {
+		cfg.Stations = append(cfg.Stations, DCFStation{
+			Name: string(rune('A' + i)), Weight: 1, PacketAirtimeUs: 400,
+		})
+	}
+	res, err := SimulateDCF(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Fatal("expected collisions")
+	}
+	if float64(res.Collisions) > 0.5*float64(res.Attempts) {
+		t.Fatalf("collision rate %d/%d too high — backoff broken", res.Collisions, res.Attempts)
+	}
+}

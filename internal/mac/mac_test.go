@@ -1,0 +1,187 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateAirtimeMatchesTarget(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, target := range []float64{0.3, 0.6, 0.85} {
+		cfg := DefaultTraceConfig(target)
+		cfg.HorizonSec = 20
+		tr, err := Generate(cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.AirtimeFraction(); math.Abs(got-target) > 0.08 {
+			t.Fatalf("airtime %v, target %v", got, target)
+		}
+	}
+}
+
+func TestGenerateBurstsOrderedAndDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr, err := Generate(DefaultTraceConfig(0.7), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Bursts) < 10 {
+		t.Fatalf("only %d bursts in 2 s", len(tr.Bursts))
+	}
+	prevEnd := 0.0
+	for i, b := range tr.Bursts {
+		if b.StartSec < prevEnd {
+			t.Fatalf("burst %d overlaps previous", i)
+		}
+		if b.DurSec <= 0 {
+			t.Fatalf("burst %d non-positive", i)
+		}
+		if b.StartSec+b.DurSec > tr.HorizonSec+1e-9 {
+			t.Fatalf("burst %d exceeds horizon", i)
+		}
+		prevEnd = b.StartSec + b.DurSec
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if _, err := Generate(TraceConfig{HorizonSec: 0, APAirtime: 0.5, MeanBurstSec: 1e-3}, r); err == nil {
+		t.Fatal("expected error for zero horizon")
+	}
+	if _, err := Generate(TraceConfig{HorizonSec: 1, APAirtime: 1.5, MeanBurstSec: 1e-3}, r); err == nil {
+		t.Fatal("expected error for airtime out of range")
+	}
+	if _, err := Generate(TraceConfig{HorizonSec: 1, APAirtime: 0.5, MeanBurstSec: 0}, r); err == nil {
+		t.Fatal("expected error for zero burst length")
+	}
+}
+
+func TestThroughputScalesWithAirtime(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	opp := DefaultOpportunityConfig()
+	get := func(air float64) float64 {
+		cfg := DefaultTraceConfig(air)
+		cfg.HorizonSec = 10
+		tr, err := Generate(cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Throughput(tr, opp)
+	}
+	lo := get(0.3)
+	hi := get(0.9)
+	if hi <= lo {
+		t.Fatalf("throughput should grow with airtime: %v vs %v", lo, hi)
+	}
+	// A 90%-loaded AP should deliver most of the 5 Mbps optimum (the
+	// paper's median over trace replays is ≈80%).
+	if hi < 0.55*opp.LinkBps || hi > opp.LinkBps {
+		t.Fatalf("high-load throughput %v implausible", hi)
+	}
+}
+
+func TestThroughputOverheadCost(t *testing.T) {
+	// Many short bursts suffer more overhead than a few long ones.
+	tr := &Trace{HorizonSec: 1}
+	for i := 0; i < 1000; i++ { // 1000 × 0.5 ms bursts = 0.5 s airtime
+		tr.Bursts = append(tr.Bursts, Burst{StartSec: float64(i) * 1e-3, DurSec: 0.5e-3})
+	}
+	long := &Trace{HorizonSec: 1, Bursts: []Burst{{0, 0.5}}}
+	opp := DefaultOpportunityConfig()
+	short := Throughput(tr, opp)
+	big := Throughput(long, opp)
+	if short >= big {
+		t.Fatalf("fragmented airtime should cost throughput: %v vs %v", short, big)
+	}
+	// Bursts shorter than the overhead contribute nothing.
+	tiny := &Trace{HorizonSec: 1, Bursts: []Burst{{0, 50e-6}}}
+	if Throughput(tiny, opp) != 0 {
+		t.Fatal("sub-overhead bursts should yield zero")
+	}
+}
+
+func TestRequiredSNRMonotone(t *testing.T) {
+	rates := []int{6, 9, 12, 18, 24, 36, 48, 54}
+	prev := -1.0
+	for _, mbps := range rates {
+		v, err := RequiredSNRdB(mbps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Fatalf("threshold for %d Mbps not increasing", mbps)
+		}
+		prev = v
+	}
+	if _, err := RequiredSNRdB(7); err == nil {
+		t.Fatal("expected error for unknown rate")
+	}
+}
+
+func TestClientDistanceForRate(t *testing.T) {
+	d54, err := ClientDistanceForRate(54, 20, 3.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d6, err := ClientDistanceForRate(6, 20, 3.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher rates need the client closer.
+	if d54 >= d6 {
+		t.Fatalf("54 Mbps distance %v should be below 6 Mbps %v", d54, d6)
+	}
+	if d54 < 0.5 || d6 > 200 {
+		t.Fatalf("implausible distances %v, %v", d54, d6)
+	}
+	if _, err := ClientDistanceForRate(7, 20, 3.5, 3); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestClientImpactNegligibleWhenTagFar(t *testing.T) {
+	d, _ := ClientDistanceForRate(24, 20, 3.5, 6)
+	cfg := DefaultImpactConfig(24, d)
+	cfg.TagDistanceM = 4 // tag far from AP: re-radiated power tiny
+	res, err := SimulateClientImpact(cfg, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEROff > 0.2 {
+		t.Fatalf("baseline PER %v too high — client placement broken", res.PEROff)
+	}
+	if res.PEROn > res.PEROff+0.2 {
+		t.Fatalf("distant tag should not hurt: PER %v vs %v", res.PEROn, res.PEROff)
+	}
+}
+
+func TestClientImpactWorstCaseSNRLoss(t *testing.T) {
+	// Tag at 0.25 m from the AP, client near: some SNR degradation
+	// appears but the link survives at a mid rate (paper Fig. 13).
+	d, _ := ClientDistanceForRate(24, 20, 3.5, 6)
+	cfg := DefaultImpactConfig(24, d)
+	res, err := SimulateClientImpact(cfg, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEROff > 0.2 {
+		t.Fatalf("baseline PER %v too high", res.PEROff)
+	}
+	if res.SNRDegradationDB() < -1 {
+		t.Fatalf("tag should not improve SNR: degradation %v", res.SNRDegradationDB())
+	}
+	if res.PEROn > 0.6 {
+		t.Fatalf("worst-case tag should not kill a 24 Mbps link: PER %v", res.PEROn)
+	}
+}
+
+func TestSimulateClientImpactValidation(t *testing.T) {
+	if _, err := SimulateClientImpact(DefaultImpactConfig(7, 1), 2, 1); err == nil {
+		t.Fatal("expected error for bad rate")
+	}
+	if _, err := SimulateClientImpact(DefaultImpactConfig(24, 1), 0, 1); err == nil {
+		t.Fatal("expected error for zero trials")
+	}
+}

@@ -1,0 +1,394 @@
+// Package reader implements the BackFi AP's backscatter receive chain
+// (paper Sec. 4.3): after self-interference cancellation it estimates
+// the combined forward·backward tag channel h_f⊛h_b from the tag's
+// known preamble, then decodes each slow tag symbol by maximal-ratio
+// combining the many excitation-rate samples that fall inside it
+// (paper Eq. 7), and finally runs the soft values through the Viterbi
+// decoder and frame check.
+package reader
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"backfi/internal/dsp"
+	"backfi/internal/fec"
+	"backfi/internal/linalg"
+	"backfi/internal/sic"
+	"backfi/internal/tag"
+)
+
+// Config tunes the backscatter decoder.
+type Config struct {
+	// ChannelTaps is the FIR length of the combined h_f⊛h_b estimate;
+	// it must cover the true channel spread plus propagation delay
+	// (paper: delay spread ≪ 500 ns, so ≤ 16 taps at 20 MHz).
+	ChannelTaps int
+	// Lambda is the ridge regularizer of the channel estimate.
+	Lambda float64
+	// TimingSearch is the ± range (in samples) over which the decoder
+	// searches for the tag's symbol timing around the nominal protocol
+	// position, using the PN preamble correlation (paper Sec. 4.1: the
+	// preamble "is used by the reader to find the symbol timing").
+	// 0 trusts protocol timing exactly.
+	TimingSearch int
+	// SIC is the self-interference canceller configuration.
+	SIC sic.Config
+}
+
+// DefaultConfig returns the standard decoder settings.
+func DefaultConfig() Config {
+	return Config{ChannelTaps: 8, Lambda: 1e-16, TimingSearch: 6, SIC: sic.DefaultConfig()}
+}
+
+// Result is the outcome of decoding one tag transmission.
+type Result struct {
+	// Payload is the decoded application payload (nil if the frame
+	// check failed).
+	Payload []byte
+	// FrameOK reports whether the CRC validated.
+	FrameOK bool
+	// SymbolEstimates are the per-symbol MRC phasor estimates r_s ≈
+	// the transmitted constellation points.
+	SymbolEstimates []complex128
+	// SNRdB is the post-MRC symbol SNR estimated from the decision
+	// errors — the "measured SNR" of paper Fig. 11a.
+	SNRdB float64
+	// SIC is the cancellation report.
+	SIC sic.Report
+	// Hfb is the combined channel estimate.
+	Hfb []complex128
+	// PreambleCorr is the normalized correlation of the received tag
+	// preamble against the expected PN (1 = perfect).
+	PreambleCorr float64
+	// TimingOffset is the symbol-timing correction (samples) found by
+	// the PN preamble search relative to the nominal protocol timing.
+	TimingOffset int
+}
+
+// Reader decodes BackFi backscatter from an AP's received samples.
+type Reader struct {
+	cfg Config
+}
+
+// New returns a Reader.
+func New(cfg Config) *Reader {
+	if cfg.ChannelTaps <= 0 {
+		panic("reader: ChannelTaps must be positive")
+	}
+	return &Reader{cfg: cfg}
+}
+
+// Decode processes one excitation packet.
+//
+//	x           — the ideal transmitted samples (wake + PPDU), known to the AP
+//	xTap        — the PA-output copy wired into the analog canceller
+//	              (carries transmit distortion; pass x for ideal hardware)
+//	y           — the received samples, same indexing as x
+//	packetStart — index where the excitation PPDU (and tag timing) begins
+//	packetLen   — PPDU length in samples
+//	tcfg        — the tag's negotiated configuration
+//
+// The tag is silent for tag.SilentSamples after packetStart, sends its
+// PN preamble, then payload symbols (tag.TxPlan layout).
+func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcfg tag.Config) (*Result, error) {
+	if err := tcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != len(y) || len(xTap) != len(y) {
+		return nil, fmt.Errorf("reader: x/xTap/y length mismatch %d/%d/%d", len(x), len(xTap), len(y))
+	}
+	if packetStart+packetLen > len(x) {
+		return nil, fmt.Errorf("reader: packet [%d,%d) exceeds %d samples", packetStart, packetStart+packetLen, len(x))
+	}
+
+	// Stage 1: self-interference cancellation, trained on the silent
+	// window (the tag backscatters nothing there).
+	canc, err := sic.Train(r.cfg.SIC, xTap, x, y, packetStart, packetStart+tag.SilentSamples)
+	if err != nil {
+		return nil, fmt.Errorf("reader: %w", err)
+	}
+	clean := canc.Cancel(xTap, x, y)
+
+	// Stage 2: combined-channel estimation from the tag preamble.
+	preStart := packetStart + tag.SilentSamples
+	preEnd := preStart + tcfg.PreambleSamples()
+	if preEnd > packetStart+packetLen {
+		return nil, fmt.Errorf("reader: packet too short for tag preamble")
+	}
+	pn := tag.PreambleSequence(tcfg.ID, tcfg.PreambleChips)
+	hfb, err := r.estimateHfb(x, clean, preStart, pn)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference signal: what the backscatter looks like for unit
+	// modulation.
+	ref := dsp.ConvolveSame(x, hfb)
+
+	// Symbol timing: search around the nominal position using the PN
+	// matched filter, re-estimating the channel at each winner until
+	// the grid settles (a badly misaligned first estimate flattens the
+	// metric, so one pass can stop short of the true offset).
+	offset := 0
+	for pass := 0; pass < 3; pass++ {
+		step := r.searchTiming(clean, ref, preStart, pn)
+		if step == 0 {
+			break
+		}
+		offset += step
+		preStart += step
+		preEnd += step
+		if h2, err := r.estimateHfb(x, clean, preStart, pn); err == nil {
+			hfb = h2
+			ref = dsp.ConvolveSame(x, hfb)
+		}
+	}
+
+	// Preamble sanity: chip-wise MRC against the known PN.
+	preCorr := r.preambleCorrelation(clean, ref, preStart, pn)
+
+	// Stage 3: per-symbol MRC (paper Eq. 7).
+	symStart := preEnd
+	sps := tcfg.SamplesPerSymbol()
+	guard := r.cfg.ChannelTaps
+	if guard > sps/2 {
+		guard = sps / 2
+	}
+	nAvail := (packetStart + packetLen - symStart) / sps
+	if nAvail <= 0 {
+		return nil, fmt.Errorf("reader: no room for payload symbols")
+	}
+	ests := make([]complex128, nAvail)
+	for s := 0; s < nAvail; s++ {
+		a := symStart + s*sps + guard
+		b := symStart + (s+1)*sps
+		var num complex128
+		var den float64
+		for n := a; n < b; n++ {
+			num += clean[n] * cmplx.Conj(ref[n])
+			den += real(ref[n])*real(ref[n]) + imag(ref[n])*imag(ref[n])
+		}
+		if den > 0 {
+			ests[s] = num / complex(den, 0)
+		}
+	}
+
+	// Stage 4: demap, Viterbi, deframe. The frame's own length header
+	// tells us where the payload symbols end; symbols after the frame
+	// are the tag's post-frame silence and are discarded by the
+	// length-aware decode.
+	payload, used, frameOK := r.decodeFrame(ests, tcfg)
+
+	res := &Result{
+		Payload:         payload,
+		FrameOK:         frameOK,
+		SymbolEstimates: ests,
+		SIC:             canc.Report(),
+		Hfb:             hfb,
+		PreambleCorr:    preCorr,
+		TimingOffset:    offset,
+	}
+	res.SNRdB = symbolSNRdB(ests[:used], tcfg.Mod)
+	return res, nil
+}
+
+// estimateHfb solves least squares for the combined channel using
+// preamble samples where the PN chip is constant across the whole
+// channel span (so y[n] = chip · (x⊛h_fb)[n] exactly).
+func (r *Reader) estimateHfb(x, clean []complex128, preStart int, pn []complex128) ([]complex128, error) {
+	L := r.cfg.ChannelTaps
+	var rows []int
+	for c := range pn {
+		chipStart := preStart + c*tag.ChipSamples
+		for n := chipStart + L - 1; n < chipStart+tag.ChipSamples; n++ {
+			rows = append(rows, n)
+		}
+	}
+	if len(rows) < 2*L {
+		return nil, fmt.Errorf("reader: only %d usable preamble samples for %d taps", len(rows), L)
+	}
+	a := linalg.NewMatrix(len(rows), L)
+	b := make([]complex128, len(rows))
+	for ri, n := range rows {
+		chip := pn[(n-preStart)/tag.ChipSamples]
+		for k := 0; k < L; k++ {
+			if idx := n - k; idx >= 0 {
+				a.Set(ri, k, chip*x[idx])
+			}
+		}
+		b[ri] = clean[n]
+	}
+	hfb, err := linalg.LeastSquares(a, b, r.cfg.Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("reader: channel estimate: %w", err)
+	}
+	return hfb, nil
+}
+
+// searchTiming slides the chip grid ±TimingSearch samples around the
+// nominal preamble start and returns the offset with the strongest PN
+// correlation. The coarse channel estimate (made at nominal timing) is
+// good enough to rank candidates because most chip samples still carry
+// a constant chip within the search range.
+func (r *Reader) searchTiming(clean, ref []complex128, preStart int, pn []complex128) int {
+	if r.cfg.TimingSearch <= 0 {
+		return 0
+	}
+	nominal := r.timingMetric(clean, ref, preStart, pn)
+	best, bestOff := nominal, 0
+	for off := -r.cfg.TimingSearch; off <= r.cfg.TimingSearch; off++ {
+		if off == 0 || preStart+off < 0 {
+			continue
+		}
+		if m := r.timingMetric(clean, ref, preStart+off, pn); m > best {
+			best, bestOff = m, off
+		}
+	}
+	// Only move off the protocol timing for a clear win: near-flat
+	// metric around the nominal position means the channel estimate
+	// already absorbed any small delay, and moving the MRC grid would
+	// only misalign short symbols.
+	if best < nominal*1.05 {
+		return 0
+	}
+	return bestOff
+}
+
+// timingMetric is the matched-filter energy of the preamble at a
+// candidate chip-grid position: the real part of the chip-wise MRC
+// numerators projected onto the known PN. Unlike the normalized
+// correlation it decays when the grid is misaligned (part of every
+// window then carries the wrong chip), so it peaks at true timing.
+func (r *Reader) timingMetric(clean, ref []complex128, preStart int, pn []complex128) float64 {
+	guard := r.cfg.ChannelTaps
+	if guard >= tag.ChipSamples {
+		guard = tag.ChipSamples / 2
+	}
+	var acc complex128
+	for c, chip := range pn {
+		a := preStart + c*tag.ChipSamples + guard
+		b := preStart + (c+1)*tag.ChipSamples
+		var num complex128
+		for n := a; n < b && n < len(clean); n++ {
+			if n < 0 {
+				continue
+			}
+			num += clean[n] * cmplx.Conj(ref[n])
+		}
+		acc += num * cmplx.Conj(chip)
+	}
+	return real(acc)
+}
+
+// preambleCorrelation MRC-decodes each preamble chip and correlates
+// with the expected PN.
+func (r *Reader) preambleCorrelation(clean, ref []complex128, preStart int, pn []complex128) float64 {
+	guard := r.cfg.ChannelTaps
+	if guard >= tag.ChipSamples {
+		guard = tag.ChipSamples / 2
+	}
+	var acc complex128
+	var norm float64
+	for c, chip := range pn {
+		a := preStart + c*tag.ChipSamples + guard
+		b := preStart + (c+1)*tag.ChipSamples
+		var num complex128
+		var den float64
+		for n := a; n < b && n < len(clean); n++ {
+			num += clean[n] * cmplx.Conj(ref[n])
+			den += real(ref[n])*real(ref[n]) + imag(ref[n])*imag(ref[n])
+		}
+		if den > 0 {
+			est := num / complex(den, 0)
+			acc += est * cmplx.Conj(chip)
+			norm += cmplx.Abs(est)
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	return cmplx.Abs(acc) / norm
+}
+
+// decodeFrame runs soft demapping and FEC over symbol estimates,
+// reading the frame length from the decoded header. It returns the
+// payload (nil on failure), the number of symbols the frame occupied,
+// and whether the CRC validated.
+func (r *Reader) decodeFrame(ests []complex128, tcfg tag.Config) ([]byte, int, bool) {
+	soft := tcfg.Mod.DemapSoft(ests)
+	// First pass: unterminated Viterbi over everything to read the
+	// length header.
+	steps := maxTrellisSteps(len(soft), tcfg.Coding)
+	if steps < 16+fec.TailBits {
+		return nil, len(ests), false
+	}
+	need := fec.PuncturedLength(2*steps, tcfg.Coding)
+	mother, err := fec.Depuncture(soft[:need], tcfg.Coding, 2*steps)
+	if err != nil {
+		return nil, len(ests), false
+	}
+	bits, err := fec.ViterbiDecode(mother, false)
+	if err != nil {
+		return nil, len(ests), false
+	}
+	n := int(bits[0]) | int(bits[1])<<1 | int(bits[2])<<2 | int(bits[3])<<3 |
+		int(bits[4])<<4 | int(bits[5])<<5 | int(bits[6])<<6 | int(bits[7])<<7 |
+		int(bits[8])<<8 | int(bits[9])<<9 | int(bits[10])<<10 | int(bits[11])<<11 |
+		int(bits[12])<<12 | int(bits[13])<<13 | int(bits[14])<<14 | int(bits[15])<<15
+	infoBits := tag.FrameInfoBits(n)
+	used := tag.SymbolsForPayload(n, tcfg.Coding, tcfg.Mod)
+	if used > len(ests) {
+		return nil, len(ests), false
+	}
+	// Second pass: terminated decode over exactly the frame's symbols.
+	payload, err := tag.DecodeFrameBits(soft[:used*tcfg.Mod.BitsPerSymbol()], tcfg.Coding, infoBits)
+	if err != nil {
+		return nil, used, false
+	}
+	return payload, used, true
+}
+
+// maxTrellisSteps returns the largest trellis step count whose
+// punctured length fits in softLen values.
+func maxTrellisSteps(softLen int, coding fec.CodeRate) int {
+	lo, hi := 0, softLen // punctured length >= steps, so steps <= softLen
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fec.PuncturedLength(2*mid, coding) <= softLen {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// symbolSNRdB estimates post-MRC SNR from decision errors.
+func symbolSNRdB(ests []complex128, mod tag.Modulation) float64 {
+	if len(ests) == 0 {
+		return math.Inf(-1)
+	}
+	hard := mod.DemapHard(ests)
+	ideal := mod.MapBits(hard)
+	// PSK decisions are phase-only; reference each decision at the
+	// packet's mean estimate amplitude so both phase and amplitude
+	// deviations count as noise.
+	var meanMag float64
+	for _, e := range ests {
+		meanMag += cmplx.Abs(e)
+	}
+	meanMag /= float64(len(ests))
+	var sig, noise float64
+	for i := range ests {
+		ref := ideal[i] * complex(meanMag, 0)
+		d := ests[i] - ref
+		sig += meanMag * meanMag
+		noise += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return dsp.DB(sig / noise)
+}

@@ -1,0 +1,133 @@
+package tag
+
+import (
+	"fmt"
+
+	"backfi/internal/fec"
+)
+
+// Downlink: the AP→tag control channel (paper Sec. 5.2.1). BackFi
+// reuses the prior WiFi-backscatter downlink design [27]: the AP
+// on-off-keys short energy bursts that the tag's wake-up envelope
+// detector demodulates at ≈20 kbps. It is used for commands and
+// configuration (select modulation, symbol rate, report schedule) —
+// the uplink carries the sensor data.
+
+// DownlinkBitSamples is one OOK bit period: 50 µs at 20 MHz → 20 kbps.
+const DownlinkBitSamples = 1000
+
+// DownlinkRateBps is the nominal downlink information rate.
+const DownlinkRateBps = 20e3
+
+// downlinkPreamble marks the start of a downlink frame; chosen to be
+// distinguishable from the all-ones idle carrier and balanced enough
+// for the threshold detector.
+var downlinkPreamble = []byte{1, 0, 1, 1, 0, 0, 1, 0}
+
+// EncodeDownlink builds the OOK waveform for a command payload:
+// [preamble][len:8][payload][crc8], Manchester-coded so the envelope
+// detector's threshold tracker always sees both levels.
+func EncodeDownlink(payload []byte, amplitude float64) ([]complex128, error) {
+	if len(payload) > 255 {
+		return nil, fmt.Errorf("tag: downlink payload %d bytes exceeds 255", len(payload))
+	}
+	frame := append([]byte{byte(len(payload))}, payload...)
+	frame = append(frame, fec.CRC8(frame))
+	bits := append(append([]byte{}, downlinkPreamble...), manchester(fec.BytesToBits(frame))...)
+	out := make([]complex128, len(bits)*DownlinkBitSamples)
+	for i, b := range bits {
+		if b == 0 {
+			continue
+		}
+		for k := 0; k < DownlinkBitSamples; k++ {
+			out[i*DownlinkBitSamples+k] = complex(amplitude, 0)
+		}
+	}
+	return out, nil
+}
+
+// manchester expands each bit into (b, ¬b).
+func manchester(bits []byte) []byte {
+	out := make([]byte, 0, 2*len(bits))
+	for _, b := range bits {
+		out = append(out, b, 1-b)
+	}
+	return out
+}
+
+// DecodeDownlink demodulates a received OOK stream with the tag's
+// envelope detector model: per-bit energy integration, half-peak
+// threshold, preamble search, Manchester decode, CRC check.
+func DecodeDownlink(rx []complex128, sensitivityW float64) ([]byte, error) {
+	nbits := len(rx) / DownlinkBitSamples
+	if nbits < len(downlinkPreamble)+2 {
+		return nil, fmt.Errorf("tag: downlink stream too short (%d bits)", nbits)
+	}
+	env := make([]float64, nbits)
+	peak := 0.0
+	for i := range env {
+		var e float64
+		for k := 0; k < DownlinkBitSamples; k++ {
+			v := rx[i*DownlinkBitSamples+k]
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
+		env[i] = e / DownlinkBitSamples
+		if env[i] > peak {
+			peak = env[i]
+		}
+	}
+	if peak < sensitivityW {
+		return nil, fmt.Errorf("tag: downlink below detector sensitivity")
+	}
+	thresh := peak / 4 // half-amplitude
+	bits := make([]byte, nbits)
+	for i, e := range env {
+		if e >= thresh {
+			bits[i] = 1
+		}
+	}
+	// Find the preamble.
+	start := -1
+	for off := 0; off+len(downlinkPreamble) <= nbits; off++ {
+		match := true
+		for i, p := range downlinkPreamble {
+			if bits[off+i] != p {
+				match = false
+				break
+			}
+		}
+		if match {
+			start = off + len(downlinkPreamble)
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("tag: downlink preamble not found")
+	}
+	// Manchester decode with mid-bit validation.
+	var frameBits []byte
+	for i := start; i+1 < nbits; i += 2 {
+		if bits[i] == bits[i+1] {
+			break // end of Manchester region (idle or corruption)
+		}
+		frameBits = append(frameBits, bits[i])
+	}
+	if len(frameBits) < 16 || len(frameBits)%8 != 0 {
+		// Trim to whole bytes; a trailing partial byte means the frame
+		// ended mid-air.
+		frameBits = frameBits[:len(frameBits)/8*8]
+		if len(frameBits) < 16 {
+			return nil, fmt.Errorf("tag: downlink frame truncated")
+		}
+	}
+	frame := fec.BitsToBytes(frameBits)
+	n := int(frame[0])
+	if len(frame) < 1+n+1 {
+		return nil, fmt.Errorf("tag: downlink frame claims %d bytes, has %d", n, len(frame)-2)
+	}
+	body := frame[:1+n]
+	if fec.CRC8(body) != frame[1+n] {
+		return nil, fmt.Errorf("tag: downlink CRC mismatch")
+	}
+	return frame[1 : 1+n], nil
+}

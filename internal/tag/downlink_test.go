@@ -1,0 +1,117 @@
+package tag
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"backfi/internal/dsp"
+)
+
+func TestDownlinkRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 8, 100} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		wave, err := EncodeDownlink(payload, math.Sqrt(dsp.UnDBm(-20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDownlink(wave, dsp.UnDBm(-41))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: payload differs", n)
+		}
+	}
+}
+
+func TestDownlinkRate(t *testing.T) {
+	// One OOK bit is 50 µs → 20 kbps raw, matching the paper's
+	// "similar throughputs of 20 Kbps" (Sec. 5.2.1).
+	if DownlinkBitSamples != 1000 {
+		t.Fatalf("bit period %d samples", DownlinkBitSamples)
+	}
+	if DownlinkRateBps != 20e3 {
+		t.Fatalf("rate %v", DownlinkRateBps)
+	}
+}
+
+func TestDownlinkRejectsWeakSignal(t *testing.T) {
+	wave, err := EncodeDownlink([]byte{1, 2, 3}, math.Sqrt(dsp.UnDBm(-70)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDownlink(wave, dsp.UnDBm(-41)); err == nil {
+		t.Fatal("expected sensitivity failure")
+	}
+}
+
+func TestDownlinkDetectsCorruption(t *testing.T) {
+	wave, err := EncodeDownlink([]byte{9, 9, 9, 9}, math.Sqrt(dsp.UnDBm(-20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert one payload bit period (both Manchester halves so the
+	// decode still parses but the CRC fails).
+	start := (len(downlinkPreamble) + 2*8 + 4) * DownlinkBitSamples
+	for k := 0; k < 2*DownlinkBitSamples; k++ {
+		if wave[start+k] == 0 {
+			wave[start+k] = wave[0] // borrow the on-amplitude
+		} else {
+			wave[start+k] = 0
+		}
+	}
+	if _, err := DecodeDownlink(wave, dsp.UnDBm(-41)); err == nil {
+		t.Fatal("expected CRC or framing failure")
+	}
+}
+
+func TestDownlinkWithOffsetAndNoiseFloor(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	payload := []byte("set-rate qpsk 1MHz")
+	wave, err := EncodeDownlink(payload, math.Sqrt(dsp.UnDBm(-25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepend idle silence and append noise-like residue well below the
+	// signal.
+	rx := dsp.Concat(dsp.Zeros(3*DownlinkBitSamples), wave, dsp.Zeros(2*DownlinkBitSamples))
+	sigma := math.Sqrt(dsp.UnDBm(-60) / 2)
+	for i := range rx {
+		rx[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+	}
+	got, err := DecodeDownlink(rx, dsp.UnDBm(-41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload differs under offset+noise")
+	}
+}
+
+func TestDownlinkOversizePayload(t *testing.T) {
+	if _, err := EncodeDownlink(make([]byte, 256), 1); err == nil {
+		t.Fatal("expected error for oversized payload")
+	}
+}
+
+func TestDownlinkTooShortStream(t *testing.T) {
+	if _, err := DecodeDownlink(dsp.Zeros(100), 0); err == nil {
+		t.Fatal("expected error for short stream")
+	}
+}
+
+func TestDownlinkNoPreamble(t *testing.T) {
+	// A constant-on carrier has no preamble pattern.
+	rx := make([]complex128, 30*DownlinkBitSamples)
+	for i := range rx {
+		rx[i] = 1
+	}
+	if _, err := DecodeDownlink(rx, 0); err == nil {
+		t.Fatal("expected preamble-not-found")
+	}
+}

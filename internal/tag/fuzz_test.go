@@ -1,0 +1,43 @@
+package tag
+
+import "testing"
+
+// FuzzParseFrame must reject or accept arbitrary bytes without
+// panicking, and anything it accepts must re-serialize consistently.
+func FuzzParseFrame(f *testing.F) {
+	f.Add(BuildFrame([]byte("hello")))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		// Round-trip: rebuilding must produce a frame that parses to
+		// the same payload.
+		again, err := ParseFrame(BuildFrame(payload))
+		if err != nil {
+			t.Fatalf("accepted payload fails rebuild: %v", err)
+		}
+		if string(again) != string(payload) {
+			t.Fatal("rebuild changed the payload")
+		}
+	})
+}
+
+// FuzzDecodeDownlink exercises the OOK demodulator on arbitrary
+// envelopes.
+func FuzzDecodeDownlink(f *testing.F) {
+	wave, _ := EncodeDownlink([]byte{1, 2, 3}, 1)
+	seed := make([]byte, len(wave)/100)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rx := make([]complex128, len(data)*50)
+		for i, b := range data {
+			for k := 0; k < 50; k++ {
+				rx[i*50+k] = complex(float64(b)/255, 0)
+			}
+		}
+		_, _ = DecodeDownlink(rx, 1e-9)
+	})
+}

@@ -1,0 +1,39 @@
+package wifi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkTransmit1500BAt24Mbps(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rate, _ := RateByMbps(24)
+	psdu := make([]byte, 1500)
+	r.Read(psdu)
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		if _, err := Transmit(psdu, rate, DefaultScramblerSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceive1500BAt24Mbps(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	rate, _ := RateByMbps(24)
+	psdu := make([]byte, 1500)
+	r.Read(psdu)
+	wave, err := Transmit(psdu, rate, DefaultScramblerSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := NewReceiver()
+	b.ReportAllocs()
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rx.Receive(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

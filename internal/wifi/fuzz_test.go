@@ -1,0 +1,59 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+)
+
+// bytesToSamples reinterprets fuzz bytes as a crude complex stream.
+func bytesToSamples(data []byte) []complex128 {
+	out := make([]complex128, len(data)/2)
+	for i := range out {
+		out[i] = complex(float64(int8(data[2*i]))/32, float64(int8(data[2*i+1]))/32)
+	}
+	return out
+}
+
+// FuzzReceive feeds arbitrary sample streams to the receiver: it must
+// return an error or a PSDU, never panic, hang, or produce NaN
+// diagnostics.
+func FuzzReceive(f *testing.F) {
+	// Seed with a real packet so the corpus reaches deep paths.
+	rate, _ := RateByMbps(6)
+	wave, _ := Transmit([]byte{1, 2, 3}, rate, DefaultScramblerSeed)
+	seed := make([]byte, 0, 2*len(wave))
+	for _, v := range wave {
+		seed = append(seed, byte(int8(real(v)*32)), byte(int8(imag(v)*32)))
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, 4096))
+
+	rx := NewReceiver()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		psdu, info, err := rx.Receive(bytesToSamples(data))
+		if err != nil {
+			return
+		}
+		if len(psdu) == 0 || len(psdu) > maxPSDULen {
+			t.Fatalf("accepted PSDU of %d bytes", len(psdu))
+		}
+		if math.IsNaN(info.EVM) {
+			t.Fatal("NaN EVM on accepted packet")
+		}
+	})
+}
+
+// FuzzParseDataMPDU must never panic on arbitrary frames.
+func FuzzParseDataMPDU(f *testing.F) {
+	good, _ := BuildDataMPDU(MPDUHeader{Seq: 1}, []byte("payload"))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ParseDataMPDU(data)
+		_, _, _ = ParseCTSToSelf(data)
+	})
+}

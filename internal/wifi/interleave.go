@@ -1,0 +1,61 @@
+package wifi
+
+// Interleave applies the 802.11 two-permutation block interleaver to one
+// OFDM symbol's worth of coded bits (len(bits) must equal NCBPS for the
+// rate). nbpsc is the coded bits per subcarrier.
+//
+// First permutation (k→i) spreads adjacent coded bits across
+// non-adjacent subcarriers; second (i→j) alternates them between
+// significant and less-significant constellation bits.
+func Interleave(bits []byte, nbpsc int) []byte {
+	ncbps := len(bits)
+	out := make([]byte, ncbps)
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	for k := 0; k < ncbps; k++ {
+		i := (ncbps/16)*(k%16) + k/16
+		j := s*(i/s) + (i+ncbps-16*i/ncbps)%s
+		out[j] = bits[k]
+	}
+	return out
+}
+
+// Deinterleave inverts Interleave on hard bits.
+func Deinterleave(bits []byte, nbpsc int) []byte {
+	ncbps := len(bits)
+	out := make([]byte, ncbps)
+	perm := interleavePerm(ncbps, nbpsc)
+	for k := 0; k < ncbps; k++ {
+		out[k] = bits[perm[k]]
+	}
+	return out
+}
+
+// DeinterleaveSoft inverts Interleave on soft values.
+func DeinterleaveSoft(soft []float64, nbpsc int) []float64 {
+	ncbps := len(soft)
+	out := make([]float64, ncbps)
+	perm := interleavePerm(ncbps, nbpsc)
+	for k := 0; k < ncbps; k++ {
+		out[k] = soft[perm[k]]
+	}
+	return out
+}
+
+// interleavePerm returns perm such that interleaved[perm[k]] is the
+// coded bit that entered position k.
+func interleavePerm(ncbps, nbpsc int) []int {
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	perm := make([]int, ncbps)
+	for k := 0; k < ncbps; k++ {
+		i := (ncbps/16)*(k%16) + k/16
+		j := s*(i/s) + (i+ncbps-16*i/ncbps)%s
+		perm[k] = j
+	}
+	return perm
+}

@@ -1,0 +1,119 @@
+package wifi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"backfi/internal/fec"
+)
+
+// Minimal 802.11 MAC framing: enough to build the frames the BackFi
+// protocol actually uses — a CTS-to-SELF to silence the cell before a
+// backscatter exchange (paper Sec. 4.1) and data MPDUs for the normal
+// downlink traffic the tag rides on.
+
+// MACAddr is an EUI-48 address.
+type MACAddr [6]byte
+
+// String formats the address conventionally.
+func (a MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Frame-control field values (type/subtype in bits 2–7, LSB-first
+// ordering per 802.11).
+const (
+	// fcCTS is a control frame, subtype CTS (type 01, subtype 1100).
+	fcCTS = 0x00C4
+	// fcData is a data frame, subtype Data (type 10, subtype 0000),
+	// FromDS set.
+	fcData = 0x0208
+)
+
+// CTSToSelfBytes is the fixed CTS frame length including FCS.
+const CTSToSelfBytes = 14
+
+// BuildCTSToSelf returns the 14-byte CTS-to-SELF MPDU: the AP
+// addresses the CTS to itself with a NAV duration covering the
+// backscatter exchange, forcing other stations silent.
+func BuildCTSToSelf(ra MACAddr, durationUs int) ([]byte, error) {
+	if durationUs < 0 || durationUs > 32767 {
+		return nil, fmt.Errorf("wifi: NAV duration %d µs out of range", durationUs)
+	}
+	out := make([]byte, CTSToSelfBytes)
+	binary.LittleEndian.PutUint16(out[0:2], fcCTS)
+	binary.LittleEndian.PutUint16(out[2:4], uint16(durationUs))
+	copy(out[4:10], ra[:])
+	binary.LittleEndian.PutUint32(out[10:14], fec.FCS32(out[:10]))
+	return out, nil
+}
+
+// ParseCTSToSelf validates a CTS MPDU and returns its receiver address
+// and NAV duration.
+func ParseCTSToSelf(mpdu []byte) (MACAddr, int, error) {
+	var ra MACAddr
+	if len(mpdu) != CTSToSelfBytes {
+		return ra, 0, fmt.Errorf("wifi: CTS length %d", len(mpdu))
+	}
+	if binary.LittleEndian.Uint16(mpdu[0:2]) != fcCTS {
+		return ra, 0, fmt.Errorf("wifi: not a CTS frame")
+	}
+	if fec.FCS32(mpdu[:10]) != binary.LittleEndian.Uint32(mpdu[10:14]) {
+		return ra, 0, fmt.Errorf("wifi: CTS FCS mismatch")
+	}
+	copy(ra[:], mpdu[4:10])
+	return ra, int(binary.LittleEndian.Uint16(mpdu[2:4])), nil
+}
+
+// MPDUHeader is the three-address data frame header.
+type MPDUHeader struct {
+	// Duration is the NAV value in µs.
+	Duration int
+	// Addr1 (receiver), Addr2 (transmitter), Addr3 (BSSID/DA).
+	Addr1, Addr2, Addr3 MACAddr
+	// Seq is the 12-bit sequence number.
+	Seq int
+}
+
+// mpduHeaderBytes is the data header length (no QoS/HT fields).
+const mpduHeaderBytes = 24
+
+// BuildDataMPDU wraps a payload (MSDU) in a data MPDU with FCS.
+func BuildDataMPDU(h MPDUHeader, payload []byte) ([]byte, error) {
+	if h.Seq < 0 || h.Seq > 0xFFF {
+		return nil, fmt.Errorf("wifi: sequence %d out of range", h.Seq)
+	}
+	if h.Duration < 0 || h.Duration > 32767 {
+		return nil, fmt.Errorf("wifi: duration %d out of range", h.Duration)
+	}
+	out := make([]byte, mpduHeaderBytes+len(payload)+4)
+	binary.LittleEndian.PutUint16(out[0:2], fcData)
+	binary.LittleEndian.PutUint16(out[2:4], uint16(h.Duration))
+	copy(out[4:10], h.Addr1[:])
+	copy(out[10:16], h.Addr2[:])
+	copy(out[16:22], h.Addr3[:])
+	binary.LittleEndian.PutUint16(out[22:24], uint16(h.Seq)<<4)
+	copy(out[24:], payload)
+	binary.LittleEndian.PutUint32(out[len(out)-4:], fec.FCS32(out[:len(out)-4]))
+	return out, nil
+}
+
+// ParseDataMPDU validates a data MPDU and returns the header and MSDU.
+func ParseDataMPDU(mpdu []byte) (MPDUHeader, []byte, error) {
+	var h MPDUHeader
+	if len(mpdu) < mpduHeaderBytes+4 {
+		return h, nil, fmt.Errorf("wifi: MPDU of %d bytes too short", len(mpdu))
+	}
+	if fec.FCS32(mpdu[:len(mpdu)-4]) != binary.LittleEndian.Uint32(mpdu[len(mpdu)-4:]) {
+		return h, nil, fmt.Errorf("wifi: MPDU FCS mismatch")
+	}
+	if binary.LittleEndian.Uint16(mpdu[0:2]) != fcData {
+		return h, nil, fmt.Errorf("wifi: not a data frame")
+	}
+	h.Duration = int(binary.LittleEndian.Uint16(mpdu[2:4]))
+	copy(h.Addr1[:], mpdu[4:10])
+	copy(h.Addr2[:], mpdu[10:16])
+	copy(h.Addr3[:], mpdu[16:22])
+	h.Seq = int(binary.LittleEndian.Uint16(mpdu[22:24]) >> 4)
+	return h, mpdu[24 : len(mpdu)-4], nil
+}

@@ -1,0 +1,126 @@
+package wifi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+var (
+	apAddr     = MACAddr{0x02, 0x00, 0x00, 0xba, 0xcf, 0x01}
+	clientAddr = MACAddr{0x02, 0x00, 0x00, 0xc1, 0x1e, 0x42}
+)
+
+func TestCTSToSelfRoundTrip(t *testing.T) {
+	mpdu, err := BuildCTSToSelf(apAddr, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mpdu) != CTSToSelfBytes {
+		t.Fatalf("CTS length %d", len(mpdu))
+	}
+	ra, dur, err := ParseCTSToSelf(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != apAddr || dur != 1500 {
+		t.Fatalf("parsed %v/%d", ra, dur)
+	}
+}
+
+func TestCTSToSelfValidation(t *testing.T) {
+	if _, err := BuildCTSToSelf(apAddr, -1); err == nil {
+		t.Fatal("expected duration error")
+	}
+	if _, err := BuildCTSToSelf(apAddr, 40000); err == nil {
+		t.Fatal("expected duration error")
+	}
+	mpdu, _ := BuildCTSToSelf(apAddr, 100)
+	mpdu[5] ^= 1
+	if _, _, err := ParseCTSToSelf(mpdu); err == nil {
+		t.Fatal("expected FCS error")
+	}
+	if _, _, err := ParseCTSToSelf(mpdu[:10]); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDataMPDURoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	payload := make([]byte, 700)
+	r.Read(payload)
+	h := MPDUHeader{Duration: 44, Addr1: clientAddr, Addr2: apAddr, Addr3: apAddr, Seq: 0x7AB}
+	mpdu, err := BuildDataMPDU(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, msdu, err := ParseDataMPDU(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header %+v vs %+v", got, h)
+	}
+	if !bytes.Equal(msdu, payload) {
+		t.Fatal("payload differs")
+	}
+}
+
+func TestDataMPDUValidation(t *testing.T) {
+	h := MPDUHeader{Seq: 0x1000}
+	if _, err := BuildDataMPDU(h, nil); err == nil {
+		t.Fatal("expected sequence error")
+	}
+	h = MPDUHeader{Duration: 99999}
+	if _, err := BuildDataMPDU(h, nil); err == nil {
+		t.Fatal("expected duration error")
+	}
+	good, _ := BuildDataMPDU(MPDUHeader{Seq: 1}, []byte{1, 2, 3})
+	good[30] ^= 0xFF
+	if _, _, err := ParseDataMPDU(good); err == nil {
+		t.Fatal("expected FCS error")
+	}
+	if _, _, err := ParseDataMPDU(good[:10]); err == nil {
+		t.Fatal("expected length error")
+	}
+	// CTS parsed as data should be rejected.
+	cts, _ := BuildCTSToSelf(apAddr, 10)
+	padded := append(cts, make([]byte, 20)...)
+	if _, _, err := ParseDataMPDU(padded); err == nil {
+		t.Fatal("expected frame-type error")
+	}
+}
+
+func TestMPDUOverPHY(t *testing.T) {
+	// A framed MPDU travels the full PHY as the PSDU — the actual
+	// BackFi excitation is exactly this.
+	r := rand.New(rand.NewSource(2))
+	rate, _ := RateByMbps(24)
+	payload := make([]byte, 400)
+	r.Read(payload)
+	mpdu, err := BuildDataMPDU(MPDUHeader{Addr1: clientAddr, Addr2: apAddr, Addr3: apAddr, Seq: 9}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := Transmit(mpdu, rate, DefaultScramblerSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := NewReceiver().Receive(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, msdu, err := ParseDataMPDU(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seq != 9 || !bytes.Equal(msdu, payload) {
+		t.Fatal("MPDU corrupted over the PHY")
+	}
+}
+
+func TestMACAddrString(t *testing.T) {
+	if apAddr.String() != "02:00:00:ba:cf:01" {
+		t.Fatalf("String = %q", apAddr.String())
+	}
+}

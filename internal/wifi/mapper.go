@@ -1,0 +1,159 @@
+package wifi
+
+import (
+	"math"
+)
+
+// Constellation tables per 802.11-2012 18.3.5.8, Gray-coded with the
+// standard normalization factors (K_mod): BPSK 1, QPSK 1/√2,
+// 16-QAM 1/√10, 64-QAM 1/√42.
+
+// gray2 maps 2 bits (b0 b1, b0 first) to a 4-PAM-like axis level for
+// 16-QAM per the standard: 00→−3, 01→−1, 11→+1, 10→+3.
+func gray2(b0, b1 byte) float64 {
+	switch b0<<1 | b1 {
+	case 0b00:
+		return -3
+	case 0b01:
+		return -1
+	case 0b11:
+		return 1
+	default: // 0b10
+		return 3
+	}
+}
+
+// gray3 maps 3 bits to an 8-level axis for 64-QAM per the standard:
+// 000→−7, 001→−5, 011→−3, 010→−1, 110→+1, 111→+3, 101→+5, 100→+7.
+func gray3(b0, b1, b2 byte) float64 {
+	switch b0<<2 | b1<<1 | b2 {
+	case 0b000:
+		return -7
+	case 0b001:
+		return -5
+	case 0b011:
+		return -3
+	case 0b010:
+		return -1
+	case 0b110:
+		return 1
+	case 0b111:
+		return 3
+	case 0b101:
+		return 5
+	default: // 0b100
+		return 7
+	}
+}
+
+// Map converts coded bits to constellation points for modulation m.
+// len(bits) must be a multiple of m.BitsPerSymbol().
+func Map(bits []byte, m Modulation) []complex128 {
+	n := m.BitsPerSymbol()
+	if len(bits)%n != 0 {
+		panic("wifi: bit count not a multiple of bits-per-symbol")
+	}
+	out := make([]complex128, len(bits)/n)
+	for i := range out {
+		b := bits[i*n : (i+1)*n]
+		switch m {
+		case BPSK:
+			out[i] = complex(2*float64(b[0])-1, 0)
+		case QPSK:
+			out[i] = complex(2*float64(b[0])-1, 2*float64(b[1])-1) / complex(math.Sqrt2, 0)
+		case QAM16:
+			out[i] = complex(gray2(b[0], b[1]), gray2(b[2], b[3])) / complex(math.Sqrt(10), 0)
+		case QAM64:
+			out[i] = complex(gray3(b[0], b[1], b[2]), gray3(b[3], b[4], b[5])) / complex(math.Sqrt(42), 0)
+		}
+	}
+	return out
+}
+
+// constellation returns all points of m with their bit labels.
+func constellation(m Modulation) ([]complex128, [][]byte) {
+	n := m.BitsPerSymbol()
+	count := 1 << uint(n)
+	pts := make([]complex128, count)
+	labels := make([][]byte, count)
+	for v := 0; v < count; v++ {
+		bits := make([]byte, n)
+		for i := 0; i < n; i++ {
+			bits[i] = byte(v>>uint(n-1-i)) & 1
+		}
+		pts[v] = Map(bits, m)[0]
+		labels[v] = bits
+	}
+	return pts, labels
+}
+
+// demapTables caches per-modulation constellation point lists.
+var demapTables = map[Modulation]struct {
+	pts    []complex128
+	labels [][]byte
+}{}
+
+func init() {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		pts, labels := constellation(m)
+		demapTables[m] = struct {
+			pts    []complex128
+			labels [][]byte
+		}{pts, labels}
+	}
+}
+
+// DemapSoft computes per-bit soft values for each received point using
+// the max-log-MAP approximation: for bit i,
+//
+//	soft_i = min_{s: bit_i(s)=1} |y−s|² − min_{s: bit_i(s)=0} |y−s|²
+//
+// which is positive when bit 0 is more likely, matching the fec soft
+// convention. Values are not noise-normalized; the Viterbi decoder is
+// scale-invariant.
+func DemapSoft(points []complex128, m Modulation) []float64 {
+	tbl := demapTables[m]
+	n := m.BitsPerSymbol()
+	out := make([]float64, len(points)*n)
+	for pi, y := range points {
+		for i := 0; i < n; i++ {
+			d0 := math.Inf(1)
+			d1 := math.Inf(1)
+			for si, s := range tbl.pts {
+				dr := real(y) - real(s)
+				di := imag(y) - imag(s)
+				d := dr*dr + di*di
+				if tbl.labels[si][i] == 0 {
+					if d < d0 {
+						d0 = d
+					}
+				} else if d < d1 {
+					d1 = d
+				}
+			}
+			out[pi*n+i] = d1 - d0
+		}
+	}
+	return out
+}
+
+// DemapHard slices each received point to the nearest constellation
+// point and returns its bit label.
+func DemapHard(points []complex128, m Modulation) []byte {
+	tbl := demapTables[m]
+	n := m.BitsPerSymbol()
+	out := make([]byte, 0, len(points)*n)
+	for _, y := range points {
+		best := math.Inf(1)
+		bi := 0
+		for si, s := range tbl.pts {
+			dr := real(y) - real(s)
+			di := imag(y) - imag(s)
+			if d := dr*dr + di*di; d < best {
+				best, bi = d, si
+			}
+		}
+		out = append(out, tbl.labels[bi]...)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package wifi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomBits(r *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(r.Intn(2))
+	}
+	return bits
+}
+
+func TestMapUnitAveragePower(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		pts, _ := constellation(m)
+		var p float64
+		for _, s := range pts {
+			p += real(s)*real(s) + imag(s)*imag(s)
+		}
+		p /= float64(len(pts))
+		if math.Abs(p-1) > 1e-12 {
+			t.Fatalf("%s: average constellation power %v, want 1", m, p)
+		}
+	}
+}
+
+func TestMapDemapHardRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		bits := randomBits(r, m.BitsPerSymbol()*100)
+		got := DemapHard(Map(bits, m), m)
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%s: bit %d differs", m, i)
+			}
+		}
+	}
+}
+
+func TestDemapHardNearestNeighbor(t *testing.T) {
+	// A point perturbed by less than half the minimum distance must
+	// slice back to its own label.
+	r := rand.New(rand.NewSource(2))
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		dmin := minDistance(m)
+		bits := randomBits(r, m.BitsPerSymbol()*50)
+		pts := Map(bits, m)
+		for i := range pts {
+			pts[i] += complex(r.NormFloat64(), r.NormFloat64()) * complex(dmin/8, 0)
+		}
+		got := DemapHard(pts, m)
+		errs := 0
+		for i := range bits {
+			if got[i] != bits[i] {
+				errs++
+			}
+		}
+		if errs > 2 { // tiny Gaussian tail allowance
+			t.Fatalf("%s: %d errors with small perturbation", m, errs)
+		}
+	}
+}
+
+func minDistance(m Modulation) float64 {
+	pts, _ := constellation(m)
+	best := math.Inf(1)
+	for i := range pts {
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if d := cmplx.Abs(pts[i] - pts[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func TestDemapSoftSignsMatchHard(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		bits := randomBits(r, m.BitsPerSymbol()*64)
+		pts := Map(bits, m)
+		soft := DemapSoft(pts, m)
+		for i, b := range bits {
+			if b == 0 && soft[i] <= 0 {
+				t.Fatalf("%s: bit %d=0 but soft %v", m, i, soft[i])
+			}
+			if b == 1 && soft[i] >= 0 {
+				t.Fatalf("%s: bit %d=1 but soft %v", m, i, soft[i])
+			}
+		}
+	}
+}
+
+func TestGrayNeighborsDifferByOneBit(t *testing.T) {
+	// Gray property: nearest-neighbor constellation points differ in
+	// exactly one bit — the reason PSK/QAM bit errors stay small.
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		pts, labels := constellation(m)
+		dmin := minDistance(m)
+		for i := range pts {
+			for j := range pts {
+				if i == j || cmplx.Abs(pts[i]-pts[j]) > dmin*1.001 {
+					continue
+				}
+				diff := 0
+				for k := range labels[i] {
+					if labels[i][k] != labels[j][k] {
+						diff++
+					}
+				}
+				if diff != 1 {
+					t.Fatalf("%s: neighbors %v/%v differ in %d bits", m, labels[i], labels[j], diff)
+				}
+			}
+		}
+	}
+}
+
+func TestMapRejectsBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Map([]byte{1}, QPSK)
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, rate := range Rates {
+		bits := randomBits(r, rate.NCBPS())
+		got := Deinterleave(Interleave(bits, rate.NBPSC()), rate.NBPSC())
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%v: bit %d differs", rate, i)
+			}
+		}
+	}
+}
+
+func TestInterleaveSoftMatchesHard(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, rate := range Rates {
+		bits := randomBits(r, rate.NCBPS())
+		inter := Interleave(bits, rate.NBPSC())
+		soft := make([]float64, len(inter))
+		for i, b := range inter {
+			soft[i] = 1 - 2*float64(b)
+		}
+		deHard := Deinterleave(inter, rate.NBPSC())
+		deSoft := DeinterleaveSoft(soft, rate.NBPSC())
+		for i := range deHard {
+			if deSoft[i] != 1-2*float64(deHard[i]) {
+				t.Fatalf("%v: soft/hard deinterleave mismatch at %d", rate, i)
+			}
+		}
+	}
+}
+
+func TestInterleaveIsPermutation(t *testing.T) {
+	for _, rate := range Rates {
+		n := rate.NCBPS()
+		idx := make([]byte, n)
+		// Mark a single position and find it after interleaving; every
+		// position must map somewhere unique.
+		seen := make([]bool, n)
+		for k := 0; k < n; k++ {
+			for i := range idx {
+				idx[i] = 0
+			}
+			idx[k] = 1
+			out := Interleave(idx, rate.NBPSC())
+			pos := -1
+			for i, b := range out {
+				if b == 1 {
+					if pos != -1 {
+						t.Fatalf("%v: duplicated bit", rate)
+					}
+					pos = i
+				}
+			}
+			if pos == -1 {
+				t.Fatalf("%v: bit lost", rate)
+			}
+			if seen[pos] {
+				t.Fatalf("%v: position %d hit twice", rate, pos)
+			}
+			seen[pos] = true
+		}
+	}
+}
+
+func TestSpreadingProperty(t *testing.T) {
+	// Adjacent coded bits must land on non-adjacent subcarriers (the
+	// point of the first permutation). Check for 54 Mbps.
+	rate := Rates[len(Rates)-1]
+	n := rate.NCBPS()
+	bits := make([]byte, n)
+	bits[0], bits[1] = 1, 1
+	out := Interleave(bits, rate.NBPSC())
+	positions := []int{}
+	for i, b := range out {
+		if b == 1 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != 2 {
+		t.Fatalf("lost bits: %v", positions)
+	}
+	// They should be separated by at least one subcarrier's worth of bits.
+	if d := positions[1] - positions[0]; d < rate.NBPSC() {
+		t.Fatalf("adjacent coded bits map %d bits apart", d)
+	}
+}

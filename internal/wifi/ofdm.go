@@ -1,0 +1,86 @@
+package wifi
+
+import (
+	"fmt"
+
+	"backfi/internal/dsp"
+)
+
+// assembleSymbol builds one time-domain OFDM symbol (with cyclic prefix)
+// from 48 data constellation points and the pilot polarity for the given
+// symbol index (0 = SIGNAL).
+func assembleSymbol(points []complex128, symbolIndex int) []complex128 {
+	if len(points) != NumDataCarriers {
+		panic(fmt.Sprintf("wifi: %d data points, want %d", len(points), NumDataCarriers))
+	}
+	bins := make([]complex128, FFTSize)
+	for i, k := range dataCarriers {
+		bins[binFor(k)] = points[i] * carrierScale
+	}
+	pol := complex(pilotPolarity[symbolIndex%127], 0)
+	for i, k := range pilotCarriers {
+		bins[binFor(k)] = pilotValues[i] * pol * carrierScale
+	}
+	body := dsp.IFFT(bins)
+	out := make([]complex128, 0, SymbolLen)
+	out = append(out, body[FFTSize-CPLen:]...)
+	out = append(out, body...)
+	return out
+}
+
+// splitSymbol FFTs one CP-stripped OFDM symbol back to subcarrier bins.
+func splitSymbol(samples []complex128) []complex128 {
+	if len(samples) != FFTSize {
+		panic(fmt.Sprintf("wifi: symbol body length %d, want %d", len(samples), FFTSize))
+	}
+	return dsp.FFT(samples)
+}
+
+// extractCarriers pulls the 48 equalized data points and 4 pilot points
+// out of an FFT'd symbol given the channel estimate per bin.
+func extractCarriers(bins, chanEst []complex128) (data, pilots []complex128) {
+	data = make([]complex128, NumDataCarriers)
+	for i, k := range dataCarriers {
+		b := binFor(k)
+		data[i] = equalize(bins[b], chanEst[b])
+	}
+	pilots = make([]complex128, NumPilots)
+	for i, k := range pilotCarriers {
+		b := binFor(k)
+		pilots[i] = equalize(bins[b], chanEst[b])
+	}
+	return data, pilots
+}
+
+// equalize performs zero-forcing equalization of one bin, guarding
+// against a null channel estimate.
+func equalize(y, h complex128) complex128 {
+	if h == 0 {
+		return 0
+	}
+	return y / h / carrierScale
+}
+
+// extractCarriersMMSE is extractCarriers with MMSE weights
+// conj(H)/(|H|²+σ²): faded bins are attenuated toward zero instead of
+// noise-amplified, which the soft demapper then naturally de-weights.
+func extractCarriersMMSE(bins, chanEst []complex128, noiseVar float64) (data, pilots []complex128) {
+	eq := func(b int) complex128 {
+		h := chanEst[b]
+		den := real(h)*real(h) + imag(h)*imag(h) + noiseVar
+		if den == 0 {
+			return 0
+		}
+		w := complex(real(h), -imag(h)) / complex(den, 0)
+		return bins[b] * w / carrierScale
+	}
+	data = make([]complex128, NumDataCarriers)
+	for i, k := range dataCarriers {
+		data[i] = eq(binFor(k))
+	}
+	pilots = make([]complex128, NumPilots)
+	for i, k := range pilotCarriers {
+		pilots[i] = eq(binFor(k))
+	}
+	return data, pilots
+}

@@ -1,0 +1,86 @@
+// Package wifi implements a complete 802.11a/g-style 20 MHz OFDM
+// baseband PHY: transmitter and receiver for the 6–54 Mbps rate set,
+// including scrambling, convolutional coding with puncturing,
+// interleaving, BPSK–64QAM mapping, pilot insertion and tracking, the
+// short/long training preamble, and the SIGNAL field.
+//
+// In the BackFi system this PHY plays the role of the WARP WiFi radio:
+// it produces the wideband excitation signal the tag backscatters, and
+// it is also used to evaluate the impact of backscatter on the normal
+// WiFi downlink (paper Sec. 6.4/6.5).
+package wifi
+
+import (
+	"math"
+
+	"backfi/internal/fec"
+)
+
+// Core OFDM numerology for 20 MHz 802.11a/g.
+const (
+	// FFTSize is the number of subcarriers in the OFDM symbol.
+	FFTSize = 64
+	// CPLen is the cyclic prefix length in samples (800 ns).
+	CPLen = 16
+	// SymbolLen is the total OFDM symbol length in samples (4 µs).
+	SymbolLen = FFTSize + CPLen
+	// NumDataCarriers is the number of data-bearing subcarriers.
+	NumDataCarriers = 48
+	// NumPilots is the number of pilot subcarriers.
+	NumPilots = 4
+	// SampleRate is the baseband sample rate in Hz.
+	SampleRate = 20e6
+	// STFLen and LTFLen are the short/long training field lengths.
+	STFLen = 160
+	// LTFLen is the long training field length in samples.
+	LTFLen = 160
+	// PreambleLen is the total PLCP preamble length (16 µs).
+	PreambleLen = STFLen + LTFLen
+	// ServiceBits is the number of SERVICE field bits prepended to the PSDU.
+	ServiceBits = 16
+)
+
+// dataCarriers lists the data subcarrier indices in the order bits are
+// mapped (−26..26 skipping DC and pilots), per 802.11-2012 18.3.5.10.
+var dataCarriers = buildDataCarriers()
+
+// pilotCarriers are the pilot subcarrier indices.
+var pilotCarriers = [NumPilots]int{-21, -7, 7, 21}
+
+// pilotValues are the base pilot symbols at those indices, multiplied by
+// the per-symbol polarity.
+var pilotValues = [NumPilots]complex128{1, 1, 1, -1}
+
+func buildDataCarriers() [NumDataCarriers]int {
+	var out [NumDataCarriers]int
+	i := 0
+	for k := -26; k <= 26; k++ {
+		if k == 0 || k == -21 || k == -7 || k == 7 || k == 21 {
+			continue
+		}
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+// pilotPolarity is the 127-element polarity sequence p_n of
+// 802.11-2012 Eq. 18-25; it equals the all-ones-seeded scrambler
+// keystream mapped 0→+1, 1→−1.
+var pilotPolarity = buildPilotPolarity()
+
+func buildPilotPolarity() [127]float64 {
+	var p [127]float64
+	s := fec.NewScrambler(0x7F)
+	for i := range p {
+		p[i] = 1 - 2*float64(s.Next())
+	}
+	return p
+}
+
+// carrierScale normalizes a 52-tone OFDM symbol to unit average power
+// after the 1/N IFFT.
+var carrierScale = complex(FFTSize/math.Sqrt(52), 0)
+
+// binFor maps a signed subcarrier index (−32..31) to its FFT bin.
+func binFor(k int) int { return (k + FFTSize) % FFTSize }

@@ -1,0 +1,71 @@
+package wifi
+
+import (
+	"math"
+
+	"backfi/internal/dsp"
+)
+
+// ltfSequence is the frequency-domain long training sequence
+// L_{−26..26} of 802.11-2012 Eq. 18-10 (53 entries, DC in the middle).
+var ltfSequence = []float64{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// stfCarriers maps subcarrier index → value (before the √(13/6) boost)
+// for the short training sequence of Eq. 18-8.
+var stfCarriers = map[int]complex128{
+	-24: complex(1, 1), -20: complex(-1, -1), -16: complex(1, 1),
+	-12: complex(-1, -1), -8: complex(-1, -1), -4: complex(1, 1),
+	4: complex(-1, -1), 8: complex(-1, -1), 12: complex(1, 1),
+	16: complex(1, 1), 20: complex(1, 1), 24: complex(1, 1),
+}
+
+// LTFCarrier returns L_k for subcarrier k in [−26, 26].
+func LTFCarrier(k int) float64 {
+	return ltfSequence[k+26]
+}
+
+// ShortTrainingField returns the 160-sample STF: ten repetitions of the
+// 16-sample short training symbol, at unit average power.
+func ShortTrainingField() []complex128 {
+	bins := make([]complex128, FFTSize)
+	boost := complex(math.Sqrt(13.0/6.0), 0)
+	for k, v := range stfCarriers {
+		bins[binFor(k)] = v * boost * carrierScale
+	}
+	sym := dsp.IFFT(bins)
+	short := sym[:16]
+	out := make([]complex128, 0, STFLen)
+	for i := 0; i < 10; i++ {
+		out = append(out, short...)
+	}
+	return out
+}
+
+// longTrainingSymbol returns one 64-sample long training symbol.
+func longTrainingSymbol() []complex128 {
+	bins := make([]complex128, FFTSize)
+	for k := -26; k <= 26; k++ {
+		bins[binFor(k)] = complex(LTFCarrier(k), 0) * carrierScale
+	}
+	return dsp.IFFT(bins)
+}
+
+// LongTrainingField returns the 160-sample LTF: a 32-sample cyclic
+// prefix followed by two repetitions of the long training symbol.
+func LongTrainingField() []complex128 {
+	sym := longTrainingSymbol()
+	out := make([]complex128, 0, LTFLen)
+	out = append(out, sym[32:]...) // 32-sample guard = tail of the symbol
+	out = append(out, sym...)
+	out = append(out, sym...)
+	return out
+}
+
+// Preamble returns the full 320-sample (16 µs) PLCP preamble.
+func Preamble() []complex128 {
+	return dsp.Concat(ShortTrainingField(), LongTrainingField())
+}

@@ -1,0 +1,91 @@
+package wifi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based coverage (testing/quick) of the PHY's core
+// invariants, complementing the directed tests.
+
+func TestQuickTransmitReceiveRoundTrip(t *testing.T) {
+	rx := NewReceiver()
+	f := func(seed int64, rateIdx uint8, lenSel uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		rate := Rates[int(rateIdx)%len(Rates)]
+		n := 1 + int(lenSel)%600
+		psdu := make([]byte, n)
+		r.Read(psdu)
+		wave, err := Transmit(psdu, rate, DefaultScramblerSeed)
+		if err != nil {
+			return false
+		}
+		got, info, err := rx.Receive(wave)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, psdu) && info.Rate.Mbps == rate.Mbps
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInterleaverBijective(t *testing.T) {
+	f := func(seed int64, rateIdx uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		rate := Rates[int(rateIdx)%len(Rates)]
+		bits := make([]byte, rate.NCBPS())
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		back := Deinterleave(Interleave(bits, rate.NBPSC()), rate.NBPSC())
+		return bytes.Equal(back, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMapperRoundTrip(t *testing.T) {
+	f := func(seed int64, modSel uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := []Modulation{BPSK, QPSK, QAM16, QAM64}[int(modSel)%4]
+		bits := make([]byte, m.BitsPerSymbol()*48)
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		return bytes.Equal(DemapHard(Map(bits, m), m), bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMPDURoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8, seq uint16, dur uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		payload := make([]byte, int(n)+1)
+		r.Read(payload)
+		h := MPDUHeader{
+			Duration: int(dur) % 32768,
+			Addr1:    apAddr, Addr2: clientAddr, Addr3: apAddr,
+			Seq: int(seq) % 4096,
+		}
+		mpdu, err := BuildDataMPDU(h, payload)
+		if err != nil {
+			return false
+		}
+		got, msdu, err := ParseDataMPDU(mpdu)
+		if err != nil {
+			return false
+		}
+		return got == h && bytes.Equal(msdu, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

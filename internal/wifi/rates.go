@@ -1,0 +1,119 @@
+package wifi
+
+import (
+	"fmt"
+
+	"backfi/internal/fec"
+)
+
+// Modulation identifies the per-subcarrier constellation.
+type Modulation int
+
+const (
+	// BPSK carries 1 bit per subcarrier.
+	BPSK Modulation = iota
+	// QPSK carries 2 bits per subcarrier.
+	QPSK
+	// QAM16 carries 4 bits per subcarrier.
+	QAM16
+	// QAM64 carries 6 bits per subcarrier.
+	QAM64
+)
+
+// BitsPerSymbol returns the bits carried per subcarrier.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	}
+	panic("wifi: unknown modulation")
+}
+
+// String names the modulation.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	}
+	return fmt.Sprintf("Modulation(%d)", int(m))
+}
+
+// Rate describes one entry of the 802.11a/g rate set.
+type Rate struct {
+	// Mbps is the nominal data rate in megabits per second.
+	Mbps int
+	// Mod is the subcarrier modulation.
+	Mod Modulation
+	// Coding is the convolutional code rate.
+	Coding fec.CodeRate
+	// SignalBits is the 4-bit RATE field encoding (R1..R4, R1 first).
+	SignalBits byte
+}
+
+// NBPSC returns coded bits per subcarrier.
+func (r Rate) NBPSC() int { return r.Mod.BitsPerSymbol() }
+
+// NCBPS returns coded bits per OFDM symbol.
+func (r Rate) NCBPS() int { return r.NBPSC() * NumDataCarriers }
+
+// NDBPS returns data bits per OFDM symbol.
+func (r Rate) NDBPS() int {
+	switch r.Coding {
+	case fec.Rate12:
+		return r.NCBPS() / 2
+	case fec.Rate23:
+		return r.NCBPS() * 2 / 3
+	case fec.Rate34:
+		return r.NCBPS() * 3 / 4
+	}
+	panic("wifi: unknown code rate")
+}
+
+// String formats the rate like "24 Mbps (16-QAM 1/2)".
+func (r Rate) String() string {
+	return fmt.Sprintf("%d Mbps (%s %s)", r.Mbps, r.Mod, r.Coding)
+}
+
+// Rates is the standard 802.11a/g rate set in increasing order.
+var Rates = []Rate{
+	{6, BPSK, fec.Rate12, 0b1101},
+	{9, BPSK, fec.Rate34, 0b1111},
+	{12, QPSK, fec.Rate12, 0b0101},
+	{18, QPSK, fec.Rate34, 0b0111},
+	{24, QAM16, fec.Rate12, 0b1001},
+	{36, QAM16, fec.Rate34, 0b1011},
+	{48, QAM64, fec.Rate23, 0b0001},
+	{54, QAM64, fec.Rate34, 0b0011},
+}
+
+// RateByMbps returns the rate entry with the given nominal Mbps.
+func RateByMbps(mbps int) (Rate, error) {
+	for _, r := range Rates {
+		if r.Mbps == mbps {
+			return r, nil
+		}
+	}
+	return Rate{}, fmt.Errorf("wifi: no such rate: %d Mbps", mbps)
+}
+
+// rateBySignalBits looks up a rate from the SIGNAL field encoding.
+func rateBySignalBits(bits byte) (Rate, error) {
+	for _, r := range Rates {
+		if r.SignalBits == bits {
+			return r, nil
+		}
+	}
+	return Rate{}, fmt.Errorf("wifi: invalid SIGNAL rate bits %04b", bits)
+}

@@ -1,0 +1,255 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"backfi/internal/dsp"
+	"backfi/internal/fec"
+)
+
+// RxInfo carries receiver diagnostics alongside a decoded PSDU.
+type RxInfo struct {
+	// Rate is the rate decoded from the SIGNAL field.
+	Rate Rate
+	// PayloadStart is the sample index of the first data symbol.
+	PayloadStart int
+	// CFO is the estimated carrier frequency offset in radians/sample.
+	CFO float64
+	// EVM is the RMS error-vector magnitude of the equalized data
+	// constellation (against hard decisions).
+	EVM float64
+	// SNRdB is the EVM-derived post-equalization SNR estimate.
+	SNRdB float64
+	// NumSymbols is the number of data OFDM symbols.
+	NumSymbols int
+}
+
+// Receiver decodes 802.11a/g PPDUs from baseband samples.
+type Receiver struct {
+	// DetectThreshold is the normalized LTF correlation required to
+	// declare a packet (0..1).
+	DetectThreshold float64
+	// MMSE selects minimum-mean-square-error equalization instead of
+	// zero forcing: bins are weighted conj(H)/(|H|²+σ²) with the noise
+	// variance estimated from the two LTF repetitions. ZF inverts
+	// channel nulls and blows up their noise; MMSE de-weights them,
+	// which matters for 64-QAM through frequency-selective fades.
+	MMSE bool
+}
+
+// NewReceiver returns a receiver with standard thresholds (zero
+// forcing, matching the WARP reference design).
+func NewReceiver() *Receiver {
+	return &Receiver{DetectThreshold: 0.5}
+}
+
+// errNoPacket is returned when no preamble is found.
+var errNoPacket = fmt.Errorf("wifi: no packet detected")
+
+// IsNoPacket reports whether err means no preamble was found (as
+// opposed to a corrupted packet).
+func IsNoPacket(err error) bool { return err == errNoPacket }
+
+// Receive synchronizes to the first PPDU in samples and decodes it.
+func (rx *Receiver) Receive(samples []complex128) ([]byte, *RxInfo, error) {
+	ltf := LongTrainingField()
+	if len(samples) < PreambleLen+SymbolLen {
+		return nil, nil, errNoPacket
+	}
+	corr := dsp.NormalizedCrossCorrelate(samples, ltf)
+	peak := dsp.PeakIndex(corr)
+	if peak < 0 || corr[peak] < rx.DetectThreshold {
+		return nil, nil, errNoPacket
+	}
+	// Back the timing off a few samples: in a multipath channel the
+	// correlation peak follows the strongest tap, which may not be the
+	// first. Sampling early lands safely inside each cyclic prefix
+	// (absorbed as linear phase by the channel estimate), while
+	// sampling late pulls inter-symbol interference into the FFT.
+	const timingBackoff = 4
+	ltfStart := peak - timingBackoff
+	if ltfStart < 0 {
+		ltfStart = 0
+	}
+
+	// CFO from the repetition of the two long training symbols.
+	var acc complex128
+	for n := ltfStart + 32; n+64 < len(samples) && n < ltfStart+32+64; n++ {
+		acc += samples[n] * cmplx.Conj(samples[n+64])
+	}
+	cfo := cmplx.Phase(acc) / 64 // radians per sample
+	work := dsp.Rotate(samples, 0, cfo)
+
+	// Channel estimation from the averaged long training symbols.
+	if ltfStart+LTFLen+SymbolLen > len(work) {
+		return nil, nil, errNoPacket
+	}
+	lt1 := work[ltfStart+32 : ltfStart+96]
+	lt2 := work[ltfStart+96 : ltfStart+160]
+	avg := make([]complex128, FFTSize)
+	for i := range avg {
+		avg[i] = (lt1[i] + lt2[i]) / 2
+	}
+	bins := splitSymbol(avg)
+	chanEst := make([]complex128, FFTSize)
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		b := binFor(k)
+		chanEst[b] = bins[b] / (complex(LTFCarrier(k), 0) * carrierScale)
+	}
+	// Per-bin noise variance from the difference of the two identical
+	// LTF symbols: |FFT(lt1−lt2)|²/2 averaged over used bins, referred
+	// to the normalized constellation domain for the MMSE weights.
+	var noiseVar float64
+	if rx.MMSE {
+		diff := make([]complex128, FFTSize)
+		for i := range diff {
+			diff[i] = (lt1[i] - lt2[i]) / 2
+		}
+		dbins := splitSymbol(diff)
+		var acc float64
+		for k := -26; k <= 26; k++ {
+			if k == 0 {
+				continue
+			}
+			v := dbins[binFor(k)]
+			acc += real(v)*real(v) + imag(v)*imag(v)
+		}
+		// The averaged LTF has half the noise of one symbol; the data
+		// symbols carry full noise, so scale ×2, then refer to the
+		// unit-power constellation domain (divide by |carrierScale|²).
+		cs := real(carrierScale)
+		noiseVar = 2 * acc / 52 / (cs * cs)
+	}
+
+	// SIGNAL symbol.
+	sigStart := ltfStart + LTFLen
+	sigPoints, sigPilots := rx.demodSymbol(work, sigStart, chanEst, 0, noiseVar)
+	if sigPoints == nil {
+		return nil, nil, errNoPacket
+	}
+	_ = sigPilots
+	rate, psduLen, err := decodeSignalSymbol(sigPoints)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wifi: SIGNAL decode: %w", err)
+	}
+
+	// Data symbols.
+	ndbps := rate.NDBPS()
+	payloadBits := ServiceBits + 8*psduLen + fec.TailBits
+	nsym := (payloadBits + ndbps - 1) / ndbps
+	dataStart := sigStart + SymbolLen
+	if dataStart+nsym*SymbolLen > len(work) {
+		return nil, nil, fmt.Errorf("wifi: truncated packet: need %d symbols", nsym)
+	}
+
+	soft := make([]float64, 0, nsym*rate.NCBPS())
+	var evmNum, evmDen float64
+	for s := 0; s < nsym; s++ {
+		points, _ := rx.demodSymbol(work, dataStart+s*SymbolLen, chanEst, s+1, noiseVar)
+		if points == nil {
+			return nil, nil, fmt.Errorf("wifi: symbol %d out of range", s)
+		}
+		// EVM against hard decisions.
+		hard := DemapHard(points, rate.Mod)
+		ideal := Map(hard, rate.Mod)
+		for i := range points {
+			d := points[i] - ideal[i]
+			evmNum += real(d)*real(d) + imag(d)*imag(d)
+			evmDen += real(ideal[i])*real(ideal[i]) + imag(ideal[i])*imag(ideal[i])
+		}
+		symSoft := DeinterleaveSoft(DemapSoft(points, rate.Mod), rate.NBPSC())
+		soft = append(soft, symSoft...)
+	}
+
+	steps := nsym * ndbps
+	mother, err := fec.Depuncture(soft, rate.Coding, 2*steps)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wifi: depuncture: %w", err)
+	}
+	scrambled, err := fec.ViterbiDecode(mother, false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wifi: viterbi: %w", err)
+	}
+
+	descrambled, err := descrambleFromService(scrambled)
+	if err != nil {
+		return nil, nil, err
+	}
+	psduBits := descrambled[ServiceBits : ServiceBits+8*psduLen]
+	psdu := fec.BitsToBytes(psduBits)
+
+	evm := 0.0
+	if evmDen > 0 {
+		evm = math.Sqrt(evmNum / evmDen)
+	}
+	info := &RxInfo{
+		Rate:         rate,
+		PayloadStart: dataStart,
+		CFO:          -cfo, // sign flipped: we corrected by rotating with +cfo
+		EVM:          evm,
+		SNRdB:        dsp.EVMToSNRdB(evm),
+		NumSymbols:   nsym,
+	}
+	return psdu, info, nil
+}
+
+// demodSymbol strips the CP, FFTs, equalizes (ZF, or MMSE when
+// noiseVar > 0), and corrects common phase error from pilots for the
+// OFDM symbol starting at start.
+func (rx *Receiver) demodSymbol(samples []complex128, start int, chanEst []complex128, symbolIndex int, noiseVar float64) (data, pilots []complex128) {
+	if start+SymbolLen > len(samples) {
+		return nil, nil
+	}
+	body := samples[start+CPLen : start+SymbolLen]
+	bins := splitSymbol(body)
+	if rx.MMSE && noiseVar > 0 {
+		data, pilots = extractCarriersMMSE(bins, chanEst, noiseVar)
+	} else {
+		data, pilots = extractCarriers(bins, chanEst)
+	}
+	// Common phase error from pilots.
+	pol := complex(pilotPolarity[symbolIndex%127], 0)
+	var acc complex128
+	for i := range pilots {
+		expected := pilotValues[i] * pol
+		acc += pilots[i] * cmplx.Conj(expected)
+	}
+	if acc != 0 {
+		rot := cmplx.Conj(acc / complex(cmplx.Abs(acc), 0))
+		for i := range data {
+			data[i] *= rot
+		}
+		for i := range pilots {
+			pilots[i] *= rot
+		}
+	}
+	return data, pilots
+}
+
+// descrambleFromService recovers the scrambler seed from the first 7
+// SERVICE bits (which are zero before scrambling, so the received bits
+// are the raw keystream) and descrambles the whole stream.
+func descrambleFromService(bits []byte) ([]byte, error) {
+	if len(bits) < 7 {
+		return nil, fmt.Errorf("wifi: stream too short for SERVICE field")
+	}
+	for seed := byte(1); seed < 128; seed++ {
+		s := fec.NewScrambler(seed)
+		ok := true
+		for i := 0; i < 7; i++ {
+			if s.Next() != bits[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return fec.NewScrambler(seed).Scramble(bits), nil
+		}
+	}
+	return nil, fmt.Errorf("wifi: could not recover scrambler seed")
+}

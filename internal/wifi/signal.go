@@ -1,0 +1,87 @@
+package wifi
+
+import (
+	"fmt"
+
+	"backfi/internal/fec"
+)
+
+// maxPSDULen is the 802.11 LENGTH field ceiling (12 bits).
+const maxPSDULen = 4095
+
+// buildSignalField returns the 24 SIGNAL bits for a PPDU carrying a
+// length-byte PSDU at the given rate: RATE(4) | R(1) | LENGTH(12, LSB
+// first) | even parity(1) | tail(6).
+func buildSignalField(rate Rate, length int) ([]byte, error) {
+	if length < 1 || length > maxPSDULen {
+		return nil, fmt.Errorf("wifi: PSDU length %d out of range [1,%d]", length, maxPSDULen)
+	}
+	bits := make([]byte, 24)
+	for i := 0; i < 4; i++ {
+		bits[i] = (rate.SignalBits >> uint(3-i)) & 1
+	}
+	// bits[4] reserved = 0.
+	for i := 0; i < 12; i++ {
+		bits[5+i] = byte(length>>uint(i)) & 1
+	}
+	var par byte
+	for _, b := range bits[:17] {
+		par ^= b
+	}
+	bits[17] = par
+	// bits[18:24] tail zeros.
+	return bits, nil
+}
+
+// parseSignalField validates and decodes 24 SIGNAL bits.
+func parseSignalField(bits []byte) (Rate, int, error) {
+	if len(bits) != 24 {
+		return Rate{}, 0, fmt.Errorf("wifi: SIGNAL field has %d bits", len(bits))
+	}
+	var par byte
+	for _, b := range bits[:18] {
+		par ^= b
+	}
+	if par != 0 {
+		return Rate{}, 0, fmt.Errorf("wifi: SIGNAL parity check failed")
+	}
+	var rbits byte
+	for i := 0; i < 4; i++ {
+		rbits = rbits<<1 | bits[i]
+	}
+	rate, err := rateBySignalBits(rbits)
+	if err != nil {
+		return Rate{}, 0, err
+	}
+	length := 0
+	for i := 0; i < 12; i++ {
+		length |= int(bits[5+i]) << uint(i)
+	}
+	if length == 0 {
+		return Rate{}, 0, fmt.Errorf("wifi: SIGNAL length is zero")
+	}
+	return rate, length, nil
+}
+
+// encodeSignalSymbol turns the SIGNAL bits into the one BPSK rate-1/2
+// OFDM symbol that follows the preamble (symbol index 0).
+func encodeSignalSymbol(sigBits []byte) []complex128 {
+	coded := fec.ConvEncode(sigBits) // 48 bits; the 6 tail zeros terminate the trellis
+	inter := Interleave(coded, 1)
+	points := Map(inter, BPSK)
+	return assembleSymbol(points, 0)
+}
+
+// decodeSignalSymbol inverts encodeSignalSymbol given equalized data
+// points.
+func decodeSignalSymbol(points []complex128) (Rate, int, error) {
+	soft := DemapSoft(points, BPSK)
+	desoft := DeinterleaveSoft(soft, 1)
+	bits, err := fec.ViterbiDecode(desoft, true) // tail-terminated, returns 18 bits
+	if err != nil {
+		return Rate{}, 0, err
+	}
+	full := make([]byte, 24)
+	copy(full, bits)
+	return parseSignalField(full)
+}

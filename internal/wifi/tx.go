@@ -1,0 +1,64 @@
+package wifi
+
+import (
+	"fmt"
+
+	"backfi/internal/dsp"
+	"backfi/internal/fec"
+)
+
+// DefaultScramblerSeed is the scrambler seed used when the caller does
+// not care (any non-zero 7-bit value is valid; the receiver recovers it
+// from the SERVICE field).
+const DefaultScramblerSeed = 0x5D
+
+// Transmit encodes a PSDU into a complete PPDU waveform at unit average
+// power: STF, LTF, SIGNAL symbol, and data symbols.
+func Transmit(psdu []byte, rate Rate, scramblerSeed byte) ([]complex128, error) {
+	sigBits, err := buildSignalField(rate, len(psdu))
+	if err != nil {
+		return nil, err
+	}
+
+	// DATA field bit assembly: SERVICE (16 zero bits) | PSDU | tail (6) | pad.
+	ndbps := rate.NDBPS()
+	payloadBits := ServiceBits + 8*len(psdu) + fec.TailBits
+	nsym := (payloadBits + ndbps - 1) / ndbps
+	bits := make([]byte, nsym*ndbps)
+	copy(bits[ServiceBits:], fec.BytesToBits(psdu))
+
+	// Scramble everything, then zero the tail bits so the trellis
+	// terminates (802.11-2012 18.3.5.3).
+	scrambled := fec.NewScrambler(scramblerSeed).Scramble(bits)
+	tailStart := ServiceBits + 8*len(psdu)
+	for i := 0; i < fec.TailBits; i++ {
+		scrambled[tailStart+i] = 0
+	}
+
+	coded := fec.Puncture(fec.ConvEncode(scrambled), rate.Coding)
+	ncbps := rate.NCBPS()
+	if len(coded) != nsym*ncbps {
+		return nil, fmt.Errorf("wifi: internal coded length %d, want %d", len(coded), nsym*ncbps)
+	}
+
+	waveform := dsp.Concat(Preamble(), encodeSignalSymbol(sigBits))
+	for s := 0; s < nsym; s++ {
+		chunk := Interleave(coded[s*ncbps:(s+1)*ncbps], rate.NBPSC())
+		points := Map(chunk, rate.Mod)
+		waveform = append(waveform, assembleSymbol(points, s+1)...)
+	}
+	return waveform, nil
+}
+
+// PPDULen returns the total waveform length in samples for a PSDU of
+// the given byte length at the given rate.
+func PPDULen(psduLen int, rate Rate) int {
+	payloadBits := ServiceBits + 8*psduLen + fec.TailBits
+	nsym := (payloadBits + rate.NDBPS() - 1) / rate.NDBPS()
+	return PreambleLen + SymbolLen + nsym*SymbolLen
+}
+
+// AirtimeSeconds returns the on-air duration of a PSDU at the rate.
+func AirtimeSeconds(psduLen int, rate Rate) float64 {
+	return float64(PPDULen(psduLen, rate)) / SampleRate
+}

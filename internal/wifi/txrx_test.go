@@ -1,0 +1,305 @@
+package wifi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"backfi/internal/dsp"
+)
+
+func randPSDU(r *rand.Rand, n int) []byte {
+	p := make([]byte, n)
+	r.Read(p)
+	return p
+}
+
+// addAWGN adds complex Gaussian noise with the given per-sample power.
+func addAWGN(r *rand.Rand, x []complex128, power float64) []complex128 {
+	sigma := math.Sqrt(power / 2)
+	out := make([]complex128, len(x))
+	for i := range x {
+		out[i] = x[i] + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+	}
+	return out
+}
+
+func TestTransmitLengthMatchesPPDULen(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, rate := range Rates {
+		for _, n := range []int{1, 40, 100, 1500} {
+			wave, err := Transmit(randPSDU(r, n), rate, DefaultScramblerSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wave) != PPDULen(n, rate) {
+				t.Fatalf("%v len %d: got %d want %d", rate, n, len(wave), PPDULen(n, rate))
+			}
+		}
+	}
+}
+
+func TestTransmitUnitPower(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	rate, _ := RateByMbps(24)
+	wave, err := Transmit(randPSDU(r, 500), rate, DefaultScramblerSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := dsp.Power(wave); math.Abs(p-1) > 0.1 {
+		t.Fatalf("waveform power %v, want ~1", p)
+	}
+}
+
+func TestTransmitRejectsBadLength(t *testing.T) {
+	rate, _ := RateByMbps(6)
+	if _, err := Transmit(nil, rate, DefaultScramblerSeed); err == nil {
+		t.Fatal("expected error for empty PSDU")
+	}
+	if _, err := Transmit(make([]byte, 5000), rate, DefaultScramblerSeed); err == nil {
+		t.Fatal("expected error for oversized PSDU")
+	}
+}
+
+func TestCleanChannelRoundTripAllRates(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	rx := NewReceiver()
+	for _, rate := range Rates {
+		psdu := randPSDU(r, 300)
+		wave, err := Transmit(psdu, rate, DefaultScramblerSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pad with leading/trailing silence so sync is non-trivial.
+		signal := dsp.Concat(dsp.Zeros(133), wave, dsp.Zeros(50))
+		got, info, err := rx.Receive(signal)
+		if err != nil {
+			t.Fatalf("%v: %v", rate, err)
+		}
+		if !bytes.Equal(got, psdu) {
+			t.Fatalf("%v: PSDU corrupted", rate)
+		}
+		if info.Rate.Mbps != rate.Mbps {
+			t.Fatalf("%v: decoded rate %v", rate, info.Rate)
+		}
+		if info.SNRdB < 40 {
+			t.Fatalf("%v: clean-channel SNR only %v dB", rate, info.SNRdB)
+		}
+	}
+}
+
+func TestNoisyChannelRoundTrip(t *testing.T) {
+	// 25 dB SNR should decode even 54 Mbps.
+	r := rand.New(rand.NewSource(4))
+	rx := NewReceiver()
+	for _, mbps := range []int{6, 24, 54} {
+		rate, _ := RateByMbps(mbps)
+		psdu := randPSDU(r, 400)
+		wave, _ := Transmit(psdu, rate, DefaultScramblerSeed)
+		noisy := addAWGN(r, dsp.Concat(dsp.Zeros(80), wave), dsp.UnDB(-25))
+		got, _, err := rx.Receive(noisy)
+		if err != nil {
+			t.Fatalf("%d Mbps: %v", mbps, err)
+		}
+		if !bytes.Equal(got, psdu) {
+			t.Fatalf("%d Mbps: PSDU corrupted at 25 dB SNR", mbps)
+		}
+	}
+}
+
+func TestLowRateSurvivesLowSNR(t *testing.T) {
+	// 6 Mbps (BPSK 1/2) should decode at 8 dB SNR where 54 Mbps cannot.
+	r := rand.New(rand.NewSource(5))
+	rx := NewReceiver()
+	rate6, _ := RateByMbps(6)
+	psdu := randPSDU(r, 200)
+	wave, _ := Transmit(psdu, rate6, DefaultScramblerSeed)
+	ok := 0
+	for trial := 0; trial < 5; trial++ {
+		noisy := addAWGN(r, wave, dsp.UnDB(-8))
+		got, _, err := rx.Receive(noisy)
+		if err == nil && bytes.Equal(got, psdu) {
+			ok++
+		}
+	}
+	if ok < 4 {
+		t.Fatalf("6 Mbps decoded %d/5 at 8 dB SNR", ok)
+	}
+}
+
+func TestMultipathChannelRoundTrip(t *testing.T) {
+	// A 4-tap frequency-selective channel within the CP must be fully
+	// equalized by the per-carrier channel estimate.
+	r := rand.New(rand.NewSource(6))
+	rx := NewReceiver()
+	taps := []complex128{1, complex(0.4, -0.3), 0, complex(-0.2, 0.1)}
+	for _, mbps := range []int{12, 48} {
+		rate, _ := RateByMbps(mbps)
+		psdu := randPSDU(r, 256)
+		wave, _ := Transmit(psdu, rate, DefaultScramblerSeed)
+		faded := dsp.ConvolveSame(dsp.Concat(dsp.Zeros(64), wave, dsp.Zeros(16)), taps)
+		noisy := addAWGN(r, faded, dsp.UnDB(-30))
+		got, _, err := rx.Receive(noisy)
+		if err != nil {
+			t.Fatalf("%d Mbps: %v", mbps, err)
+		}
+		if !bytes.Equal(got, psdu) {
+			t.Fatalf("%d Mbps: corrupted through multipath", mbps)
+		}
+	}
+}
+
+func TestCFOCorrection(t *testing.T) {
+	// Apply a CFO of a few kHz (typical crystal offset) and verify the
+	// receiver both corrects and reports it.
+	r := rand.New(rand.NewSource(7))
+	rx := NewReceiver()
+	rate, _ := RateByMbps(24)
+	psdu := randPSDU(r, 300)
+	wave, _ := Transmit(psdu, rate, DefaultScramblerSeed)
+	cfoHz := 40e3 // ~17 ppm at 2.4 GHz
+	dphi := 2 * math.Pi * cfoHz / SampleRate
+	rotated := dsp.Rotate(wave, 0.7, dphi)
+	noisy := addAWGN(r, rotated, dsp.UnDB(-28))
+	got, info, err := rx.Receive(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, psdu) {
+		t.Fatal("PSDU corrupted under CFO")
+	}
+	if math.Abs(info.CFO-dphi) > dphi*0.1 {
+		t.Fatalf("CFO estimate %v, want %v", info.CFO, dphi)
+	}
+}
+
+func TestScramblerSeedRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	rx := NewReceiver()
+	rate, _ := RateByMbps(12)
+	psdu := randPSDU(r, 100)
+	for _, seed := range []byte{0x01, 0x33, 0x7F} {
+		wave, _ := Transmit(psdu, rate, seed)
+		got, _, err := rx.Receive(wave)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		if !bytes.Equal(got, psdu) {
+			t.Fatalf("seed %#x: corrupted", seed)
+		}
+	}
+}
+
+func TestReceiveNoPacket(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	rx := NewReceiver()
+	noise := addAWGN(r, dsp.Zeros(2000), 1)
+	if _, _, err := rx.Receive(noise); !IsNoPacket(err) {
+		t.Fatalf("expected no-packet, got %v", err)
+	}
+	if _, _, err := rx.Receive(dsp.Zeros(10)); !IsNoPacket(err) {
+		t.Fatal("expected no-packet for short input")
+	}
+}
+
+func TestReceiveTruncatedPacket(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	rx := NewReceiver()
+	rate, _ := RateByMbps(6)
+	psdu := randPSDU(r, 500)
+	wave, _ := Transmit(psdu, rate, DefaultScramblerSeed)
+	_, _, err := rx.Receive(wave[:len(wave)/2])
+	if err == nil {
+		t.Fatal("expected error for truncated packet")
+	}
+}
+
+func TestSignalFieldRoundTrip(t *testing.T) {
+	for _, rate := range Rates {
+		for _, n := range []int{1, 77, 4095} {
+			bits, err := buildSignalField(rate, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRate, gotLen, err := parseSignalField(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotRate.Mbps != rate.Mbps || gotLen != n {
+				t.Fatalf("round trip: %v/%d → %v/%d", rate, n, gotRate, gotLen)
+			}
+		}
+	}
+}
+
+func TestSignalFieldParityDetection(t *testing.T) {
+	rate, _ := RateByMbps(36)
+	bits, _ := buildSignalField(rate, 1000)
+	bits[6] ^= 1
+	if _, _, err := parseSignalField(bits); err == nil {
+		t.Fatal("expected parity failure")
+	}
+}
+
+func TestSignalFieldBadRateBits(t *testing.T) {
+	bits := make([]byte, 24)
+	// RATE 0000 is invalid; fix parity so the rate check is reached.
+	bits[5] = 1 // length=1
+	var par byte
+	for _, b := range bits[:17] {
+		par ^= b
+	}
+	bits[17] = par
+	if _, _, err := parseSignalField(bits); err == nil {
+		t.Fatal("expected invalid rate bits error")
+	}
+}
+
+func TestAirtimeMonotonicInLengthAndRate(t *testing.T) {
+	r24, _ := RateByMbps(24)
+	r54, _ := RateByMbps(54)
+	if AirtimeSeconds(100, r24) >= AirtimeSeconds(1000, r24) {
+		t.Fatal("airtime should grow with length")
+	}
+	if AirtimeSeconds(1000, r54) >= AirtimeSeconds(1000, r24) {
+		t.Fatal("airtime should shrink with rate")
+	}
+}
+
+func TestRateTableConsistency(t *testing.T) {
+	for _, rate := range Rates {
+		// NDBPS per 4 µs symbol must equal Mbps × 4.
+		if rate.NDBPS() != rate.Mbps*4 {
+			t.Fatalf("%v: NDBPS %d != %d", rate, rate.NDBPS(), rate.Mbps*4)
+		}
+	}
+	if _, err := RateByMbps(7); err == nil {
+		t.Fatal("expected error for unknown rate")
+	}
+}
+
+func TestRxInfoEVMSanity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rx := NewReceiver()
+	rate, _ := RateByMbps(24)
+	psdu := randPSDU(r, 300)
+	wave, _ := Transmit(psdu, rate, DefaultScramblerSeed)
+
+	_, cleanInfo, err := rx.Receive(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := addAWGN(r, wave, dsp.UnDB(-20))
+	_, noisyInfo, err := rx.Receive(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisyInfo.SNRdB >= cleanInfo.SNRdB {
+		t.Fatalf("noisy SNR %v should be below clean %v", noisyInfo.SNRdB, cleanInfo.SNRdB)
+	}
+	// EVM-derived SNR should be within a few dB of the true 20 dB.
+	if noisyInfo.SNRdB < 15 || noisyInfo.SNRdB > 25 {
+		t.Fatalf("estimated SNR %v dB, want ≈20", noisyInfo.SNRdB)
+	}
+}
