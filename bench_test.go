@@ -59,6 +59,29 @@ func BenchmarkFig8ThroughputVsRange(b *testing.B) {
 	b.ReportMetric(at5m/1e6, "Mbps@5m")
 }
 
+// BenchmarkFig8Sequential is BenchmarkFig8ThroughputVsRange pinned to
+// Workers=1, the historical sequential engine. Comparing the two wall
+// clocks shows the parallel engine's speedup on multi-core hosts; the
+// reported metrics are identical by construction (every trial seeds
+// from its index and results reduce in index order).
+func BenchmarkFig8Sequential(b *testing.B) {
+	opt := experiments.QuickOptions()
+	opt.Workers = 1
+	var at1m float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.DistanceM == 1 {
+				at1m = r.Best32Bps
+			}
+		}
+	}
+	b.ReportMetric(at1m/1e6, "Mbps@1m")
+}
+
 // BenchmarkFig9REPBVsThroughput regenerates the per-range REPB
 // frontiers (paper Fig. 9).
 func BenchmarkFig9REPBVsThroughput(b *testing.B) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"backfi/internal/experiments"
+	"backfi/internal/parallel"
 )
 
 func main() {
@@ -26,38 +27,162 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, headline, ablation (empty = all)")
 	trials := flag.Int("trials", 5, "Monte-Carlo trials per point")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "evaluation concurrency: 0 = all CPUs, 1 = sequential (results are identical for every value)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	benchOut := flag.String("benchout", "", "write per-figure headline metrics + wall-clock seconds to this JSON file (e.g. BENCH_results.json)")
 	flag.Parse()
 
-	opt := experiments.Options{Trials: *trials, Seed: *seed}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
 	figs := []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "headline", "ablation", "excitation", "mimo"}
 	if *fig != "" {
 		figs = []string{*fig}
 	}
+	bench := map[string]benchEntry{}
 	if *jsonOut {
 		report := map[string]any{}
 		for _, f := range figs {
+			start := time.Now()
 			data, err := runData(f, opt)
 			if err != nil {
 				log.Fatalf("fig %s: %v", f, err)
 			}
 			report["fig"+f] = data
+			recordBench(bench, f, data, time.Since(start))
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			log.Fatal(err)
 		}
+		writeBench(*benchOut, bench)
 		return
 	}
+	total := time.Duration(0)
 	for _, f := range figs {
 		start := time.Now()
-		out, err := run(f, opt)
+		data, err := runData(f, opt)
 		if err != nil {
 			log.Fatalf("fig %s: %v", f, err)
 		}
-		fmt.Printf("=== Figure %s (%.1fs) ===\n%s\n", f, time.Since(start).Seconds(), out)
+		elapsed := time.Since(start)
+		total += elapsed
+		recordBench(bench, f, data, elapsed)
+		fmt.Printf("=== Figure %s (%.1fs) ===\n%s\n", f, elapsed.Seconds(), render(f, data))
 	}
+	fmt.Printf("total wall clock: %.1fs (workers=%d)\n", total.Seconds(), parallel.Normalize(opt.Workers))
+	writeBench(*benchOut, bench)
+}
+
+// benchEntry is one figure's machine-readable summary.
+type benchEntry struct {
+	// Metric names the figure's headline number; Value is that number.
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	// WallSeconds is the figure's end-to-end generation time.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// recordBench reduces one figure's typed rows to its headline metric.
+func recordBench(bench map[string]benchEntry, fig string, data any, elapsed time.Duration) {
+	metric, value := headlineMetric(fig, data)
+	bench["fig"+fig] = benchEntry{Metric: metric, Value: value, WallSeconds: elapsed.Seconds()}
+}
+
+// headlineMetric extracts the single number a figure argues for — the
+// same quantities bench_test.go reports via b.ReportMetric.
+func headlineMetric(fig string, data any) (string, float64) {
+	switch fig {
+	case "8":
+		for _, r := range data.([]experiments.Fig8Row) {
+			if r.DistanceM == 1 {
+				return "Mbps@1m(32µs)", r.Best32Bps / 1e6
+			}
+		}
+	case "9":
+		curves := data.([]experiments.Fig9Curve)
+		if len(curves) > 0 {
+			return "cutoff-Mbps@0.5m", curves[0].MaxThroughputBps() / 1e6
+		}
+	case "10":
+		for _, r := range data.([]experiments.Fig10Row) {
+			if r.TargetBps == 1.25e6 && r.DistanceM == 2 {
+				return "REPB@1.25Mbps,2m", r.REPB
+			}
+		}
+	case "11a":
+		return "median-degradation-dB", data.(*experiments.Fig11aResult).MedianDegradationDB
+	case "11b":
+		var hi, lo float64
+		for _, r := range data.([]experiments.Fig11bRow) {
+			if r.Mod.String() != "BPSK" {
+				continue
+			}
+			if r.SymbolRateHz == 2.5e6 {
+				hi = r.MeanSNRdB
+			}
+			if r.SymbolRateHz == 100e3 {
+				lo = r.MeanSNRdB
+			}
+		}
+		return "MRC-gain-dB(BPSK)", lo - hi
+	case "12a":
+		return "median-%-of-optimal", data.(*experiments.Fig12aResult).FractionOfOptimal() * 100
+	case "12b":
+		rows := data.([]experiments.Fig12bRow)
+		if len(rows) > 0 {
+			return "drop-%@0.25m", rows[0].DropFraction * 100
+		}
+	case "13":
+		for _, r := range data.([]experiments.Fig13Row) {
+			if r.WiFiMbps == 54 {
+				return "SNR-degradation-dB@54Mbps", r.Result.SNRDegradationDB()
+			}
+		}
+	case "headline":
+		return "speedup-x@1m", data.(*experiments.HeadlineResult).SpeedupAt1m()
+	case "ablation":
+		rows := data.([]experiments.AblationRow)
+		if len(rows) >= 2 {
+			return "analog-stage-SNR-dB", rows[0].MeanSNRdB - rows[1].MeanSNRdB
+		}
+	case "excitation":
+		for _, r := range data.([]experiments.ExcitationRow) {
+			if r.Excitation == "wifi" {
+				return "wifi-success-rate", r.SuccessRate
+			}
+		}
+	case "mimo":
+		rows := data.([]experiments.MIMORow)
+		var one, four float64
+		for _, r := range rows {
+			if r.DistanceM == 7 && r.Antennas == 1 {
+				one = r.MeanJointSNRdB
+			}
+			if r.DistanceM == 7 && r.Antennas == 4 {
+				four = r.MeanJointSNRdB
+			}
+		}
+		return "4rx-gain-dB@7m", four - one
+	}
+	return "n/a", 0
+}
+
+// writeBench writes the per-figure summaries if a path was given.
+func writeBench(path string, bench map[string]benchEntry) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("benchout: %v", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		log.Fatalf("benchout: %v", err)
+	}
+	log.Printf("wrote %s", path)
 }
 
 // runData returns the typed rows of one figure for JSON output.
@@ -93,86 +218,35 @@ func runData(fig string, opt experiments.Options) (any, error) {
 	return nil, fmt.Errorf("unknown figure %q", fig)
 }
 
-func run(fig string, opt experiments.Options) (string, error) {
+// render formats one figure's typed rows in the paper's table layout.
+func render(fig string, data any) string {
 	switch fig {
 	case "7":
-		rows, err := experiments.Fig7()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig7(rows), nil
+		return experiments.RenderFig7(data.([]experiments.Fig7Row))
 	case "8":
-		rows, err := experiments.Fig8(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig8(rows), nil
+		return experiments.RenderFig8(data.([]experiments.Fig8Row))
 	case "9":
-		curves, err := experiments.Fig9(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig9(curves), nil
+		return experiments.RenderFig9(data.([]experiments.Fig9Curve))
 	case "10":
-		rows, err := experiments.Fig10(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig10(rows), nil
+		return experiments.RenderFig10(data.([]experiments.Fig10Row))
 	case "11a":
-		res, err := experiments.Fig11a(30, opt.Trials, opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig11a(res), nil
+		return experiments.RenderFig11a(data.(*experiments.Fig11aResult))
 	case "11b":
-		rows, err := experiments.Fig11b(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig11b(rows), nil
+		return experiments.RenderFig11b(data.([]experiments.Fig11bRow))
 	case "12a":
-		res, err := experiments.Fig12a(20, opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig12a(res), nil
+		return experiments.RenderFig12a(data.(*experiments.Fig12aResult))
 	case "12b":
-		rows, err := experiments.Fig12b(5, opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig12b(rows), nil
+		return experiments.RenderFig12b(data.([]experiments.Fig12bRow))
 	case "13":
-		rows, err := experiments.Fig13(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFig13(rows), nil
+		return experiments.RenderFig13(data.([]experiments.Fig13Row))
 	case "headline":
-		h, err := experiments.Headline(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderHeadline(h), nil
+		return experiments.RenderHeadline(data.(*experiments.HeadlineResult))
 	case "ablation":
-		rows, err := experiments.Ablations(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderAblations(rows), nil
+		return experiments.RenderAblations(data.([]experiments.AblationRow))
 	case "excitation":
-		rows, err := experiments.ExcitationComparison(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderExcitation(rows), nil
+		return experiments.RenderExcitation(data.([]experiments.ExcitationRow))
 	case "mimo":
-		rows, err := experiments.MIMOExtension(opt)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderMIMO(rows), nil
+		return experiments.RenderMIMO(data.([]experiments.MIMORow))
 	}
-	return "", fmt.Errorf("unknown figure %q", fig)
+	return ""
 }

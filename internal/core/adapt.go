@@ -6,6 +6,7 @@ import (
 	"backfi/internal/channel"
 	"backfi/internal/energy"
 	"backfi/internal/fec"
+	"backfi/internal/parallel"
 	"backfi/internal/reader"
 	"backfi/internal/tag"
 )
@@ -55,8 +56,29 @@ type Feasibility struct {
 func (f Feasibility) Decodable() bool { return f.SuccessRate >= 0.9 }
 
 // Evaluate runs `trials` independent placements/packets of one tag
-// configuration and summarizes the outcome.
+// configuration and summarizes the outcome. Trials run on all
+// available CPUs; use EvaluateWorkers to bound or serialize them.
 func Evaluate(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64) (Feasibility, error) {
+	return EvaluateWorkers(chanCfg, tcfg, rdrCfg, trials, payloadBytes, seed, 0)
+}
+
+// trialOutcome is one Monte-Carlo trial's contribution, stored in a
+// per-index slot so the reduction below runs in trial order and the
+// summary is bit-identical for every worker count.
+type trialOutcome struct {
+	err     error
+	decoded bool // RunPacket succeeded (the tag woke)
+	ok      bool
+	snr     float64
+	ber     float64
+}
+
+// EvaluateWorkers is Evaluate with an explicit concurrency bound:
+// workers=0 uses every CPU, workers=1 reproduces the historical
+// sequential evaluation exactly. Each trial derives its own seed
+// (seed + i*7919), builds an independent Link, and writes into its own
+// slot, so the returned Feasibility does not depend on workers.
+func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64, workers int) (Feasibility, error) {
 	if trials <= 0 {
 		return Feasibility{}, fmt.Errorf("core: trials must be positive")
 	}
@@ -64,9 +86,8 @@ func Evaluate(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, tri
 	if repb, err := energy.ConfigREPB(tcfg); err == nil {
 		f.REPB = repb
 	}
-	var snrSum, berSum float64
-	success := 0
-	for i := 0; i < trials; i++ {
+	outcomes := make([]trialOutcome, trials)
+	parallel.ForEach(trials, workers, func(i int) {
 		lc := LinkConfig{
 			Channel:       chanCfg,
 			Tag:           tcfg,
@@ -77,19 +98,31 @@ func Evaluate(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, tri
 		}
 		link, err := NewLink(lc)
 		if err != nil {
-			return Feasibility{}, err
+			outcomes[i].err = err
+			return
 		}
 		res, err := link.RunPacket(link.RandomPayload(payloadBytes))
 		if err != nil {
 			// A tag that cannot wake (out of detector range) simply
 			// yields no throughput at this placement.
+			return
+		}
+		outcomes[i] = trialOutcome{decoded: true, ok: res.PayloadOK, snr: res.MeasuredSNRdB, ber: res.RawBER()}
+	})
+	var snrSum, berSum float64
+	success := 0
+	for _, o := range outcomes {
+		if o.err != nil {
+			return Feasibility{}, o.err
+		}
+		if !o.decoded {
 			continue
 		}
-		if res.PayloadOK {
+		if o.ok {
 			success++
 		}
-		snrSum += res.MeasuredSNRdB
-		berSum += res.RawBER()
+		snrSum += o.snr
+		berSum += o.ber
 	}
 	f.SuccessRate = float64(success) / float64(trials)
 	f.MeanSNRdB = snrSum / float64(trials)
@@ -97,15 +130,26 @@ func Evaluate(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, tri
 	return f, nil
 }
 
-// Sweep evaluates every configuration in cfgs at one distance.
+// Sweep evaluates every configuration in cfgs at one distance, using
+// all available CPUs.
 func Sweep(chanCfg channel.Config, cfgs []tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64) ([]Feasibility, error) {
-	out := make([]Feasibility, 0, len(cfgs))
-	for i, c := range cfgs {
-		f, err := Evaluate(chanCfg, c, rdrCfg, trials, payloadBytes, seed+int64(i)*104729)
+	return SweepWorkers(chanCfg, cfgs, rdrCfg, trials, payloadBytes, seed, 0)
+}
+
+// SweepWorkers is Sweep with an explicit concurrency bound shared by
+// the per-configuration and per-trial levels.
+func SweepWorkers(chanCfg channel.Config, cfgs []tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64, workers int) ([]Feasibility, error) {
+	out := make([]Feasibility, len(cfgs))
+	err := parallel.ForEachErr(len(cfgs), workers, func(i int) error {
+		f, err := EvaluateWorkers(chanCfg, cfgs[i], rdrCfg, trials, payloadBytes, seed+int64(i)*104729, workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, f)
+		out[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

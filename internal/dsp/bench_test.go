@@ -26,6 +26,32 @@ func BenchmarkFFT1024(b *testing.B) {
 	}
 }
 
+func BenchmarkFFTInPlace64(b *testing.B) {
+	x := benchSignal(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFTInPlace(x)
+	}
+}
+
+func BenchmarkIFFTInPlace64(b *testing.B) {
+	x := benchSignal(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		IFFTInPlace(x)
+	}
+}
+
+func BenchmarkConvolveSameInto32Taps(b *testing.B) {
+	x := benchSignal(20000)
+	h := benchSignal(32)
+	dst := make([]complex128, len(x))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConvolveSameInto(dst, x, h)
+	}
+}
+
 func BenchmarkConvolveSame32Taps(b *testing.B) {
 	x := benchSignal(20000) // 1 ms at 20 MHz
 	h := benchSignal(32)

@@ -1,0 +1,147 @@
+package dsp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestFFTInPlaceMatchesFFT(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 16, 64, 256, 1024} {
+		x := randSignal(r, n)
+		want := FFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		FFTInPlace(got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: in-place differs from FFT at %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIFFTInPlaceRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, n := range []int{2, 8, 64, 512} {
+		x := randSignal(r, n)
+		y := make([]complex128, n)
+		copy(y, x)
+		FFTInPlace(y)
+		IFFTInPlace(y)
+		for i := range y {
+			if d := y[i] - x[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+				t.Fatalf("n=%d: round trip error %v at %d", n, d, i)
+			}
+		}
+	}
+}
+
+func TestIFFTInPlaceMatchesIFFT(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	x := randSignal(r, 128)
+	want := IFFT(x)
+	got := make([]complex128, len(x))
+	copy(got, x)
+	IFFTInPlace(got)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("in-place inverse differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFFTPlanCacheConcurrent hammers the plan cache from many
+// goroutines over many sizes — the race detector is the assertion.
+func TestFFTPlanCacheConcurrent(t *testing.T) {
+	sizes := []int{2, 4, 8, 16, 32, 64, 128, 256}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 50; iter++ {
+				n := sizes[(g+iter)%len(sizes)]
+				x := randSignal(r, n)
+				y := IFFT(FFT(x))
+				for i := range y {
+					if d := y[i] - x[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+						t.Errorf("n=%d: round trip error %v", n, d)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFFTDeterministicAcrossCalls(t *testing.T) {
+	// Cached twiddles must make repeated transforms bit-identical.
+	r := rand.New(rand.NewSource(10))
+	x := randSignal(r, 64)
+	a := FFT(x)
+	b := FFT(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic FFT at %d", i)
+		}
+	}
+}
+
+func TestConvolveSameIntoMatchesConvolveSame(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ nx, nh int }{{1, 1}, {10, 3}, {3, 10}, {100, 32}, {5, 5}} {
+		x := randSignal(r, tc.nx)
+		h := randSignal(r, tc.nh)
+		want := Convolve(x, h)[:tc.nx]
+		got := ConvolveSameInto(nil, x, h)
+		if len(got) != tc.nx {
+			t.Fatalf("nx=%d nh=%d: len %d", tc.nx, tc.nh, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("nx=%d nh=%d: differs at %d: %v vs %v", tc.nx, tc.nh, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConvolveSameIntoReusesBuffer(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	x := randSignal(r, 50)
+	h := randSignal(r, 8)
+	buf := make([]complex128, 50)
+	got := ConvolveSameInto(buf, x, h)
+	if &got[0] != &buf[0] {
+		t.Fatal("buffer with sufficient capacity was not reused")
+	}
+	// Dirty buffer must not leak into the result.
+	for i := range buf {
+		buf[i] = complex(1e9, -1e9)
+	}
+	got = ConvolveSameInto(buf, x, h)
+	want := ConvolveSame(x, h)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("dirty buffer leaked at %d", i)
+		}
+	}
+	// Short buffer grows.
+	got = ConvolveSameInto(make([]complex128, 3), x, h)
+	if len(got) != 50 {
+		t.Fatalf("short dst not grown: len %d", len(got))
+	}
+}
+
+func TestConvolveSameIntoEmpty(t *testing.T) {
+	if got := ConvolveSameInto(nil, nil, []complex128{1}); len(got) != 0 {
+		t.Fatalf("empty x: len %d", len(got))
+	}
+	got := ConvolveSameInto(nil, []complex128{1, 2}, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty h should zero-fill: %v", got)
+	}
+}

@@ -28,11 +28,35 @@ func Convolve(x, h []complex128) []complex128 {
 // causal FIR channel acting on a signal: output sample n depends on
 // x[n-k] for tap k.
 func ConvolveSame(x, h []complex128) []complex128 {
-	full := Convolve(x, h)
-	if full == nil {
-		return Zeros(len(x))
+	return ConvolveSameInto(nil, x, h)
+}
+
+// ConvolveSameInto is ConvolveSame writing into dst, which is grown if
+// cap(dst) < len(x) and reused otherwise — the hot-path variant for
+// callers that convolve repeatedly at a fixed length (the reader's
+// reference signal, the canceller's reconstruction). It returns the
+// result slice (always dst[:len(x)] when dst had capacity). dst must
+// not alias x or h. Unlike the full convolution it never computes the
+// len(h)-1 tail samples that "same" semantics would discard.
+func ConvolveSameInto(dst, x, h []complex128) []complex128 {
+	if cap(dst) < len(x) {
+		dst = make([]complex128, len(x))
 	}
-	return full[:len(x)]
+	dst = dst[:len(x)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, hv := range h {
+		if hv == 0 || i >= len(x) {
+			continue
+		}
+		xs := x[:len(x)-i]
+		out := dst[i:]
+		for j, xv := range xs {
+			out[j] += xv * hv
+		}
+	}
+	return dst
 }
 
 // FIR is a streaming finite-impulse-response filter with persistent

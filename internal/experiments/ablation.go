@@ -6,6 +6,7 @@ import (
 
 	"backfi/internal/channel"
 	"backfi/internal/core"
+	"backfi/internal/parallel"
 	"backfi/internal/tag"
 )
 
@@ -33,7 +34,15 @@ type AblationRow struct {
 //     frames).
 func Ablations(opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
+
+	// Build the study list in presentation order; the variants then fill
+	// a pre-indexed row slice concurrently under opt.Workers.
+	type job struct {
+		study, variant string
+		lcfg           core.LinkConfig
+		salt           int64
+	}
+	var jobs []job
 
 	// --- Analog cancellation stage, at the paper's 1 m headline point.
 	for _, variant := range []struct {
@@ -42,23 +51,14 @@ func Ablations(opt Options) ([]AblationRow, error) {
 	}{{"analog+digital (BackFi)", 16}, {"digital-only", 0}} {
 		lcfg := core.DefaultLinkConfig(1)
 		lcfg.Reader.SIC.AnalogTaps = variant.analogTaps
-		row, err := runAblation("analog cancellation stage", variant.name, lcfg, opt, 10)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
+		jobs = append(jobs, job{"analog cancellation stage", variant.name, lcfg, 10})
 	}
 
 	// --- Tag preamble length at the range edge (6 m).
 	for _, chips := range []int{8, 16, tag.DefaultPreambleChips, tag.ExtendedPreambleChips} {
 		lcfg := core.DefaultLinkConfig(6)
 		lcfg.Tag.PreambleChips = chips
-		row, err := runAblation("tag preamble length @6 m",
-			fmt.Sprintf("%d µs", chips), lcfg, opt, 20)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
+		jobs = append(jobs, job{"tag preamble length @6 m", fmt.Sprintf("%d µs", chips), lcfg, 20})
 	}
 
 	// --- Transmit hardware EVM floor at 0.5 m (short range is
@@ -73,11 +73,7 @@ func Ablations(opt Options) ([]AblationRow, error) {
 		if math.IsInf(evm, -1) {
 			name = "ideal TX"
 		}
-		row, err := runAblation("TX hardware EVM @0.5 m (16PSK)", name, lcfg, opt, 30)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
+		jobs = append(jobs, job{"TX hardware EVM @0.5 m (16PSK)", name, lcfg, 30})
 	}
 
 	// --- Modulation family: n-PSK (the paper's choice) vs a
@@ -92,54 +88,79 @@ func Ablations(opt Options) ([]AblationRow, error) {
 		lcfg := core.DefaultLinkConfig(2)
 		lcfg.Tag.Mod = variant.mod
 		lcfg.Tag.SymbolRateHz = 2e6
-		row, err := runAblation("modulation family @2 m, 4 b/sym", variant.name, lcfg, opt, 50)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
+		jobs = append(jobs, job{"modulation family @2 m, 4 b/sym", variant.name, lcfg, 50})
 	}
 
 	// --- Channel code: compare the delivered-frame rate against what
 	// raw symbol slicing alone would give (success requires every raw
 	// bit correct) at 4 m.
-	{
-		lcfg := core.DefaultLinkConfig(4)
-		row, err := runAblation("convolutional code @4 m", "coded (BackFi)", lcfg, opt, 40)
+	lcfgCoded := core.DefaultLinkConfig(4)
+	jobs = append(jobs, job{"convolutional code @4 m", "coded (BackFi)", lcfgCoded, 40})
+
+	rows := make([]AblationRow, len(jobs))
+	err := parallel.ForEachErr(len(jobs), opt.Workers, func(i int) error {
+		row, err := runAblation(jobs[i].study, jobs[i].variant, jobs[i].lcfg, opt, jobs[i].salt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, *row)
-		// Uncoded proxy: P(all raw bits correct) from the measured raw
-		// BER over the same frames.
-		uncoded := *row
-		uncoded.Variant = "uncoded (raw-slice proxy)"
-		bits := float64(tag.FrameInfoBits(24))
-		uncoded.SuccessRate = math.Pow(1-row.MeanRawBER, bits)
-		rows = append(rows, uncoded)
+		rows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	// Uncoded proxy: P(all raw bits correct) from the measured raw BER
+	// over the same frames as the coded row.
+	coded := rows[len(rows)-1]
+	uncoded := coded
+	uncoded.Variant = "uncoded (raw-slice proxy)"
+	bits := float64(tag.FrameInfoBits(24))
+	uncoded.SuccessRate = math.Pow(1-coded.MeanRawBER, bits)
+	rows = append(rows, uncoded)
 
 	return rows, nil
 }
 
 // runAblation evaluates one link variant over opt.Trials placements.
+// Trials fill indexed slots under opt.Workers and reduce in trial
+// order, so the row matches the historical sequential accumulation.
 func runAblation(study, variant string, lcfg core.LinkConfig, opt Options, salt int64) (*AblationRow, error) {
-	row := &AblationRow{Study: study, Variant: variant}
-	ok := 0
-	for i := 0; i < opt.Trials; i++ {
-		lcfg.Seed = opt.Seed + salt*10000 + int64(i)*53
-		link, err := core.NewLink(lcfg)
+	type outcome struct {
+		err       error
+		completed bool // RunPacket succeeded (wake failures count as loss)
+		ok        bool
+		snr, ber  float64
+	}
+	outcomes := make([]outcome, opt.Trials)
+	parallel.ForEach(opt.Trials, opt.Workers, func(i int) {
+		cfg := lcfg
+		cfg.Seed = opt.Seed + salt*10000 + int64(i)*53
+		link, err := core.NewLink(cfg)
 		if err != nil {
-			return nil, err
+			outcomes[i].err = err
+			return
 		}
 		res, err := link.RunPacket(link.RandomPayload(24))
 		if err != nil {
-			continue // e.g. wake failure at the range edge counts as loss
+			return // e.g. wake failure at the range edge counts as loss
 		}
-		if res.PayloadOK {
+		outcomes[i] = outcome{completed: true, ok: res.PayloadOK, snr: res.MeasuredSNRdB, ber: res.RawBER()}
+	})
+	row := &AblationRow{Study: study, Variant: variant}
+	ok := 0
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if !o.completed {
+			continue
+		}
+		if o.ok {
 			ok++
 		}
-		row.MeanSNRdB += res.MeasuredSNRdB
-		row.MeanRawBER += res.RawBER()
+		row.MeanSNRdB += o.snr
+		row.MeanRawBER += o.ber
 	}
 	row.SuccessRate = float64(ok) / float64(opt.Trials)
 	row.MeanSNRdB /= float64(opt.Trials)

@@ -8,6 +8,7 @@ import (
 	"backfi/internal/core"
 	"backfi/internal/dsp"
 	"backfi/internal/dsss"
+	"backfi/internal/parallel"
 	"backfi/internal/tag"
 	"backfi/internal/zigbee"
 )
@@ -89,8 +90,10 @@ func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 		return nil, fmt.Errorf("experiments: unknown excitation %q", kind)
 	}
 
-	var rows []ExcitationRow
-	for _, kind := range []string{"wifi", "11b", "zigbee", "ble", "white"} {
+	kinds := []string{"wifi", "11b", "zigbee", "ble", "white"}
+	rows := make([]ExcitationRow, len(kinds))
+	err := parallel.ForEachErr(len(kinds), opt.Workers, func(ki int) error {
+		kind := kinds[ki]
 		row := ExcitationRow{Excitation: kind}
 		var occSet bool
 		ok := 0
@@ -100,7 +103,7 @@ func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 			cfg.Seed = opt.Seed + int64(trial)*31
 			link, err := core.NewLink(cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			payload := link.RandomPayload(payloadBytes)
 			need := tag.SilentSamples + cfg.Tag.PreambleSamples() +
@@ -114,7 +117,7 @@ func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 				var exc []complex128
 				exc, err = build(kind, link, need, r)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !occSet {
 					psd := dsp.WelchPSD(exc[:min(len(exc), 8192)], 128)
@@ -139,7 +142,11 @@ func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 		row.SuccessRate = float64(ok) / float64(opt.Trials)
 		row.MeanSNRdB /= float64(opt.Trials)
 		row.MeanRawBER /= float64(opt.Trials)
-		rows = append(rows, row)
+		rows[ki] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

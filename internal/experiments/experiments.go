@@ -10,8 +10,11 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+
+	"backfi/internal/parallel"
 )
 
 // Options tunes experiment fidelity.
@@ -20,10 +23,17 @@ type Options struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the evaluation concurrency at both fan-out levels
+	// (grid points and Monte-Carlo trials): 0 uses every CPU, 1
+	// reproduces the historical sequential execution order exactly.
+	// Results are bit-identical for every value — each work item
+	// derives its randomness from its index and writes into a
+	// pre-indexed slot, and reduction happens in index order.
+	Workers int
 }
 
 // DefaultOptions gives publication-grade fidelity; QuickOptions is for
-// benchmarks and CI.
+// benchmarks and CI. Both run on all available CPUs.
 func DefaultOptions() Options { return Options{Trials: 10, Seed: 1} }
 
 // QuickOptions runs each point with the minimum statistically useful
@@ -37,6 +47,7 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	o.Workers = parallel.Normalize(o.Workers)
 	return o
 }
 
@@ -70,15 +81,38 @@ func table(header []string, rows [][]string) string {
 	return b.String()
 }
 
-// cdf returns sorted values and a function giving the percentile value.
+// percentile returns the p-quantile (p in [0,1]) of values by linear
+// interpolation between order statistics, sorting a copy. Callers that
+// need several quantiles of the same data should sort once and use
+// percentileSorted.
 func percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
 	s := append([]float64{}, values...)
 	sort.Float64s(s)
-	idx := int(p * float64(len(s)-1))
-	return s[idx]
+	return percentileSorted(s, p)
+}
+
+// percentileSorted is percentile over already-sorted data, avoiding
+// the per-call copy and re-sort.
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if frac == 0 {
+		return s[lo]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
 }
 
 func mbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e6) }

@@ -344,6 +344,29 @@ func TestPercentile(t *testing.T) {
 	if percentile(nil, 0.5) != 0 {
 		t.Fatal("empty percentile should be 0")
 	}
+	// Linear interpolation between order statistics: p90 of the sorted
+	// odd slice [1..5] sits at position 3.6 → 4 + 0.6·(5−4).
+	if got := percentile(v, 0.9); math.Abs(got-4.6) > 1e-12 {
+		t.Fatalf("odd p90 = %v, want 4.6", got)
+	}
+	// Even-length slices have no middle element; the median must
+	// interpolate, not truncate to an index.
+	even := []float64{4, 1, 3, 2}
+	if got := percentile(even, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+	if got := percentile(even, 0.9); math.Abs(got-3.7) > 1e-12 {
+		t.Fatalf("even p90 = %v, want 3.7", got)
+	}
+	// The input slice must not be reordered by the call.
+	if v[0] != 5 || v[4] != 4 {
+		t.Fatalf("percentile mutated its input: %v", v)
+	}
+	// percentileSorted agrees with percentile on pre-sorted data.
+	sorted := []float64{1, 2, 3, 4, 5}
+	if percentileSorted(sorted, 0.9) != percentile(sorted, 0.9) {
+		t.Fatal("percentileSorted disagrees with percentile")
+	}
 }
 
 func TestFig12aDCFVariant(t *testing.T) {

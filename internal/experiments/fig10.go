@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"backfi/internal/core"
+	"backfi/internal/parallel"
 	"backfi/internal/tag"
 )
 
@@ -24,26 +25,32 @@ type Fig10Row struct {
 
 // Fig10 computes REPB vs range at the paper's two fixed throughputs:
 // for each range, sweep all configurations and pick the minimum-REPB
-// one that still delivers the target.
+// one that still delivers the target. Ranges fill a pre-indexed row
+// grid concurrently under opt.Workers.
 func Fig10(opt Options) ([]Fig10Row, error) {
 	opt = opt.withDefaults()
 	cfgs := core.StandardConfigs(tag.DefaultPreambleChips, 1)
 	ranges := []float64{0.5, 1, 2, 3, 4, 5}
-	var rows []Fig10Row
-	for di, d := range ranges {
+	rows := make([]Fig10Row, len(ranges)*len(Fig10Targets))
+	err := parallel.ForEachErr(len(ranges), opt.Workers, func(di int) error {
+		d := ranges[di]
 		results, err := sweepWithBudget(d, cfgs, opt, 100+int64(di))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, target := range Fig10Targets {
+		for ti, target := range Fig10Targets {
 			row := Fig10Row{DistanceM: d, TargetBps: target}
 			if f, ok := core.MinREPBAtThroughput(results, target); ok {
 				row.REPB = f.REPB
 				row.Config = f.Cfg.String()
 				row.Achieved = true
 			}
-			rows = append(rows, row)
+			rows[di*len(Fig10Targets)+ti] = row
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

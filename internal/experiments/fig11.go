@@ -5,6 +5,7 @@ import (
 
 	"backfi/internal/core"
 	"backfi/internal/fec"
+	"backfi/internal/parallel"
 	"backfi/internal/tag"
 )
 
@@ -29,32 +30,38 @@ type Fig11aResult struct {
 
 // Fig11a places the AP and tag at `locations` random placements
 // (paper: 30) with `runsPerLocation` packets each (paper: 10) and
-// scatters measured vs expected SNR.
+// scatters measured vs expected SNR. The (location, run) grid is
+// flattened and filled concurrently under opt.Workers; each point's
+// seed depends only on its indices, so the scatter is identical for
+// every worker count.
 func Fig11a(locations, runsPerLocation int, opt Options) (*Fig11aResult, error) {
 	opt = opt.withDefaults()
-	res := &Fig11aResult{}
-	var degr []float64
-	for loc := 0; loc < locations; loc++ {
+	res := &Fig11aResult{Points: make([]Fig11aPoint, locations*runsPerLocation)}
+	degr := make([]float64, locations*runsPerLocation)
+	err := parallel.ForEachErr(locations*runsPerLocation, opt.Workers, func(k int) error {
+		loc, run := k/runsPerLocation, k%runsPerLocation
 		// Distances spread over the paper's 0.5–5 m testbed.
 		d := 0.5 + 4.5*float64(loc)/float64(max(locations-1, 1))
-		for run := 0; run < runsPerLocation; run++ {
-			cfg := core.DefaultLinkConfig(d)
-			cfg.Seed = opt.Seed + int64(loc)*1000 + int64(run)
-			link, err := core.NewLink(cfg)
-			if err != nil {
-				return nil, err
-			}
-			pr, err := link.RunPacket(link.RandomPayload(60))
-			if err != nil {
-				return nil, err
-			}
-			res.Points = append(res.Points, Fig11aPoint{
-				Location:      loc,
-				ExpectedSNRdB: pr.ExpectedMRCSNRdB,
-				MeasuredSNRdB: pr.MeasuredSNRdB,
-			})
-			degr = append(degr, pr.ExpectedMRCSNRdB-pr.MeasuredSNRdB)
+		cfg := core.DefaultLinkConfig(d)
+		cfg.Seed = opt.Seed + int64(loc)*1000 + int64(run)
+		link, err := core.NewLink(cfg)
+		if err != nil {
+			return err
 		}
+		pr, err := link.RunPacket(link.RandomPayload(60))
+		if err != nil {
+			return err
+		}
+		res.Points[k] = Fig11aPoint{
+			Location:      loc,
+			ExpectedSNRdB: pr.ExpectedMRCSNRdB,
+			MeasuredSNRdB: pr.MeasuredSNRdB,
+		}
+		degr[k] = pr.ExpectedMRCSNRdB - pr.MeasuredSNRdB
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.MedianDegradationDB = percentile(degr, 0.5)
 	return res, nil
@@ -87,45 +94,52 @@ type Fig11bRow struct {
 
 // Fig11b sweeps tag symbol rate for BPSK and QPSK at rate 1/2 with a
 // fixed placement (paper: BER falls like a waterfall as MRC gain
-// grows with symbol period).
+// grows with symbol period). The (modulation, rate) waterfall points
+// run concurrently under opt.Workers; the trial accumulation inside a
+// point stays in trial order so sums are bit-identical.
 func Fig11b(opt Options) ([]Fig11bRow, error) {
 	opt = opt.withDefaults()
 	const distance = 4.0 // noise-limited so the waterfall is visible
 	rates := []float64{2.5e6, 2e6, 1e6, 500e3, 100e3}
-	var rows []Fig11bRow
-	for _, mod := range []tag.Modulation{tag.BPSK, tag.QPSK} {
-		for ri, rs := range rates {
-			var errBits, bits int
-			var snr float64
-			for trial := 0; trial < opt.Trials; trial++ {
-				cfg := core.DefaultLinkConfig(distance)
-				cfg.Tag.Mod = mod
-				cfg.Tag.Coding = fec.Rate12
-				cfg.Tag.SymbolRateHz = rs
-				cfg.Seed = opt.Seed + int64(ri)*100 + int64(trial) // same placements across mods/rates
-				link, err := core.NewLink(cfg)
-				if err != nil {
-					return nil, err
-				}
-				n := 48
-				if rs < 500e3 {
-					n = 8
-				}
-				pr, err := link.RunPacket(link.RandomPayload(n))
-				if err != nil {
-					return nil, err
-				}
-				errBits += pr.RawBitErrors
-				bits += pr.RawBits
-				snr += pr.MeasuredSNRdB
+	mods := []tag.Modulation{tag.BPSK, tag.QPSK}
+	rows := make([]Fig11bRow, len(mods)*len(rates))
+	err := parallel.ForEachErr(len(mods)*len(rates), opt.Workers, func(k int) error {
+		mi, ri := k/len(rates), k%len(rates)
+		mod, rs := mods[mi], rates[ri]
+		var errBits, bits int
+		var snr float64
+		for trial := 0; trial < opt.Trials; trial++ {
+			cfg := core.DefaultLinkConfig(distance)
+			cfg.Tag.Mod = mod
+			cfg.Tag.Coding = fec.Rate12
+			cfg.Tag.SymbolRateHz = rs
+			cfg.Seed = opt.Seed + int64(ri)*100 + int64(trial) // same placements across mods/rates
+			link, err := core.NewLink(cfg)
+			if err != nil {
+				return err
 			}
-			rows = append(rows, Fig11bRow{
-				Mod:          mod,
-				SymbolRateHz: rs,
-				RawBER:       float64(errBits) / float64(max(bits, 1)),
-				MeanSNRdB:    snr / float64(opt.Trials),
-			})
+			n := 48
+			if rs < 500e3 {
+				n = 8
+			}
+			pr, err := link.RunPacket(link.RandomPayload(n))
+			if err != nil {
+				return err
+			}
+			errBits += pr.RawBitErrors
+			bits += pr.RawBits
+			snr += pr.MeasuredSNRdB
 		}
+		rows[k] = Fig11bRow{
+			Mod:          mod,
+			SymbolRateHz: rs,
+			RawBER:       float64(errBits) / float64(max(bits, 1)),
+			MeanSNRdB:    snr / float64(opt.Trials),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

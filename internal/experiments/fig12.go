@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"backfi/internal/mac"
+	"backfi/internal/parallel"
 )
 
 // Fig12aResult is the loaded-network throughput distribution.
@@ -30,22 +31,28 @@ func (r *Fig12aResult) FractionOfOptimal() float64 {
 // Fig12a replays 20 loaded-AP airtime traces (paper: captured hotspot
 // traces; here the synthetic generator spans the same load regimes)
 // with the tag at 1 m, where the optimal continuously-excited rate is
-// 5 Mbps.
+// 5 Mbps. Every AP draws from its own index-derived RNG, so the trace
+// set is independent of evaluation order and APs replay concurrently
+// under opt.Workers.
 func Fig12a(numAPs int, opt Options) (*Fig12aResult, error) {
 	opt = opt.withDefaults()
-	r := rand.New(rand.NewSource(opt.Seed))
 	opp := mac.DefaultOpportunityConfig()
-	res := &Fig12aResult{OptimalBps: opp.LinkBps}
-	for ap := 0; ap < numAPs; ap++ {
+	res := &Fig12aResult{OptimalBps: opp.LinkBps, PerAPBps: make([]float64, numAPs)}
+	err := parallel.ForEachErr(numAPs, opt.Workers, func(ap int) error {
+		r := rand.New(rand.NewSource(opt.Seed + int64(ap)*1_000_003))
 		// Heavily loaded networks: AP airtime between 0.55 and 0.95.
 		air := 0.55 + 0.4*r.Float64()
 		cfg := mac.DefaultTraceConfig(air)
 		cfg.HorizonSec = 5
 		tr, err := mac.Generate(cfg, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.PerAPBps = append(res.PerAPBps, mac.Throughput(tr, opp))
+		res.PerAPBps[ap] = mac.Throughput(tr, opp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sorted := append([]float64{}, res.PerAPBps...)
 	sort.Float64s(sorted)
@@ -76,17 +83,21 @@ func RenderFig12a(res *Fig12aResult) string {
 // cell with a varying number of contending clients.
 func Fig12aDCF(numAPs int, opt Options) (*Fig12aResult, error) {
 	opt = opt.withDefaults()
-	r := rand.New(rand.NewSource(opt.Seed + 17))
 	opp := mac.DefaultOpportunityConfig()
-	res := &Fig12aResult{OptimalBps: opp.LinkBps}
-	for ap := 0; ap < numAPs; ap++ {
+	res := &Fig12aResult{OptimalBps: opp.LinkBps, PerAPBps: make([]float64, numAPs)}
+	err := parallel.ForEachErr(numAPs, opt.Workers, func(ap int) error {
+		r := rand.New(rand.NewSource(opt.Seed + 17 + int64(ap)*1_000_003))
 		nClients := r.Intn(8)
 		load := 0.1 + 0.5*r.Float64()
 		dcf, err := mac.SimulateDCF(mac.DownlinkHeavyCell(nClients, load, 2_000_000), r)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.PerAPBps = append(res.PerAPBps, mac.Throughput(dcf.Trace, opp))
+		res.PerAPBps[ap] = mac.Throughput(dcf.Trace, opp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sorted := append([]float64{}, res.PerAPBps...)
 	sort.Float64s(sorted)
@@ -107,27 +118,40 @@ type Fig12bRow struct {
 // Fig12b sweeps the tag's distance from the AP and measures average
 // WiFi client throughput with and without backscatter, across random
 // client placements (paper: ≤10% drop at 0.25 m, negligible beyond).
+// The (distance, client) pairs fill indexed on/off slots concurrently
+// under opt.Workers; each row then reduces its clients in index order,
+// so the sums match the historical sequential accumulation exactly.
 func Fig12b(clients int, opt Options) ([]Fig12bRow, error) {
 	opt = opt.withDefaults()
-	r := rand.New(rand.NewSource(opt.Seed + 5))
 	distances := []float64{0.25, 0.5, 1, 2, 4}
-	var rows []Fig12bRow
-	for _, td := range distances {
+	type pair struct{ on, off float64 }
+	cells := make([]pair, len(distances)*clients)
+	err := parallel.ForEachErr(len(cells), opt.Workers, func(k int) error {
+		di, c := k/clients, k%clients
+		td := distances[di]
+		mbpsRate := []int{6, 12, 24, 36, 54}[c%5]
+		cd, err := mac.ClientDistanceForRate(mbpsRate, 20, 3.5, 5)
+		if err != nil {
+			return err
+		}
+		cfg := mac.DefaultImpactConfig(mbpsRate, cd)
+		cfg.TagDistanceM = td
+		res, err := mac.SimulateClientImpact(cfg, opt.Trials, opt.Seed+int64(td*100)+int64(c)*17)
+		if err != nil {
+			return err
+		}
+		cells[k] = pair{on: res.ThroughputOnBps, off: res.ThroughputOffBps}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig12bRow, 0, len(distances))
+	for di, td := range distances {
 		var onSum, offSum float64
 		for c := 0; c < clients; c++ {
-			mbpsRate := []int{6, 12, 24, 36, 54}[c%5]
-			cd, err := mac.ClientDistanceForRate(mbpsRate, 20, 3.5, 5)
-			if err != nil {
-				return nil, err
-			}
-			cfg := mac.DefaultImpactConfig(mbpsRate, cd)
-			cfg.TagDistanceM = td
-			res, err := mac.SimulateClientImpact(cfg, opt.Trials, opt.Seed+int64(td*100)+int64(c)*17)
-			if err != nil {
-				return nil, err
-			}
-			onSum += res.ThroughputOnBps
-			offSum += res.ThroughputOffBps
+			onSum += cells[di*clients+c].on
+			offSum += cells[di*clients+c].off
 		}
 		row := Fig12bRow{
 			TagDistanceM:         td,
@@ -139,7 +163,6 @@ func Fig12b(clients int, opt Options) ([]Fig12bRow, error) {
 		}
 		rows = append(rows, row)
 	}
-	_ = r
 	return rows, nil
 }
 

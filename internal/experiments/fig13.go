@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"backfi/internal/mac"
+	"backfi/internal/parallel"
 )
 
 // Fig13Row is one WiFi-bitrate point of the worst-case micro-benchmark
@@ -20,21 +21,28 @@ type Fig13Row struct {
 // Fig13 places a single client at the distance appropriate for each
 // WiFi bitrate and measures PHY throughput and SNR with the tag on and
 // off (paper: only the 54 Mbps point shows a noticeable difference).
+// The bitrate points fill a pre-indexed row slice concurrently under
+// opt.Workers.
 func Fig13(opt Options) ([]Fig13Row, error) {
 	opt = opt.withDefaults()
 	rates := []int{6, 9, 12, 18, 24, 36, 48, 54}
-	var rows []Fig13Row
-	for i, mbpsRate := range rates {
+	rows := make([]Fig13Row, len(rates))
+	err := parallel.ForEachErr(len(rates), opt.Workers, func(i int) error {
+		mbpsRate := rates[i]
 		cd, err := mac.ClientDistanceForRate(mbpsRate, 20, 3.5, 5)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := mac.DefaultImpactConfig(mbpsRate, cd)
 		res, err := mac.SimulateClientImpact(cfg, opt.Trials*4, opt.Seed+int64(i)*97)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig13Row{WiFiMbps: mbpsRate, ClientDistanceM: cd, Result: res})
+		rows[i] = Fig13Row{WiFiMbps: mbpsRate, ClientDistanceM: cd, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

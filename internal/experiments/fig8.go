@@ -6,6 +6,7 @@ import (
 
 	"backfi/internal/channel"
 	"backfi/internal/core"
+	"backfi/internal/parallel"
 	"backfi/internal/reader"
 	"backfi/internal/tag"
 )
@@ -25,24 +26,32 @@ type Fig8Row struct {
 
 // Fig8 reproduces throughput vs range for the two preamble durations.
 // For each distance it scans the Fig. 7 configurations from fastest to
-// slowest and reports the first that decodes reliably.
+// slowest and reports the first that decodes reliably. The
+// (distance, preamble) points run concurrently under opt.Workers; each
+// point writes its own row fields, so output is independent of the
+// worker count.
 func Fig8(opt Options) ([]Fig8Row, error) {
 	opt = opt.withDefaults()
-	rows := make([]Fig8Row, 0, len(Fig8Distances))
+	preambles := []int{tag.DefaultPreambleChips, tag.ExtendedPreambleChips}
+	rows := make([]Fig8Row, len(Fig8Distances))
 	for di, d := range Fig8Distances {
-		row := Fig8Row{DistanceM: d}
-		for _, chips := range []int{tag.DefaultPreambleChips, tag.ExtendedPreambleChips} {
-			bps, name, err := maxThroughputAt(d, chips, opt, int64(di))
-			if err != nil {
-				return nil, err
-			}
-			if chips == tag.DefaultPreambleChips {
-				row.Best32Bps, row.Config32 = bps, name
-			} else {
-				row.Best96Bps, row.Config96 = bps, name
-			}
+		rows[di].DistanceM = d
+	}
+	err := parallel.ForEachErr(len(Fig8Distances)*len(preambles), opt.Workers, func(k int) error {
+		di, pi := k/len(preambles), k%len(preambles)
+		bps, name, err := maxThroughputAt(Fig8Distances[di], preambles[pi], opt, int64(di))
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		if preambles[pi] == tag.DefaultPreambleChips {
+			rows[di].Best32Bps, rows[di].Config32 = bps, name
+		} else {
+			rows[di].Best96Bps, rows[di].Config96 = bps, name
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -59,7 +68,7 @@ func maxThroughputAt(d float64, preambleChips int, opt Options, salt int64) (flo
 		if c.SymbolRateHz < 100e3 {
 			payload = 4 // keep very-low-rate excitations tractable
 		}
-		f, err := core.Evaluate(channel.DefaultConfig(d), c, rdr, opt.Trials, payload, opt.Seed+salt*1000+int64(i)*37)
+		f, err := core.EvaluateWorkers(channel.DefaultConfig(d), c, rdr, opt.Trials, payload, opt.Seed+salt*1000+int64(i)*37, opt.Workers)
 		if err != nil {
 			return 0, "", err
 		}

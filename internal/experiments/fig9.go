@@ -5,6 +5,7 @@ import (
 
 	"backfi/internal/channel"
 	"backfi/internal/core"
+	"backfi/internal/parallel"
 	"backfi/internal/reader"
 	"backfi/internal/tag"
 )
@@ -29,36 +30,48 @@ func (c Fig9Curve) MaxThroughputBps() float64 {
 }
 
 // Fig9 sweeps all Fig. 7 configurations at each range and reduces to
-// the min-REPB frontier (paper Fig. 9).
+// the min-REPB frontier (paper Fig. 9). Ranges run concurrently under
+// opt.Workers, as do the configurations and trials inside each sweep.
 func Fig9(opt Options) ([]Fig9Curve, error) {
 	opt = opt.withDefaults()
 	cfgs := core.StandardConfigs(tag.DefaultPreambleChips, 1)
-	curves := make([]Fig9Curve, 0, len(Fig9Ranges))
-	for di, d := range Fig9Ranges {
+	curves := make([]Fig9Curve, len(Fig9Ranges))
+	err := parallel.ForEachErr(len(Fig9Ranges), opt.Workers, func(di int) error {
+		d := Fig9Ranges[di]
 		results, err := sweepWithBudget(d, cfgs, opt, int64(di))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		curves = append(curves, Fig9Curve{DistanceM: d, Points: core.ParetoREPB(results)})
+		curves[di] = Fig9Curve{DistanceM: d, Points: core.ParetoREPB(results)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return curves, nil
 }
 
 // sweepWithBudget evaluates every configuration, shrinking payloads at
-// very low symbol rates to bound excitation length.
+// very low symbol rates to bound excitation length. Configurations
+// fill a pre-indexed result slice concurrently.
 func sweepWithBudget(d float64, cfgs []tag.Config, opt Options, salt int64) ([]core.Feasibility, error) {
 	rdr := reader.DefaultConfig()
-	out := make([]core.Feasibility, 0, len(cfgs))
-	for i, c := range cfgs {
+	out := make([]core.Feasibility, len(cfgs))
+	err := parallel.ForEachErr(len(cfgs), opt.Workers, func(i int) error {
+		c := cfgs[i]
 		payload := 24
 		if c.SymbolRateHz < 100e3 {
 			payload = 4
 		}
-		f, err := core.Evaluate(channel.DefaultConfig(d), c, rdr, opt.Trials, payload, opt.Seed+salt*5000+int64(i)*101)
+		f, err := core.EvaluateWorkers(channel.DefaultConfig(d), c, rdr, opt.Trials, payload, opt.Seed+salt*5000+int64(i)*101, opt.Workers)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, f)
+		out[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

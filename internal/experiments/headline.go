@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"backfi/internal/baseline"
+	"backfi/internal/parallel"
 	"backfi/internal/tag"
 )
 
@@ -28,22 +29,37 @@ func (h *HeadlineResult) SpeedupAt1m() float64 {
 	return h.BackFiAt1mBps / h.PriorAt05mBps
 }
 
-// Headline measures the comparison.
+// Headline measures the comparison. Its five independent measurements
+// each fill their own fields, so they run concurrently under
+// opt.Workers.
 func Headline(opt Options) (*HeadlineResult, error) {
 	opt = opt.withDefaults()
 	res := &HeadlineResult{}
-	var err error
-	res.BackFiAt1mBps, res.Config1m, err = maxThroughputAt(1, tag.DefaultPreambleChips, opt, 7001)
-	if err != nil {
+	tasks := []func() error{
+		func() (err error) {
+			res.BackFiAt1mBps, res.Config1m, err = maxThroughputAt(1, tag.DefaultPreambleChips, opt, 7001)
+			return err
+		},
+		func() (err error) {
+			res.BackFiAt5mBps, res.Config5m, err = maxThroughputAt(5, tag.DefaultPreambleChips, opt, 7002)
+			return err
+		},
+		func() error {
+			res.PriorAt05mBps = baseline.SimulatePriorWiFi(baseline.DefaultPriorWiFiConfig(0.5), 4000, opt.Seed).ThroughputBps
+			return nil
+		},
+		func() error {
+			res.PriorAt3mBps = baseline.SimulatePriorWiFi(baseline.DefaultPriorWiFiConfig(3), 4000, opt.Seed).ThroughputBps
+			return nil
+		},
+		func() error {
+			res.ToneResidualDB = baseline.WidebandResidualDB(opt.Seed, 10, -20)
+			return nil
+		},
+	}
+	if err := parallel.ForEachErr(len(tasks), opt.Workers, func(i int) error { return tasks[i]() }); err != nil {
 		return nil, err
 	}
-	res.BackFiAt5mBps, res.Config5m, err = maxThroughputAt(5, tag.DefaultPreambleChips, opt, 7002)
-	if err != nil {
-		return nil, err
-	}
-	res.PriorAt05mBps = baseline.SimulatePriorWiFi(baseline.DefaultPriorWiFiConfig(0.5), 4000, opt.Seed).ThroughputBps
-	res.PriorAt3mBps = baseline.SimulatePriorWiFi(baseline.DefaultPriorWiFiConfig(3), 4000, opt.Seed).ThroughputBps
-	res.ToneResidualDB = baseline.WidebandResidualDB(opt.Seed, 10, -20)
 	return res, nil
 }
 

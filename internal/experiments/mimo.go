@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"backfi/internal/core"
+	"backfi/internal/parallel"
 )
 
 // MIMORow is one (antennas, range) point of the Sec. 7 extension
@@ -25,36 +26,41 @@ type MIMORow struct {
 // configuration and reports where the link holds.
 func MIMOExtension(opt Options) ([]MIMORow, error) {
 	opt = opt.withDefaults()
-	var rows []MIMORow
-	for _, nrx := range []int{1, 2, 4} {
-		for _, d := range []float64{3, 5, 7, 9} {
-			row := MIMORow{Antennas: nrx, DistanceM: d}
-			ok := 0
-			var snr float64
-			n := 0
-			for trial := 0; trial < opt.Trials; trial++ {
-				cfg := core.DefaultLinkConfig(d)
-				cfg.Seed = opt.Seed + int64(trial)*61
-				link, err := core.NewMIMOLink(cfg, nrx)
-				if err != nil {
-					return nil, err
-				}
-				res, err := link.RunPacket(link.RandomPayload(24))
-				if err != nil {
-					continue // wake failure at extreme range
-				}
-				n++
-				if res.PayloadOK {
-					ok++
-				}
-				snr += res.JointSNRdB
+	antennas := []int{1, 2, 4}
+	dists := []float64{3, 5, 7, 9}
+	rows := make([]MIMORow, len(antennas)*len(dists))
+	err := parallel.ForEachErr(len(rows), opt.Workers, func(k int) error {
+		nrx, d := antennas[k/len(dists)], dists[k%len(dists)]
+		row := MIMORow{Antennas: nrx, DistanceM: d}
+		ok := 0
+		var snr float64
+		n := 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			cfg := core.DefaultLinkConfig(d)
+			cfg.Seed = opt.Seed + int64(trial)*61
+			link, err := core.NewMIMOLink(cfg, nrx)
+			if err != nil {
+				return err
 			}
-			row.SuccessRate = float64(ok) / float64(opt.Trials)
-			if n > 0 {
-				row.MeanJointSNRdB = snr / float64(n)
+			res, err := link.RunPacket(link.RandomPayload(24))
+			if err != nil {
+				continue // wake failure at extreme range
 			}
-			rows = append(rows, row)
+			n++
+			if res.PayloadOK {
+				ok++
+			}
+			snr += res.JointSNRdB
 		}
+		row.SuccessRate = float64(ok) / float64(opt.Trials)
+		if n > 0 {
+			row.MeanJointSNRdB = snr / float64(n)
+		}
+		rows[k] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

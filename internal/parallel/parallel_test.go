@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		counts := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("workers=1 order %v not sequential", order)
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(0) != DefaultWorkers() {
+		t.Fatal("0 should mean DefaultWorkers")
+	}
+	if Normalize(-5) != 1 {
+		t.Fatal("negative should clamp to 1")
+	}
+	if Normalize(7) != 7 {
+		t.Fatal("positive should pass through")
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForEachErr(20, workers, func(i int) error {
+			if i == 3 || i == 17 {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("workers=%d: got %v, want fail@3", workers, err)
+		}
+	}
+}
+
+func TestForEachErrNil(t *testing.T) {
+	if err := ForEachErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachErrSequentialStopsEarly(t *testing.T) {
+	ran := 0
+	sentinel := errors.New("stop")
+	err := ForEachErr(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || ran != 3 {
+		t.Fatalf("err=%v ran=%d", err, ran)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			ForEach(8, workers, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachDeterministicReduction(t *testing.T) {
+	// The engine's core guarantee: indexed slots + in-order reduction
+	// give bit-identical sums for any worker count.
+	n := 1000
+	sum := func(workers int) float64 {
+		vals := make([]float64, n)
+		ForEach(n, workers, func(i int) { vals[i] = 1.0 / float64(i+1) })
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+	ref := sum(1)
+	for _, w := range []int{2, 8, 64} {
+		if got := sum(w); got != ref {
+			t.Fatalf("workers=%d sum %v != sequential %v", w, got, ref)
+		}
+	}
+}

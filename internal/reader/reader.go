@@ -124,8 +124,9 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 	}
 
 	// Reference signal: what the backscatter looks like for unit
-	// modulation.
-	ref := dsp.ConvolveSame(x, hfb)
+	// modulation. The buffer is reused when the timing search below
+	// re-estimates the channel.
+	ref := dsp.ConvolveSameInto(nil, x, hfb)
 
 	// Symbol timing: search around the nominal position using the PN
 	// matched filter, re-estimating the channel at each winner until
@@ -142,7 +143,7 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 		preEnd += step
 		if h2, err := r.estimateHfb(x, clean, preStart, pn); err == nil {
 			hfb = h2
-			ref = dsp.ConvolveSame(x, hfb)
+			ref = dsp.ConvolveSameInto(ref, x, hfb)
 		}
 	}
 

@@ -79,11 +79,17 @@ type Report struct {
 }
 
 // Canceller holds trained analog and digital channel estimates.
+//
+// A Canceller reuses an internal scratch buffer between Train and
+// Cancel, so one instance must not be shared across goroutines; the
+// parallel sweep engine gives every trial its own link (and therefore
+// its own canceller).
 type Canceller struct {
 	cfg     Config
 	analog  []complex128
 	digital []complex128
 	report  Report
+	scratch []complex128 // reconstruction buffer reused across calls
 }
 
 // Train estimates the self-interference channel from the window
@@ -111,7 +117,8 @@ func Train(cfg Config, xTap, xIdeal, y []complex128, start, stop int) (*Cancelle
 			return nil, fmt.Errorf("sic: analog estimate: %w", err)
 		}
 		c.analog = quantizeTaps(hA, cfg.AnalogMagBits, cfg.AnalogPhaseBits)
-		work = dsp.Sub(y, dsp.ConvolveSame(xTap, c.analog))
+		c.scratch = dsp.ConvolveSameInto(c.scratch, xTap, c.analog)
+		work = dsp.Sub(y, c.scratch)
 		c.report.AfterAnalogDBm = dsp.DBm(dsp.Power(work[start:stop]))
 	} else {
 		c.report.AfterAnalogDBm = c.report.BeforeDBm
@@ -122,20 +129,27 @@ func Train(cfg Config, xTap, xIdeal, y []complex128, start, stop int) (*Cancelle
 		return nil, fmt.Errorf("sic: digital estimate: %w", err)
 	}
 	c.digital = hD
-	resid := dsp.Sub(work[start:stop], dsp.ConvolveSame(xIdeal, hD)[start:stop])
+	c.scratch = dsp.ConvolveSameInto(c.scratch, xIdeal, hD)
+	resid := dsp.Sub(work[start:stop], c.scratch[start:stop])
 	c.report.AfterDBm = dsp.DBm(dsp.Power(resid))
 	c.report.CancellationDB = c.report.BeforeDBm - c.report.AfterDBm
 	return c, nil
 }
 
 // Cancel subtracts the reconstructed self-interference from the whole
-// received signal, using the same transmit copies as Train.
+// received signal, using the same transmit copies as Train. y is not
+// modified.
 func (c *Canceller) Cancel(xTap, xIdeal, y []complex128) []complex128 {
-	out := y
+	var out []complex128
 	if len(c.analog) > 0 {
-		out = dsp.Sub(out, dsp.ConvolveSame(xTap, c.analog))
+		c.scratch = dsp.ConvolveSameInto(c.scratch, xTap, c.analog)
+		out = dsp.Sub(y, c.scratch)
+		c.scratch = dsp.ConvolveSameInto(c.scratch, xIdeal, c.digital)
+		dsp.SubInPlace(out, c.scratch)
+		return out
 	}
-	return dsp.Sub(out, dsp.ConvolveSame(xIdeal, c.digital))
+	c.scratch = dsp.ConvolveSameInto(c.scratch, xIdeal, c.digital)
+	return dsp.Sub(y, c.scratch)
 }
 
 // Report returns the training-window power summary.

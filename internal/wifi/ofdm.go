@@ -21,10 +21,10 @@ func assembleSymbol(points []complex128, symbolIndex int) []complex128 {
 	for i, k := range pilotCarriers {
 		bins[binFor(k)] = pilotValues[i] * pol * carrierScale
 	}
-	body := dsp.IFFT(bins)
+	dsp.IFFTInPlace(bins)
 	out := make([]complex128, 0, SymbolLen)
-	out = append(out, body[FFTSize-CPLen:]...)
-	out = append(out, body...)
+	out = append(out, bins[FFTSize-CPLen:]...)
+	out = append(out, bins...)
 	return out
 }
 
