@@ -26,10 +26,13 @@
 package backfi
 
 import (
+	"net/http"
+
 	"backfi/internal/channel"
 	"backfi/internal/core"
 	"backfi/internal/energy"
 	"backfi/internal/fec"
+	"backfi/internal/obs"
 	"backfi/internal/tag"
 )
 
@@ -159,4 +162,36 @@ func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session,
 // NewMultiTagLink places one tag per distance (IDs 0..n-1).
 func NewMultiTagLink(cfg LinkConfig, distances []float64) (*MultiTagLink, error) {
 	return core.NewMultiTagLink(cfg, distances)
+}
+
+// Observability (DESIGN.md §5c): a registry set on LinkConfig.Obs
+// collects per-stage durations, SIC/decoder health, and SNR/BER
+// histograms from every packet the link runs. Metrics are write-only
+// observers — enabling them never changes link output — and a nil
+// registry costs nothing.
+type (
+	// MetricsRegistry aggregates counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// RunManifest records one run's config, build and final metrics.
+	RunManifest = obs.Manifest
+)
+
+// NewMetricsRegistry creates an empty registry to set on
+// LinkConfig.Obs (or experiments.Options.Obs via cmd/backfi-bench).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics exposes the registry on addr: Prometheus text on
+// /metrics, JSON on /metrics.json, and net/http/pprof under
+// /debug/pprof/. It returns the running server and the bound address
+// (useful with a ":0" port).
+func ServeMetrics(addr string, r *MetricsRegistry) (*http.Server, string, error) {
+	return obs.Serve(addr, r)
+}
+
+// NewRunManifest starts a per-run provenance record (build info,
+// config, timed phases, final metric snapshot).
+func NewRunManifest(command string, config map[string]any) *RunManifest {
+	return obs.NewManifest(command, config)
 }

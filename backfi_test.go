@@ -62,3 +62,35 @@ func TestFacadeEvaluate(t *testing.T) {
 		t.Fatalf("success rate %v", f.SuccessRate)
 	}
 }
+
+func TestFacadeObservability(t *testing.T) {
+	reg := NewMetricsRegistry()
+	cfg := DefaultLinkConfig(1)
+	cfg.Obs = reg
+	link, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.RunPacket(link.RandomPayload(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Satellite diagnostics lifted onto the result.
+	if res.SICCancellationDB <= 0 || res.SICResidualDBm >= res.SICBeforeDBm {
+		t.Fatalf("SIC diagnostics not lifted: before=%.1f after=%.1f depth=%.1f",
+			res.SICBeforeDBm, res.SICResidualDBm, res.SICCancellationDB)
+	}
+	if res.PreambleCorr <= 0 {
+		t.Fatalf("preamble correlation not lifted: %v", res.PreambleCorr)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("backfi_packets_total", "") != 1 {
+		t.Fatalf("packet counter = %d, want 1", snap.Counter("backfi_packets_total", ""))
+	}
+	if h, ok := snap.Histogram("backfi_sic_residual_db", ""); !ok || h.Count == 0 {
+		t.Fatal("SIC residual histogram missing after an instrumented packet")
+	}
+	if h, ok := snap.Histogram("backfi_stage_duration_seconds", `{stage="mrc"}`); !ok || h.Count == 0 {
+		t.Fatal("MRC stage-duration histogram missing after an instrumented packet")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"backfi/internal/experiments"
+	"backfi/internal/obs"
 	"backfi/internal/parallel"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation concurrency: 0 = all CPUs, 1 = sequential (results are identical for every value)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	benchOut := flag.String("benchout", "", "write per-figure headline metrics + wall-clock seconds to this JSON file (e.g. BENCH_results.json)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ while running (e.g. localhost:9090)")
+	manifestOut := flag.String("manifest", "", "write a per-run manifest (config, seed, build info, per-figure wall clock + headline metric, final metric snapshot) to this JSON file")
 	flag.Parse()
 
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
@@ -37,6 +40,42 @@ func main() {
 	if *fig != "" {
 		figs = []string{*fig}
 	}
+
+	// Instrumentation is opt-in: with neither flag the registry stays
+	// nil and every probe in the pipeline is a no-op.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *manifestOut != "" {
+		reg = obs.NewRegistry()
+		opt.Obs = reg
+		parallel.SetRegistry(reg)
+	}
+	if *metricsAddr != "" {
+		_, bound, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics-addr: %v", err)
+		}
+		log.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof/", bound, bound)
+	}
+	var man *obs.Manifest
+	if *manifestOut != "" {
+		man = obs.NewManifest("backfi-bench", map[string]any{
+			"figs":    figs,
+			"trials":  *trials,
+			"seed":    *seed,
+			"workers": parallel.Normalize(*workers),
+		})
+	}
+	finishManifest := func() {
+		if man == nil {
+			return
+		}
+		man.Finish(reg)
+		if err := man.WriteFile(*manifestOut); err != nil {
+			log.Fatalf("manifest: %v", err)
+		}
+		log.Printf("wrote %s", *manifestOut)
+	}
+
 	bench := map[string]benchEntry{}
 	if *jsonOut {
 		report := map[string]any{}
@@ -47,7 +86,7 @@ func main() {
 				log.Fatalf("fig %s: %v", f, err)
 			}
 			report["fig"+f] = data
-			recordBench(bench, f, data, time.Since(start))
+			recordBench(bench, man, f, data, time.Since(start))
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -55,6 +94,7 @@ func main() {
 			log.Fatal(err)
 		}
 		writeBench(*benchOut, bench)
+		finishManifest()
 		return
 	}
 	total := time.Duration(0)
@@ -66,11 +106,12 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		total += elapsed
-		recordBench(bench, f, data, elapsed)
+		recordBench(bench, man, f, data, elapsed)
 		fmt.Printf("=== Figure %s (%.1fs) ===\n%s\n", f, elapsed.Seconds(), render(f, data))
 	}
 	fmt.Printf("total wall clock: %.1fs (workers=%d)\n", total.Seconds(), parallel.Normalize(opt.Workers))
 	writeBench(*benchOut, bench)
+	finishManifest()
 }
 
 // benchEntry is one figure's machine-readable summary.
@@ -82,10 +123,15 @@ type benchEntry struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// recordBench reduces one figure's typed rows to its headline metric.
-func recordBench(bench map[string]benchEntry, fig string, data any, elapsed time.Duration) {
+// recordBench reduces one figure's typed rows to its headline metric,
+// mirroring the entry into the run manifest's phase list when one is
+// being kept.
+func recordBench(bench map[string]benchEntry, man *obs.Manifest, fig string, data any, elapsed time.Duration) {
 	metric, value := headlineMetric(fig, data)
 	bench["fig"+fig] = benchEntry{Metric: metric, Value: value, WallSeconds: elapsed.Seconds()}
+	if man != nil {
+		man.AddPhase("fig"+fig, elapsed.Seconds(), metric, value)
+	}
 }
 
 // headlineMetric extracts the single number a figure argues for — the

@@ -20,6 +20,7 @@ import (
 	"backfi/internal/core"
 	"backfi/internal/dsp"
 	"backfi/internal/dsss"
+	"backfi/internal/obs"
 	"backfi/internal/tag"
 	"backfi/internal/zigbee"
 )
@@ -87,6 +88,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	excitation := flag.String("excitation", "wifi", "excitation signal: wifi | 11b | zigbee | ble | white")
 	antennas := flag.Int("antennas", 1, "AP receive antennas (MIMO extension, wifi excitation only)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ while running (e.g. localhost:9090)")
+	manifestOut := flag.String("manifest", "", "write a per-run manifest (config, seed, build info, metric snapshot) to this JSON file")
 	flag.Parse()
 
 	tcfg := backfi.TagConfig{
@@ -116,6 +119,31 @@ func main() {
 	cfg := backfi.DefaultLinkConfig(*distance)
 	cfg.Tag = tcfg
 	cfg.Seed = *seed
+
+	var reg *obs.Registry
+	if *metricsAddr != "" || *manifestOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
+	if *metricsAddr != "" {
+		_, bound, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics-addr: %v", err)
+		}
+		log.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof/", bound, bound)
+	}
+	var man *obs.Manifest
+	if *manifestOut != "" {
+		man = obs.NewManifest("backfi-sim", map[string]any{
+			"distance": *distance,
+			"mod":      *mod,
+			"coding":   *coding,
+			"symrate":  *symrate,
+			"bytes":    *bytes,
+			"packets":  *packets,
+			"seed":     *seed,
+		})
+	}
 
 	if *antennas > 1 && *excitation != "wifi" {
 		log.Fatal("-antennas requires the wifi excitation")
@@ -154,14 +182,22 @@ func main() {
 		fmt.Printf("  tag config          %v  (%.2f Mbps)\n", tcfg, tcfg.BitRate()/1e6)
 		fmt.Printf("  excitation          %d samples (%.2f ms)\n", res.ExcitationSamples, float64(res.ExcitationSamples)/20e3)
 		fmt.Printf("  self-interference   %.1f dBm → %.1f dBm (%.1f dB cancelled)\n",
-			res.Decode.SIC.BeforeDBm, res.Decode.SIC.AfterDBm, res.Decode.SIC.CancellationDB)
+			res.SICBeforeDBm, res.SICResidualDBm, res.SICCancellationDB)
 		fmt.Printf("  expected SNR        %.1f dB per sample, %.1f dB post-MRC\n",
 			res.ExpectedSNRdB, res.ExpectedMRCSNRdB)
 		fmt.Printf("  measured SNR        %.1f dB post-MRC\n", res.MeasuredSNRdB)
-		fmt.Printf("  preamble corr       %.3f\n", res.Decode.PreambleCorr)
-		fmt.Printf("  raw coded BER       %.2e (%d/%d)\n", res.RawBER(), res.RawBitErrors, res.RawBits)
+		fmt.Printf("  preamble corr       %.3f (sync offset %+d samples)\n", res.PreambleCorr, res.SyncOffsetSamples)
+		fmt.Printf("  raw coded BER       %.2e (%d/%d), Viterbi corrected %d bits\n",
+			res.RawBER(), res.RawBitErrors, res.RawBits, res.ViterbiCorrectedBits)
 	}
 	fmt.Printf("\n%d/%d packets decoded\n", ok, *packets)
+	if man != nil {
+		man.Finish(reg)
+		if err := man.WriteFile(*manifestOut); err != nil {
+			log.Fatalf("manifest: %v", err)
+		}
+		log.Printf("wrote %s", *manifestOut)
+	}
 	if ok == 0 {
 		os.Exit(1)
 	}

@@ -78,6 +78,10 @@ type trialOutcome struct {
 // sequential evaluation exactly. Each trial derives its own seed
 // (seed + i*7919), builds an independent Link, and writes into its own
 // slot, so the returned Feasibility does not depend on workers.
+//
+// Instrumentation rides on rdrCfg.Obs: the registry set there is also
+// installed as each trial link's LinkConfig.Obs, so packet counters and
+// stage spans cover sweeps without widening this signature.
 func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64, workers int) (Feasibility, error) {
 	if trials <= 0 {
 		return Feasibility{}, fmt.Errorf("core: trials must be positive")
@@ -95,6 +99,7 @@ func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Conf
 			WiFiMbps:      24,
 			WiFiPSDUBytes: 1500,
 			Seed:          seed + int64(i)*7919,
+			Obs:           rdrCfg.Obs,
 		}
 		link, err := NewLink(lc)
 		if err != nil {

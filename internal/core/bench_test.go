@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"backfi/internal/obs"
+)
+
+// benchRunPacket measures one full decode chain (excitation build,
+// channel simulation, SIC, channel estimation, MRC, Viterbi) with the
+// given registry attached. The nil/instrumented pair quantifies the
+// observability layer's hot-path cost: with a nil registry every probe
+// is a nil-receiver no-op, so the two must be within noise of each
+// other (the PR's acceptance bound is ≤2%; see BENCH_results.json).
+func benchRunPacket(b *testing.B, reg *obs.Registry) {
+	cfg := DefaultLinkConfig(1)
+	cfg.Obs = reg
+	payloads := make([][]byte, b.N)
+	links := make([]*Link, b.N)
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Seed = int64(i + 1)
+		link, err := NewLink(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		links[i] = link
+		payloads[i] = link.RandomPayload(24)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := links[i].RunPacket(payloads[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPacket(b *testing.B) { benchRunPacket(b, nil) }
+
+func BenchmarkRunPacketInstrumented(b *testing.B) { benchRunPacket(b, obs.NewRegistry()) }

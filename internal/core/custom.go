@@ -26,15 +26,18 @@ func (l *Link) RunCustomExcitation(excitation []complex128, payload []byte) (*Pa
 		return nil, fmt.Errorf("core: excitation of %d samples, need ≥ %d for this payload", len(excitation), need)
 	}
 
+	l.m.packets.Inc()
 	amp := complex(math.Sqrt(l.Scenario.TxPowerW()), 0)
 	wake := tag.WakeWaveform(l.Tag.WakeSeq(), math.Sqrt(l.Scenario.TxPowerW()))
 	x := append(append([]complex128{}, wake...), dsp.Scale(excitation, amp)...)
 	packetStart := len(wake)
 	packetLen := len(x) - packetStart
 
+	spChan := l.m.spanChannelSim.Start()
 	xAir := l.Scenario.Distortion.Apply(x)
 	z := l.Scenario.HF.Apply(xAir)
 	if _, ok := l.Tag.TryWake(z[:packetStart+tag.SilentSamples]); !ok {
+		l.m.failWake.Inc()
 		return nil, fmt.Errorf("core: tag did not wake")
 	}
 	m, plan, err := l.Tag.ModulationSequence(packetLen, payload)
@@ -45,8 +48,11 @@ func (l *Link) RunCustomExcitation(excitation []complex128, payload []byte) (*Pa
 	copy(mFull[packetStart:], m)
 	bs := l.Scenario.HB.Apply(tag.Backscatter(z, mFull))
 	y := l.Scenario.Noise.Add(dsp.Add(l.Scenario.HEnv.Apply(xAir), bs))
+	spChan.End()
 
+	spDec := l.m.spanDecode.Start()
 	res, err := l.rdr.Decode(x, xAir, y, packetStart, packetLen, l.Tag.Cfg)
+	spDec.End()
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +65,14 @@ func (l *Link) RunCustomExcitation(excitation []complex128, payload []byte) (*Pa
 		ExpectedSNRdB:     l.Scenario.ExpectedSNRdB(),
 		MeasuredSNRdB:     res.SNRdB,
 	}
+	pr.liftDiagnostics(res)
+	// Oracle post-MRC SNR against the measured floor, as in RunPacket.
+	sps := l.Tag.Cfg.SamplesPerSymbol()
+	guard := l.Cfg.Reader.ChannelTaps
+	if guard > sps/2 {
+		guard = sps / 2
+	}
+	pr.ExpectedMRCSNRdB = dsp.SNRdB(l.Scenario.BackscatterRxPowerW(), dsp.UnDBm(pr.SICResidualDBm)) + dsp.DB(float64(sps-guard))
 	hard := l.Tag.Cfg.Mod.DemapHard(res.SymbolEstimates[:min(len(plan.Symbols), len(res.SymbolEstimates))])
 	for i, b := range plan.CodedBits[:min(len(plan.CodedBits), len(hard))] {
 		if hard[i] != b {
@@ -66,5 +80,6 @@ func (l *Link) RunCustomExcitation(excitation []complex128, payload []byte) (*Pa
 		}
 		pr.RawBits++
 	}
+	l.observeResult(pr)
 	return pr, nil
 }

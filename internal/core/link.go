@@ -14,6 +14,7 @@ import (
 	"backfi/internal/channel"
 	"backfi/internal/dsp"
 	"backfi/internal/fec"
+	"backfi/internal/obs"
 	"backfi/internal/reader"
 	"backfi/internal/tag"
 	"backfi/internal/wifi"
@@ -33,6 +34,13 @@ type LinkConfig struct {
 	WiFiPSDUBytes int
 	// Seed drives all randomness (placement, noise, payloads).
 	Seed int64
+	// Obs receives the link's pipeline metrics (per-stage spans, packet
+	// and failure counters, SNR/BER histograms). Nil disables
+	// instrumentation at zero cost; metrics never feed back into the
+	// simulation, so results are identical with or without a registry.
+	// NewLink propagates the registry into the reader and SIC configs
+	// unless those carry their own.
+	Obs *obs.Registry
 }
 
 // DefaultLinkConfig returns the paper's standard operating point at the
@@ -83,6 +91,24 @@ type PacketResult struct {
 	ExcitationSamples int
 	// TagAirtimeSec is the tag's active modulation time.
 	TagAirtimeSec float64
+
+	// Per-stage diagnostics, lifted out of Decode so callers read them
+	// directly instead of re-deriving them from the reader's report:
+
+	// SICBeforeDBm / SICResidualDBm bracket the canceller: received
+	// self-interference power and the post-cancellation floor over the
+	// training window. SICCancellationDB is their difference — the
+	// paper's ≈78–80 dB Fig. 7 quantity.
+	SICBeforeDBm, SICResidualDBm, SICCancellationDB float64
+	// SyncOffsetSamples is the symbol-timing correction the PN
+	// preamble search applied relative to protocol timing.
+	SyncOffsetSamples int
+	// PreambleCorr is the normalized tag-preamble correlation
+	// (1 = perfect).
+	PreambleCorr float64
+	// ViterbiCorrectedBits counts coded bits the Viterbi decoder fixed
+	// inside the frame (receiver-side; no ground truth needed).
+	ViterbiCorrectedBits int
 }
 
 // RawBER returns the pre-FEC bit error rate.
@@ -91,6 +117,59 @@ func (p *PacketResult) RawBER() float64 {
 		return 0
 	}
 	return float64(p.RawBitErrors) / float64(p.RawBits)
+}
+
+// liftDiagnostics copies the reader's per-stage report into the
+// result's flat diagnostic fields.
+func (p *PacketResult) liftDiagnostics(res *reader.Result) {
+	p.SICBeforeDBm = res.SIC.BeforeDBm
+	p.SICResidualDBm = res.SIC.AfterDBm
+	p.SICCancellationDB = res.SIC.CancellationDB
+	p.SyncOffsetSamples = res.TimingOffset
+	p.PreambleCorr = res.PreambleCorr
+	p.ViterbiCorrectedBits = res.ViterbiCorrectedBits
+}
+
+// linkMetrics holds the link's instrument handles, resolved once at
+// NewLink so RunPacket does no registry lookups. All fields are nil
+// (no-op) when metrics are disabled.
+type linkMetrics struct {
+	spanExcitation *obs.Histogram
+	spanChannelSim *obs.Histogram
+	spanDecode     *obs.Histogram
+	packets        *obs.Counter
+	packetsOK      *obs.Counter
+	failWake       *obs.Counter
+	failWakeTiming *obs.Counter
+	rawBER         *obs.Histogram
+	snrExpected    *obs.Histogram
+	snrExpectedMRC *obs.Histogram
+	snrMeasured    *obs.Histogram
+}
+
+func newLinkMetrics(r *obs.Registry) linkMetrics {
+	if r == nil {
+		return linkMetrics{}
+	}
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram(obs.MetricStageDuration, obs.HelpStageDuration, obs.DurationBuckets, "stage", name)
+	}
+	snr := func(kind string) *obs.Histogram {
+		return r.Histogram(obs.MetricSNR, "Per-packet SNR in dB.", obs.DBBuckets, "kind", kind)
+	}
+	return linkMetrics{
+		spanExcitation: stage("excitation_build"),
+		spanChannelSim: stage("channel_sim"),
+		spanDecode:     stage("decode_total"),
+		packets:        r.Counter(obs.MetricPackets, "Packet exchanges attempted."),
+		packetsOK:      r.Counter(obs.MetricPacketsOK, "Packets whose decoded payload matched exactly."),
+		failWake:       r.Counter(obs.MetricStageFailures, "Decode aborts and frame failures by pipeline stage.", "stage", "wake"),
+		failWakeTiming: r.Counter(obs.MetricStageFailures, "Decode aborts and frame failures by pipeline stage.", "stage", "wake_timing"),
+		rawBER:         r.Histogram(obs.MetricRawBER, "Per-packet pre-FEC coded-bit error rate.", obs.BERBuckets),
+		snrExpected:    snr("expected"),
+		snrExpectedMRC: snr("expected_mrc"),
+		snrMeasured:    snr("measured"),
+	}
 }
 
 // Link is a realized BackFi link: one placement draw plus the tag and
@@ -102,6 +181,7 @@ type Link struct {
 	rdr      *reader.Reader
 	rng      *rand.Rand
 	rate     wifi.Rate
+	m        linkMetrics
 }
 
 // NewLink draws a placement realization and builds the endpoints.
@@ -117,6 +197,9 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Reader.Obs == nil {
+		cfg.Reader.Obs = cfg.Obs
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &Link{
 		Cfg:      cfg,
@@ -125,6 +208,7 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 		rdr:      reader.New(cfg.Reader),
 		rng:      rng,
 		rate:     rate,
+		m:        newLinkMetrics(cfg.Obs),
 	}, nil
 }
 
@@ -193,6 +277,8 @@ func buildExcitation(rng *rand.Rand, rate wifi.Rate, psduBytes int, txPowerW flo
 // the wake preamble, and enough back-to-back WiFi PPDUs for the
 // payload; the tag wakes and backscatters; the AP decodes.
 func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
+	l.m.packets.Inc()
+
 	// Excitation sizing: enough PPDU samples to carry the payload.
 	need := tag.SilentSamples + l.Tag.Cfg.PreambleSamples() +
 		tag.SymbolsForPayload(len(payload), l.Tag.Cfg.Coding, l.Tag.Cfg.Mod)*l.Tag.Cfg.SamplesPerSymbol()
@@ -202,11 +288,15 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 		nppdu = 1
 	}
 
+	spExc := l.m.spanExcitation.Start()
 	x, packetStart, err := buildExcitation(l.rng, l.rate, l.Cfg.WiFiPSDUBytes, l.Scenario.TxPowerW(), l.Tag, nppdu)
+	spExc.End()
 	if err != nil {
 		return nil, err
 	}
 	packetLen := len(x) - packetStart
+
+	spChan := l.m.spanChannelSim.Start()
 
 	// Air: the transmitted waveform carries hardware distortion the
 	// receiver cannot reconstruct.
@@ -220,11 +310,13 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 	z := l.Scenario.HF.Apply(xAir)
 	wakeIdx, ok := l.Tag.TryWake(z[:packetStart+tag.SilentSamples])
 	if !ok {
+		l.m.failWake.Inc()
 		return nil, fmt.Errorf("core: tag did not wake at %.2g m", l.Cfg.Channel.DistanceM)
 	}
 	// The detector quantizes to 1 µs bits; snap to the true PPDU start
 	// (within one bit period, as the real tag's comparator clock does).
 	if d := wakeIdx - packetStart; d < -tag.WakeBitSamples || d > tag.WakeBitSamples {
+		l.m.failWakeTiming.Inc()
 		return nil, fmt.Errorf("core: wake timing off by %d samples", d)
 	}
 
@@ -239,8 +331,11 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 
 	// AP receive: self-interference + backscatter + thermal noise.
 	y := l.Scenario.Noise.Add(dsp.Add(l.Scenario.HEnv.Apply(xAir), bs))
+	spChan.End()
 
+	spDec := l.m.spanDecode.Start()
 	res, err := l.rdr.Decode(x, xAir, y, packetStart, packetLen, l.Tag.Cfg)
+	spDec.End()
 	if err != nil {
 		return nil, err
 	}
@@ -254,12 +349,13 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 		ExpectedSNRdB:     l.Scenario.ExpectedSNRdB(),
 		MeasuredSNRdB:     res.SNRdB,
 	}
+	pr.liftDiagnostics(res)
 	sps := l.Tag.Cfg.SamplesPerSymbol()
 	guard := l.Cfg.Reader.ChannelTaps
 	if guard > sps/2 {
 		guard = sps / 2
 	}
-	floorW := dsp.UnDBm(res.SIC.AfterDBm)
+	floorW := dsp.UnDBm(pr.SICResidualDBm)
 	pr.ExpectedMRCSNRdB = dsp.SNRdB(l.Scenario.BackscatterRxPowerW(), floorW) + dsp.DB(float64(sps-guard))
 	pr.PayloadOK = res.FrameOK && bytesEqual(res.Payload, payload)
 
@@ -271,7 +367,19 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 		}
 		pr.RawBits++
 	}
+	l.observeResult(pr)
 	return pr, nil
+}
+
+// observeResult records one packet's outcome into the link metrics.
+func (l *Link) observeResult(pr *PacketResult) {
+	if pr.PayloadOK {
+		l.m.packetsOK.Inc()
+	}
+	l.m.rawBER.Observe(pr.RawBER())
+	l.m.snrExpected.Observe(pr.ExpectedSNRdB)
+	l.m.snrExpectedMRC.Observe(pr.ExpectedMRCSNRdB)
+	l.m.snrMeasured.Observe(pr.MeasuredSNRdB)
 }
 
 // RandomPayload draws a payload of n bytes from the link's RNG.

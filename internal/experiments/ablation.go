@@ -34,6 +34,8 @@ type AblationRow struct {
 //     frames).
 func Ablations(opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("ablation")
+	defer sp.End()
 
 	// Build the study list in presentation order; the variants then fill
 	// a pre-indexed row slice concurrently under opt.Workers.
@@ -136,6 +138,7 @@ func runAblation(study, variant string, lcfg core.LinkConfig, opt Options, salt 
 	parallel.ForEach(opt.Trials, opt.Workers, func(i int) {
 		cfg := lcfg
 		cfg.Seed = opt.Seed + salt*10000 + int64(i)*53
+		cfg.Obs = opt.Obs
 		link, err := core.NewLink(cfg)
 		if err != nil {
 			outcomes[i].err = err

@@ -6,6 +6,8 @@ import (
 	"backfi/internal/channel"
 	"backfi/internal/core"
 	"backfi/internal/fec"
+	"backfi/internal/obs"
+	"backfi/internal/parallel"
 	"backfi/internal/reader"
 	"backfi/internal/tag"
 )
@@ -73,6 +75,36 @@ func TestFig12aDeterministicAcrossWorkers(t *testing.T) {
 	for i := range seq {
 		if seq[i] != par[i] {
 			t.Fatalf("AP %d diverged: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestMetricsDoNotPerturbFigures is the observability contract: an
+// attached registry (plus the parallel pool's instrumentation) is a
+// write-only observer, so figure output must be byte-identical with
+// metrics enabled and disabled, sequentially and concurrently.
+func TestMetricsDoNotPerturbFigures(t *testing.T) {
+	run := func(workers int, instrumented bool) string {
+		opt := Options{Trials: 2, Seed: 5, Workers: workers}
+		if instrumented {
+			opt.Obs = obs.NewRegistry()
+			parallel.SetRegistry(opt.Obs)
+			t.Cleanup(func() { parallel.SetRegistry(nil) })
+		}
+		res, err := Fig11a(4, 2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderFig11a(res)
+	}
+	plain := run(1, false)
+	for _, c := range []struct {
+		workers      int
+		instrumented bool
+	}{{1, true}, {8, false}, {8, true}} {
+		if got := run(c.workers, c.instrumented); got != plain {
+			t.Fatalf("workers=%d instrumented=%v diverged from plain sequential output:\n%s\nvs\n%s",
+				c.workers, c.instrumented, got, plain)
 		}
 	}
 }

@@ -37,6 +37,8 @@ type ExcitationRow struct {
 // which is the generality claim.
 func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("excitation")
+	defer sp.End()
 	const distance = 2.0
 	const payloadBytes = 24
 
@@ -101,6 +103,7 @@ func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 			cfg := core.DefaultLinkConfig(distance)
 			cfg.Tag.SymbolRateHz = 500e3
 			cfg.Seed = opt.Seed + int64(trial)*31
+			cfg.Obs = opt.Obs
 			link, err := core.NewLink(cfg)
 			if err != nil {
 				return err

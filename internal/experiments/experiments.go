@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"backfi/internal/obs"
 	"backfi/internal/parallel"
 )
 
@@ -30,6 +31,12 @@ type Options struct {
 	// derives its randomness from its index and writes into a
 	// pre-indexed slot, and reduction happens in index order.
 	Workers int
+	// Obs, when non-nil, collects pipeline metrics (stage durations,
+	// SIC/decoder health, per-figure wall clock) from every link the
+	// harness builds. Metrics are write-only observers of the
+	// deterministic trial grid, so figure outputs are byte-identical
+	// with or without a registry (see determinism_test.go).
+	Obs *obs.Registry
 }
 
 // DefaultOptions gives publication-grade fidelity; QuickOptions is for
@@ -49,6 +56,13 @@ func (o Options) withDefaults() Options {
 	}
 	o.Workers = parallel.Normalize(o.Workers)
 	return o
+}
+
+// figureSpan times one figure harness end to end under
+// backfi_figure_duration_seconds{fig="..."}. The returned span's End is
+// safe on the zero value, so harnesses call it unconditionally.
+func (o Options) figureSpan(fig string) obs.Span {
+	return o.Obs.Histogram(obs.MetricFigureDuration, "Wall-clock seconds per figure harness.", obs.DurationBuckets, "fig", fig).Start()
 }
 
 // table renders aligned columns.

@@ -29,6 +29,8 @@ type Fig10Row struct {
 // grid concurrently under opt.Workers.
 func Fig10(opt Options) ([]Fig10Row, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("10")
+	defer sp.End()
 	cfgs := core.StandardConfigs(tag.DefaultPreambleChips, 1)
 	ranges := []float64{0.5, 1, 2, 3, 4, 5}
 	rows := make([]Fig10Row, len(ranges)*len(Fig10Targets))

@@ -36,6 +36,8 @@ type Fig11aResult struct {
 // every worker count.
 func Fig11a(locations, runsPerLocation int, opt Options) (*Fig11aResult, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("11a")
+	defer sp.End()
 	res := &Fig11aResult{Points: make([]Fig11aPoint, locations*runsPerLocation)}
 	degr := make([]float64, locations*runsPerLocation)
 	err := parallel.ForEachErr(locations*runsPerLocation, opt.Workers, func(k int) error {
@@ -44,6 +46,7 @@ func Fig11a(locations, runsPerLocation int, opt Options) (*Fig11aResult, error) 
 		d := 0.5 + 4.5*float64(loc)/float64(max(locations-1, 1))
 		cfg := core.DefaultLinkConfig(d)
 		cfg.Seed = opt.Seed + int64(loc)*1000 + int64(run)
+		cfg.Obs = opt.Obs
 		link, err := core.NewLink(cfg)
 		if err != nil {
 			return err
@@ -99,6 +102,8 @@ type Fig11bRow struct {
 // point stays in trial order so sums are bit-identical.
 func Fig11b(opt Options) ([]Fig11bRow, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("11b")
+	defer sp.End()
 	const distance = 4.0 // noise-limited so the waterfall is visible
 	rates := []float64{2.5e6, 2e6, 1e6, 500e3, 100e3}
 	mods := []tag.Modulation{tag.BPSK, tag.QPSK}
@@ -114,6 +119,7 @@ func Fig11b(opt Options) ([]Fig11bRow, error) {
 			cfg.Tag.Coding = fec.Rate12
 			cfg.Tag.SymbolRateHz = rs
 			cfg.Seed = opt.Seed + int64(ri)*100 + int64(trial) // same placements across mods/rates
+			cfg.Obs = opt.Obs
 			link, err := core.NewLink(cfg)
 			if err != nil {
 				return err

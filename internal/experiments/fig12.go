@@ -36,6 +36,8 @@ func (r *Fig12aResult) FractionOfOptimal() float64 {
 // under opt.Workers.
 func Fig12a(numAPs int, opt Options) (*Fig12aResult, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("12a")
+	defer sp.End()
 	opp := mac.DefaultOpportunityConfig()
 	res := &Fig12aResult{OptimalBps: opp.LinkBps, PerAPBps: make([]float64, numAPs)}
 	err := parallel.ForEachErr(numAPs, opt.Workers, func(ap int) error {
@@ -123,6 +125,8 @@ type Fig12bRow struct {
 // so the sums match the historical sequential accumulation exactly.
 func Fig12b(clients int, opt Options) ([]Fig12bRow, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("12b")
+	defer sp.End()
 	distances := []float64{0.25, 0.5, 1, 2, 4}
 	type pair struct{ on, off float64 }
 	cells := make([]pair, len(distances)*clients)

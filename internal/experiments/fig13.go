@@ -25,6 +25,8 @@ type Fig13Row struct {
 // opt.Workers.
 func Fig13(opt Options) ([]Fig13Row, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("13")
+	defer sp.End()
 	rates := []int{6, 9, 12, 18, 24, 36, 48, 54}
 	rows := make([]Fig13Row, len(rates))
 	err := parallel.ForEachErr(len(rates), opt.Workers, func(i int) error {

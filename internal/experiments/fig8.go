@@ -32,6 +32,8 @@ type Fig8Row struct {
 // worker count.
 func Fig8(opt Options) ([]Fig8Row, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("8")
+	defer sp.End()
 	preambles := []int{tag.DefaultPreambleChips, tag.ExtendedPreambleChips}
 	rows := make([]Fig8Row, len(Fig8Distances))
 	for di, d := range Fig8Distances {
@@ -63,6 +65,7 @@ func maxThroughputAt(d float64, preambleChips int, opt Options, salt int64) (flo
 	cfgs := core.StandardConfigs(preambleChips, 1)
 	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].BitRate() > cfgs[j].BitRate() })
 	rdr := reader.DefaultConfig()
+	rdr.Obs = opt.Obs
 	for i, c := range cfgs {
 		payload := 24
 		if c.SymbolRateHz < 100e3 {

@@ -34,6 +34,8 @@ func (c Fig9Curve) MaxThroughputBps() float64 {
 // opt.Workers, as do the configurations and trials inside each sweep.
 func Fig9(opt Options) ([]Fig9Curve, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("9")
+	defer sp.End()
 	cfgs := core.StandardConfigs(tag.DefaultPreambleChips, 1)
 	curves := make([]Fig9Curve, len(Fig9Ranges))
 	err := parallel.ForEachErr(len(Fig9Ranges), opt.Workers, func(di int) error {
@@ -56,6 +58,7 @@ func Fig9(opt Options) ([]Fig9Curve, error) {
 // fill a pre-indexed result slice concurrently.
 func sweepWithBudget(d float64, cfgs []tag.Config, opt Options, salt int64) ([]core.Feasibility, error) {
 	rdr := reader.DefaultConfig()
+	rdr.Obs = opt.Obs
 	out := make([]core.Feasibility, len(cfgs))
 	err := parallel.ForEachErr(len(cfgs), opt.Workers, func(i int) error {
 		c := cfgs[i]

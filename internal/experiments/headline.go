@@ -34,6 +34,8 @@ func (h *HeadlineResult) SpeedupAt1m() float64 {
 // opt.Workers.
 func Headline(opt Options) (*HeadlineResult, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("headline")
+	defer sp.End()
 	res := &HeadlineResult{}
 	tasks := []func() error{
 		func() (err error) {

@@ -26,6 +26,8 @@ type MIMORow struct {
 // configuration and reports where the link holds.
 func MIMOExtension(opt Options) ([]MIMORow, error) {
 	opt = opt.withDefaults()
+	sp := opt.figureSpan("mimo")
+	defer sp.End()
 	antennas := []int{1, 2, 4}
 	dists := []float64{3, 5, 7, 9}
 	rows := make([]MIMORow, len(antennas)*len(dists))
@@ -38,6 +40,7 @@ func MIMOExtension(opt Options) ([]MIMORow, error) {
 		for trial := 0; trial < opt.Trials; trial++ {
 			cfg := core.DefaultLinkConfig(d)
 			cfg.Seed = opt.Seed + int64(trial)*61
+			cfg.Obs = opt.Obs
 			link, err := core.NewMIMOLink(cfg, nrx)
 			if err != nil {
 				return err

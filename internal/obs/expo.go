@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CounterSnap is one counter series in a Snapshot.
+type CounterSnap struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge series in a Snapshot.
+type GaugeSnap struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramSnap is one histogram series in a Snapshot. Counts are
+// per-bucket (not cumulative); Bounds[i] is the upper bound of
+// Counts[i] and the final Counts entry is the +Inf bucket.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Labels string    `json:"labels,omitempty"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h HistogramSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation inside the bucket holding the target rank, matching
+// the Prometheus histogram_quantile convention. Resolution is one
+// bucket width; values in the +Inf bucket clamp to the last finite
+// bound.
+func (h HistogramSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(h.Bounds) { // +Inf bucket
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		upper := h.Bounds[i]
+		if i == 0 {
+			return upper
+		}
+		lower := h.Bounds[i-1]
+		if c == 0 {
+			return upper
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lower + frac*(upper-lower)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a point-in-time copy of every instrument, ordered by
+// (name, labels) so marshalled output is reproducible.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// Histogram returns the named histogram series (labels as rendered
+// signature, "" for unlabelled), or false.
+func (s *Snapshot) Histogram(name, labels string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name && h.Labels == labels {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+// Counter returns the named counter series value, or 0.
+func (s *Snapshot) Counter(name, labels string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name && c.Labels == labels {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Snapshot copies the current state of every instrument. Nil registries
+// return an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.collect() {
+		for _, s := range f.series {
+			switch inst := s.inst.(type) {
+			case *Counter:
+				snap.Counters = append(snap.Counters, CounterSnap{Name: f.name, Labels: s.sig, Value: inst.Value()})
+			case *Gauge:
+				snap.Gauges = append(snap.Gauges, GaugeSnap{Name: f.name, Labels: s.sig, Value: inst.Value()})
+			case *Histogram:
+				hs := HistogramSnap{
+					Name:   f.name,
+					Labels: s.sig,
+					Count:  inst.Count(),
+					Sum:    inst.Sum(),
+					Bounds: append([]float64(nil), inst.bounds...),
+					Counts: make([]int64, len(inst.counts)),
+				}
+				for i := range inst.counts {
+					hs.Counts[i] = inst.counts[i].Load()
+				}
+				snap.Histograms = append(snap.Histograms, hs)
+			}
+		}
+	}
+	return snap
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesName splices the `le` pair into an existing label signature for
+// histogram bucket lines.
+func bucketLabels(sig, le string) string {
+	if sig == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(sig, "}") + `,le="` + le + `"}`
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.collect() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch inst := s.inst.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.sig, inst.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.sig, formatFloat(inst.Value()))
+			case *Histogram:
+				var cum int64
+				for i := range inst.counts {
+					cum += inst.counts[i].Load()
+					le := "+Inf"
+					if i < len(inst.bounds) {
+						le = formatFloat(inst.bounds[i])
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, bucketLabels(s.sig, le), cum)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.sig, formatFloat(inst.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.sig, inst.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Phase is one timed section of a run — for the figure harnesses, one
+// figure, carrying the same headline metric the BENCH_*.json trajectory
+// tracks so a manifest is self-describing.
+type Phase struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Metric/Value name the phase's headline number, when it has one.
+	Metric string  `json:"metric,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// Manifest is a per-run record: what was run, with which configuration
+// and seed, on what build, how long each phase took, and the final
+// metric snapshot. Written as JSON next to figure outputs it makes a
+// BENCH_results.json trajectory reproducible after the fact.
+type Manifest struct {
+	Command string         `json:"command"`
+	Args    []string       `json:"args,omitempty"`
+	Config  map[string]any `json:"config,omitempty"`
+
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	StartTime   time.Time `json:"start_time"`
+	EndTime     time.Time `json:"end_time"`
+	WallSeconds float64   `json:"wall_seconds"`
+
+	Phases  []Phase   `json:"phases,omitempty"`
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for the named command, stamping the
+// start time, host facts, and build info from debug.ReadBuildInfo.
+// config carries the run's knobs (seed, trials, workers, …) verbatim.
+func NewManifest(command string, config map[string]any) *Manifest {
+	m := &Manifest{
+		Command:   command,
+		Args:      os.Args[1:],
+		Config:    config,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		StartTime: time.Now(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// AddPhase appends one timed section. metric may be "" for phases with
+// no headline number.
+func (m *Manifest) AddPhase(name string, wallSeconds float64, metric string, value float64) {
+	m.Phases = append(m.Phases, Phase{Name: name, WallSeconds: wallSeconds, Metric: metric, Value: value})
+}
+
+// Finish stamps the end time and attaches the registry's final
+// snapshot (nil registry leaves Metrics empty).
+func (m *Manifest) Finish(r *Registry) {
+	m.EndTime = time.Now()
+	m.WallSeconds = m.EndTime.Sub(m.StartTime).Seconds()
+	if r != nil {
+		m.Metrics = r.Snapshot()
+	}
+}
+
+// WriteFile marshals the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return err
+	}
+	return f.Close()
+}

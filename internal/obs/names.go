@@ -1,0 +1,63 @@
+package obs
+
+// Shared metric names. The per-stage pipeline metrics are emitted from
+// several packages (sic, reader, core, parallel), so the names live
+// here to keep one family per quantity; the "stage" label carries the
+// pipeline position. See DESIGN.md §5c for the observability contract
+// — what each metric means and how it maps to the paper's figures.
+const (
+	// MetricStageDuration is the per-stage wall-clock histogram
+	// (label stage = excitation_build | channel_sim | decode_total |
+	// sic_train | sic_analog_train | sic_digital_train | sic_cancel |
+	// channel_estimate | timing_search | mrc | viterbi).
+	MetricStageDuration = "backfi_stage_duration_seconds"
+	// MetricStageFailures counts decode aborts by stage (label stage =
+	// wake | wake_timing | sic_train | channel_estimate | preamble_room |
+	// payload_room | frame_crc).
+	MetricStageFailures = "backfi_stage_failures_total"
+
+	// MetricSICResidual is the post-cancellation floor in dBm (the
+	// paper's Fig. 7 residual, ≈ thermal floor when cancellation is
+	// working).
+	MetricSICResidual = "backfi_sic_residual_db"
+	// MetricSICCancellation is the achieved suppression in dB
+	// (paper: ≈78–80 dB).
+	MetricSICCancellation = "backfi_sic_cancellation_db"
+
+	// MetricPreambleCorr is the normalized tag-preamble correlation
+	// (1 = perfect).
+	MetricPreambleCorr = "backfi_preamble_correlation"
+	// MetricTimingOffset is the |symbol-timing correction| in samples
+	// found by the PN preamble search.
+	MetricTimingOffset = "backfi_timing_offset_samples"
+	// MetricViterbiCorrected is the per-frame count of coded bits the
+	// Viterbi decoder corrected (hard decisions vs the re-encoded
+	// decoded frame).
+	MetricViterbiCorrected = "backfi_viterbi_corrected_bits"
+
+	// MetricSNR is the per-packet SNR histogram in dB (label kind =
+	// expected | expected_mrc | measured).
+	MetricSNR = "backfi_snr_db"
+	// MetricRawBER is the per-packet pre-FEC bit error rate.
+	MetricRawBER = "backfi_raw_ber"
+
+	// MetricPackets counts packet exchanges attempted; MetricPacketsOK
+	// counts frames whose payload matched exactly.
+	MetricPackets   = "backfi_packets_total"
+	MetricPacketsOK = "backfi_packets_ok_total"
+
+	// Parallel-engine metrics: per-work-item latency, per-worker busy
+	// time per batch, batch wall time, and the configured worker count.
+	MetricParallelItem    = "backfi_parallel_item_seconds"
+	MetricParallelBusy    = "backfi_parallel_worker_busy_seconds"
+	MetricParallelBatch   = "backfi_parallel_batch_seconds"
+	MetricParallelWorkers = "backfi_parallel_workers"
+
+	// MetricFigureDuration times one figure harness (label fig).
+	MetricFigureDuration = "backfi_figure_duration_seconds"
+)
+
+// HelpStageDuration is shared by every MetricStageDuration registration
+// so the family help text is identical regardless of which package
+// registers the family first.
+const HelpStageDuration = "Wall-clock seconds per decoder pipeline stage."

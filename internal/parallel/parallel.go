@@ -20,7 +20,42 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"backfi/internal/obs"
 )
+
+// poolMetrics caches instrument handles so the dispatch loop never
+// touches the registry. Metrics here are pure observers of wall-clock
+// time: they cannot perturb results, which stay index-derived.
+type poolMetrics struct {
+	item    *obs.Histogram
+	busy    *obs.Histogram
+	batch   *obs.Histogram
+	workers *obs.Gauge
+}
+
+var metrics atomic.Pointer[poolMetrics]
+
+// SetRegistry installs a metrics registry for every subsequent batch:
+// per-item wall clock, per-worker busy seconds, batch wall clock, and
+// an effective-worker-count gauge. Passing nil (the default) restores
+// the uninstrumented fast path, whose only cost is one atomic load per
+// batch. ForEach's signature is used throughout the repository, so
+// this is package state rather than a parameter; set it once at
+// process start, before pools run.
+func SetRegistry(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolMetrics{
+		item:    r.Histogram(obs.MetricParallelItem, "Wall-clock seconds per parallel work item.", obs.DurationBuckets),
+		busy:    r.Histogram(obs.MetricParallelBusy, "Per-worker busy seconds within one batch (sum of its item durations).", obs.DurationBuckets),
+		batch:   r.Histogram(obs.MetricParallelBatch, "Wall-clock seconds per ForEach batch.", obs.DurationBuckets),
+		workers: r.Gauge(obs.MetricParallelWorkers, "Effective worker count of the most recent batch."),
+	})
+}
 
 // DefaultWorkers is the worker count used when a caller passes 0:
 // one worker per available CPU.
@@ -53,21 +88,47 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	m := metrics.Load()
+	if m != nil {
+		m.workers.Set(float64(workers))
+	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+		if m == nil {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			return
 		}
+		sp := m.batch.Start()
+		var busy time.Duration
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			fn(i)
+			d := time.Since(t0)
+			busy += d
+			m.item.Observe(d.Seconds())
+		}
+		m.busy.Observe(busy.Seconds())
+		sp.End()
 		return
 	}
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
 		panicked atomic.Value
+		sp       obs.Span
 	)
+	if m != nil {
+		sp = m.batch.Start()
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var busy time.Duration
+			if m != nil {
+				defer func() { m.busy.Observe(busy.Seconds()) }()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || panicked.Load() != nil {
@@ -79,12 +140,21 @@ func ForEach(n, workers int, fn func(i int)) {
 							panicked.CompareAndSwap(nil, r)
 						}
 					}()
+					if m == nil {
+						fn(i)
+						return
+					}
+					t0 := time.Now()
 					fn(i)
+					d := time.Since(t0)
+					busy += d
+					m.item.Observe(d.Seconds())
 				}()
 			}
 		}()
 	}
 	wg.Wait()
+	sp.End()
 	if r := panicked.Load(); r != nil {
 		panic(r)
 	}

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"backfi/internal/obs"
+
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -122,4 +124,33 @@ func TestForEachDeterministicReduction(t *testing.T) {
 			t.Fatalf("workers=%d sum %v != sequential %v", w, got, ref)
 		}
 	}
+}
+
+func TestForEachRecordsMetrics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := obs.NewRegistry()
+		SetRegistry(r)
+		ForEach(20, workers, func(i int) {})
+		SetRegistry(nil)
+
+		snap := r.Snapshot()
+		item, ok := snap.Histogram(obs.MetricParallelItem, "")
+		if !ok || item.Count != 20 {
+			t.Fatalf("workers=%d: item histogram = %+v, want 20 observations", workers, item)
+		}
+		busy, ok := snap.Histogram(obs.MetricParallelBusy, "")
+		if !ok || busy.Count != int64(workers) {
+			t.Fatalf("workers=%d: busy histogram = %+v, want %d observations", workers, busy, workers)
+		}
+		batch, ok := snap.Histogram(obs.MetricParallelBatch, "")
+		if !ok || batch.Count != 1 {
+			t.Fatalf("workers=%d: batch histogram = %+v, want 1 observation", workers, batch)
+		}
+	}
+}
+
+func TestForEachUninstrumentedByDefault(t *testing.T) {
+	SetRegistry(nil)
+	// Must not panic or allocate registry state.
+	ForEach(10, 4, func(i int) {})
 }

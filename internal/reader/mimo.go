@@ -129,9 +129,10 @@ func (r *Reader) DecodeMulti(x, xTap []complex128, ys [][]complex128, packetStar
 		}
 	}
 
-	payload, used, frameOK := r.decodeFrame(ests, tcfg)
+	payload, used, corrected, frameOK := r.decodeFrame(ests, tcfg)
 	out.Payload = payload
 	out.FrameOK = frameOK
+	out.ViterbiCorrectedBits = corrected
 	out.SymbolEstimates = ests
 	out.SNRdB = symbolSNRdB(ests[:used], tcfg.Mod)
 	for i := range perAnt {

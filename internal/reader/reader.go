@@ -15,6 +15,7 @@ import (
 	"backfi/internal/dsp"
 	"backfi/internal/fec"
 	"backfi/internal/linalg"
+	"backfi/internal/obs"
 	"backfi/internal/sic"
 	"backfi/internal/tag"
 )
@@ -35,6 +36,12 @@ type Config struct {
 	TimingSearch int
 	// SIC is the self-interference canceller configuration.
 	SIC sic.Config
+	// Obs receives per-stage pipeline metrics (stage durations, failure
+	// counters, preamble correlation, timing offsets, Viterbi corrected
+	// bits). Nil disables instrumentation at zero cost. A registry set
+	// here is inherited by the SIC stage (and, via core.NewLink, by the
+	// whole link) unless those set their own.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the standard decoder settings.
@@ -65,11 +72,67 @@ type Result struct {
 	// TimingOffset is the symbol-timing correction (samples) found by
 	// the PN preamble search relative to the nominal protocol timing.
 	TimingOffset int
+	// ViterbiCorrectedBits counts the coded bits the Viterbi decoder
+	// corrected inside the frame: hard decisions on the received soft
+	// values vs the re-encoded decoded frame. 0 when the frame failed.
+	ViterbiCorrectedBits int
+}
+
+// readerMetrics holds the decoder's instrument handles, resolved once
+// at New so the per-packet path does no registry lookups. Every field
+// is nil when metrics are disabled; all operations on nil instruments
+// are no-ops.
+type readerMetrics struct {
+	spanSICTrain   *obs.Histogram
+	spanSICCancel  *obs.Histogram
+	spanChanEst    *obs.Histogram
+	spanTiming     *obs.Histogram
+	spanMRC        *obs.Histogram
+	spanViterbi    *obs.Histogram
+	preambleCorr   *obs.Histogram
+	timingOffset   *obs.Histogram
+	viterbiBits    *obs.Histogram
+	failSICTrain   *obs.Counter
+	failChanEst    *obs.Counter
+	failPreamble   *obs.Counter
+	failPayload    *obs.Counter
+	failFrameCRC   *obs.Counter
+	timingAdjusted *obs.Counter
+}
+
+func newReaderMetrics(r *obs.Registry) readerMetrics {
+	if r == nil {
+		return readerMetrics{}
+	}
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram(obs.MetricStageDuration, obs.HelpStageDuration, obs.DurationBuckets, "stage", name)
+	}
+	fail := func(name string) *obs.Counter {
+		return r.Counter(obs.MetricStageFailures, "Decode aborts and frame failures by pipeline stage.", "stage", name)
+	}
+	return readerMetrics{
+		spanSICTrain:   stage("sic_train"),
+		spanSICCancel:  stage("sic_cancel"),
+		spanChanEst:    stage("channel_estimate"),
+		spanTiming:     stage("timing_search"),
+		spanMRC:        stage("mrc"),
+		spanViterbi:    stage("viterbi"),
+		preambleCorr:   r.Histogram(obs.MetricPreambleCorr, "Normalized tag-preamble correlation (1 = perfect).", obs.LinBuckets(0, 0.05, 21)),
+		timingOffset:   r.Histogram(obs.MetricTimingOffset, "Absolute symbol-timing correction in samples.", obs.CountBuckets),
+		viterbiBits:    r.Histogram(obs.MetricViterbiCorrected, "Coded bits corrected by the Viterbi decoder per frame.", obs.CountBuckets),
+		failSICTrain:   fail("sic_train"),
+		failChanEst:    fail("channel_estimate"),
+		failPreamble:   fail("preamble_room"),
+		failPayload:    fail("payload_room"),
+		failFrameCRC:   fail("frame_crc"),
+		timingAdjusted: r.Counter("backfi_timing_adjusted_total", "Decodes where the PN search moved symbol timing off the protocol position."),
+	}
 }
 
 // Reader decodes BackFi backscatter from an AP's received samples.
 type Reader struct {
 	cfg Config
+	m   readerMetrics
 }
 
 // New returns a Reader.
@@ -77,7 +140,10 @@ func New(cfg Config) *Reader {
 	if cfg.ChannelTaps <= 0 {
 		panic("reader: ChannelTaps must be positive")
 	}
-	return &Reader{cfg: cfg}
+	if cfg.SIC.Obs == nil {
+		cfg.SIC.Obs = cfg.Obs
+	}
+	return &Reader{cfg: cfg, m: newReaderMetrics(cfg.Obs)}
 }
 
 // Decode processes one excitation packet.
@@ -105,21 +171,30 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 
 	// Stage 1: self-interference cancellation, trained on the silent
 	// window (the tag backscatters nothing there).
+	spTrain := r.m.spanSICTrain.Start()
 	canc, err := sic.Train(r.cfg.SIC, xTap, x, y, packetStart, packetStart+tag.SilentSamples)
+	spTrain.End()
 	if err != nil {
+		r.m.failSICTrain.Inc()
 		return nil, fmt.Errorf("reader: %w", err)
 	}
+	spCancel := r.m.spanSICCancel.Start()
 	clean := canc.Cancel(xTap, x, y)
+	spCancel.End()
 
 	// Stage 2: combined-channel estimation from the tag preamble.
 	preStart := packetStart + tag.SilentSamples
 	preEnd := preStart + tcfg.PreambleSamples()
 	if preEnd > packetStart+packetLen {
+		r.m.failPreamble.Inc()
 		return nil, fmt.Errorf("reader: packet too short for tag preamble")
 	}
 	pn := tag.PreambleSequence(tcfg.ID, tcfg.PreambleChips)
+	spEst := r.m.spanChanEst.Start()
 	hfb, err := r.estimateHfb(x, clean, preStart, pn)
+	spEst.End()
 	if err != nil {
+		r.m.failChanEst.Inc()
 		return nil, err
 	}
 
@@ -132,6 +207,7 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 	// matched filter, re-estimating the channel at each winner until
 	// the grid settles (a badly misaligned first estimate flattens the
 	// metric, so one pass can stop short of the true offset).
+	spTiming := r.m.spanTiming.Start()
 	offset := 0
 	for pass := 0; pass < 3; pass++ {
 		step := r.searchTiming(clean, ref, preStart, pn)
@@ -146,11 +222,18 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 			ref = dsp.ConvolveSameInto(ref, x, hfb)
 		}
 	}
+	spTiming.End()
+	if offset != 0 {
+		r.m.timingAdjusted.Inc()
+	}
+	r.m.timingOffset.Observe(math.Abs(float64(offset)))
 
 	// Preamble sanity: chip-wise MRC against the known PN.
 	preCorr := r.preambleCorrelation(clean, ref, preStart, pn)
+	r.m.preambleCorr.Observe(preCorr)
 
 	// Stage 3: per-symbol MRC (paper Eq. 7).
+	spMRC := r.m.spanMRC.Start()
 	symStart := preEnd
 	sps := tcfg.SamplesPerSymbol()
 	guard := r.cfg.ChannelTaps
@@ -159,6 +242,7 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 	}
 	nAvail := (packetStart + packetLen - symStart) / sps
 	if nAvail <= 0 {
+		r.m.failPayload.Inc()
 		return nil, fmt.Errorf("reader: no room for payload symbols")
 	}
 	ests := make([]complex128, nAvail)
@@ -176,20 +260,30 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 		}
 	}
 
+	spMRC.End()
+
 	// Stage 4: demap, Viterbi, deframe. The frame's own length header
 	// tells us where the payload symbols end; symbols after the frame
 	// are the tag's post-frame silence and are discarded by the
 	// length-aware decode.
-	payload, used, frameOK := r.decodeFrame(ests, tcfg)
+	spVit := r.m.spanViterbi.Start()
+	payload, used, corrected, frameOK := r.decodeFrame(ests, tcfg)
+	spVit.End()
+	if frameOK {
+		r.m.viterbiBits.Observe(float64(corrected))
+	} else {
+		r.m.failFrameCRC.Inc()
+	}
 
 	res := &Result{
-		Payload:         payload,
-		FrameOK:         frameOK,
-		SymbolEstimates: ests,
-		SIC:             canc.Report(),
-		Hfb:             hfb,
-		PreambleCorr:    preCorr,
-		TimingOffset:    offset,
+		Payload:              payload,
+		FrameOK:              frameOK,
+		SymbolEstimates:      ests,
+		SIC:                  canc.Report(),
+		Hfb:                  hfb,
+		PreambleCorr:         preCorr,
+		TimingOffset:         offset,
+		ViterbiCorrectedBits: corrected,
 	}
 	res.SNRdB = symbolSNRdB(ests[:used], tcfg.Mod)
 	return res, nil
@@ -316,23 +410,24 @@ func (r *Reader) preambleCorrelation(clean, ref []complex128, preStart int, pn [
 // decodeFrame runs soft demapping and FEC over symbol estimates,
 // reading the frame length from the decoded header. It returns the
 // payload (nil on failure), the number of symbols the frame occupied,
-// and whether the CRC validated.
-func (r *Reader) decodeFrame(ests []complex128, tcfg tag.Config) ([]byte, int, bool) {
+// the number of coded bits the Viterbi decoder corrected (0 unless the
+// frame validated), and whether the CRC validated.
+func (r *Reader) decodeFrame(ests []complex128, tcfg tag.Config) ([]byte, int, int, bool) {
 	soft := tcfg.Mod.DemapSoft(ests)
 	// First pass: unterminated Viterbi over everything to read the
 	// length header.
 	steps := maxTrellisSteps(len(soft), tcfg.Coding)
 	if steps < 16+fec.TailBits {
-		return nil, len(ests), false
+		return nil, len(ests), 0, false
 	}
 	need := fec.PuncturedLength(2*steps, tcfg.Coding)
 	mother, err := fec.Depuncture(soft[:need], tcfg.Coding, 2*steps)
 	if err != nil {
-		return nil, len(ests), false
+		return nil, len(ests), 0, false
 	}
 	bits, err := fec.ViterbiDecode(mother, false)
 	if err != nil {
-		return nil, len(ests), false
+		return nil, len(ests), 0, false
 	}
 	n := int(bits[0]) | int(bits[1])<<1 | int(bits[2])<<2 | int(bits[3])<<3 |
 		int(bits[4])<<4 | int(bits[5])<<5 | int(bits[6])<<6 | int(bits[7])<<7 |
@@ -341,14 +436,36 @@ func (r *Reader) decodeFrame(ests []complex128, tcfg tag.Config) ([]byte, int, b
 	infoBits := tag.FrameInfoBits(n)
 	used := tag.SymbolsForPayload(n, tcfg.Coding, tcfg.Mod)
 	if used > len(ests) {
-		return nil, len(ests), false
+		return nil, len(ests), 0, false
 	}
 	// Second pass: terminated decode over exactly the frame's symbols.
-	payload, err := tag.DecodeFrameBits(soft[:used*tcfg.Mod.BitsPerSymbol()], tcfg.Coding, infoBits)
+	frameSoft := soft[:used*tcfg.Mod.BitsPerSymbol()]
+	payload, err := tag.DecodeFrameBits(frameSoft, tcfg.Coding, infoBits)
 	if err != nil {
-		return nil, used, false
+		return nil, used, 0, false
 	}
-	return payload, used, true
+	return payload, used, correctedBits(frameSoft, payload, tcfg), true
+}
+
+// correctedBits counts the coded-bit flips the Viterbi decoder fixed:
+// hard decisions on the received soft values vs the re-encoded decoded
+// frame. This is the receiver-side error tally — unlike RawBER it
+// needs no ground truth, so it works on real payloads.
+func correctedBits(frameSoft []float64, payload []byte, tcfg tag.Config) int {
+	reenc := tag.EncodeFrameBits(payload, tcfg.Coding, tcfg.Mod)
+	n := min(len(reenc), len(frameSoft))
+	count := 0
+	for i := 0; i < n; i++ {
+		// Soft convention: positive → bit 0, negative → bit 1.
+		var hard byte
+		if frameSoft[i] < 0 {
+			hard = 1
+		}
+		if hard != reenc[i] {
+			count++
+		}
+	}
+	return count
 }
 
 // maxTrellisSteps returns the largest trellis step count whose
