@@ -31,6 +31,7 @@ import (
 	"backfi/internal/channel"
 	"backfi/internal/core"
 	"backfi/internal/energy"
+	"backfi/internal/fault"
 	"backfi/internal/fec"
 	"backfi/internal/obs"
 	"backfi/internal/tag"
@@ -54,7 +55,23 @@ type (
 	ChannelConfig = channel.Config
 	// CodeRate is a convolutional code rate (1/2, 2/3, 3/4).
 	CodeRate = fec.CodeRate
+	// FaultProfile describes a deterministic RF-impairment and
+	// fault-injection profile (DESIGN.md §5d). Set a pointer to one on
+	// LinkConfig.Faults; nil leaves the link bit-identical to an
+	// unfaulted build.
+	FaultProfile = fault.Profile
 )
+
+// ErrTagNoWake reports that the tag's envelope detector did not fire
+// (or fired too late) for a packet — the expected outcome at the range
+// edge, distinguishable via errors.Is from genuine pipeline failures.
+var ErrTagNoWake = core.ErrTagNoWake
+
+// StandardFaultProfile scales every impairment class together with one
+// severity knob in [0,1]: 0 is the paper's ideal front end, 1 is a
+// hostile deployment (strong CFO, phase noise, coarse ADC, bursty
+// co-channel interference, packet faults).
+func StandardFaultProfile(severity float64) FaultProfile { return fault.Standard(severity) }
 
 // Tag modulation constants.
 const (

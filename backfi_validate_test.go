@@ -1,0 +1,178 @@
+package backfi
+
+import (
+	"errors"
+	"testing"
+)
+
+// noPanic runs f and converts any panic into a test failure: the
+// hardening contract is that no invalid configuration reachable from
+// the public facade may panic — every constructor returns an error.
+func noPanic(t *testing.T, name string, f func() error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: panicked: %v", name, r)
+		}
+	}()
+	if err := f(); err == nil {
+		t.Fatalf("%s: expected a validation error, got nil", name)
+	}
+}
+
+// TestFacadeRejectsBadConfigWithoutPanic drives every facade entry
+// point with invalid configurations. Each must return an error; none
+// may panic.
+func TestFacadeRejectsBadConfigWithoutPanic(t *testing.T) {
+	valid := DefaultLinkConfig(1)
+
+	cases := []struct {
+		name   string
+		mutate func(LinkConfig) LinkConfig
+	}{
+		{"zero channel distance", func(c LinkConfig) LinkConfig {
+			c.Channel.DistanceM = -1
+			return c
+		}},
+		{"negative path loss exponent", func(c LinkConfig) LinkConfig {
+			c.Channel.PathLossExponent = -2
+			return c
+		}},
+		{"zero env taps", func(c LinkConfig) LinkConfig {
+			c.Channel.EnvTaps = -1
+			return c
+		}},
+		{"bad tap decay", func(c LinkConfig) LinkConfig {
+			c.Channel.DecayPerTap = 3
+			return c
+		}},
+		{"unknown modulation", func(c LinkConfig) LinkConfig {
+			c.Tag.Mod = TagModulation(99)
+			return c
+		}},
+		{"unknown code rate", func(c LinkConfig) LinkConfig {
+			c.Tag.Coding = CodeRate(99)
+			return c
+		}},
+		{"zero symbol rate", func(c LinkConfig) LinkConfig {
+			c.Tag.SymbolRateHz = 0
+			return c
+		}},
+		{"non-divisor symbol rate", func(c LinkConfig) LinkConfig {
+			c.Tag.SymbolRateHz = 3e6
+			return c
+		}},
+		{"negative tag ID", func(c LinkConfig) LinkConfig {
+			c.Tag.ID = -1
+			return c
+		}},
+		{"zero preamble", func(c LinkConfig) LinkConfig {
+			c.Tag.PreambleChips = 0
+			return c
+		}},
+		{"zero reader channel taps", func(c LinkConfig) LinkConfig {
+			c.Reader.ChannelTaps = 0
+			return c
+		}},
+		{"negative reader lambda", func(c LinkConfig) LinkConfig {
+			c.Reader.Lambda = -1
+			return c
+		}},
+		{"zero SIC digital taps", func(c LinkConfig) LinkConfig {
+			c.Reader.SIC.DigitalTaps = 0
+			return c
+		}},
+		{"analog SIC without quantizer bits", func(c LinkConfig) LinkConfig {
+			c.Reader.SIC.AnalogTaps = 8
+			c.Reader.SIC.AnalogPhaseBits = 0
+			return c
+		}},
+		{"fault probability above one", func(c LinkConfig) LinkConfig {
+			c.Faults = &FaultProfile{TruncateProb: 1.5}
+			return c
+		}},
+		{"negative fault ADC bits", func(c LinkConfig) LinkConfig {
+			c.Faults = &FaultProfile{ADCBits: -3}
+			return c
+		}},
+		{"interference duty of one", func(c LinkConfig) LinkConfig {
+			c.Faults = &FaultProfile{InterfDuty: 1, InterfPowerDBm: -60}
+			return c
+		}},
+	}
+
+	for _, tc := range cases {
+		cfg := tc.mutate(valid)
+		noPanic(t, "NewLink/"+tc.name, func() error {
+			_, err := NewLink(cfg)
+			return err
+		})
+		noPanic(t, "NewMIMOLink/"+tc.name, func() error {
+			_, err := NewMIMOLink(cfg, 2)
+			return err
+		})
+		noPanic(t, "NewSession/"+tc.name, func() error {
+			_, err := NewSession(cfg, 0.99, 2)
+			return err
+		})
+		noPanic(t, "NewMultiTagLink/"+tc.name, func() error {
+			_, err := NewMultiTagLink(cfg, []float64{1, 2})
+			return err
+		})
+		noPanic(t, "Evaluate/"+tc.name, func() error {
+			_, err := Evaluate(cfg.Channel, cfg.Tag, 1, 8, 1)
+			if err == nil && (cfg.Reader.ChannelTaps != valid.Reader.ChannelTaps ||
+				cfg.Reader.Lambda != valid.Reader.Lambda ||
+				cfg.Reader.SIC != valid.Reader.SIC ||
+				cfg.Faults != nil) {
+				// Evaluate builds its own reader config and takes no fault
+				// profile, so reader/fault mutations legitimately pass.
+				return errors.New("reader/fault case not visible to Evaluate")
+			}
+			return err
+		})
+	}
+
+	noPanic(t, "NewMIMOLink/zero antennas", func() error {
+		_, err := NewMIMOLink(valid, 0)
+		return err
+	})
+	noPanic(t, "NewSession/bad rho", func() error {
+		_, err := NewSession(valid, 2, 1)
+		return err
+	})
+	noPanic(t, "NewMultiTagLink/no tags", func() error {
+		_, err := NewMultiTagLink(valid, nil)
+		return err
+	})
+}
+
+// TestFacadeFaultProfileRoundTrip checks the exported severity knob:
+// zero severity disables injection, valid severities validate, and an
+// impaired link still runs end to end.
+func TestFacadeFaultProfileRoundTrip(t *testing.T) {
+	p0 := StandardFaultProfile(0)
+	if p0.Enabled() {
+		t.Fatal("severity 0 should disable injection")
+	}
+	for _, sev := range []float64{0.25, 0.5, 1} {
+		p := StandardFaultProfile(sev)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("severity %v: %v", sev, err)
+		}
+		if !p.Enabled() {
+			t.Fatalf("severity %v should enable injection", sev)
+		}
+	}
+
+	cfg := DefaultLinkConfig(1)
+	p := StandardFaultProfile(0.5)
+	cfg.Faults = &p
+	link, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.RunPacket(link.RandomPayload(24)); err != nil && !errors.Is(err, ErrTagNoWake) {
+		t.Fatalf("impaired link: %v", err)
+	}
+}

@@ -262,3 +262,22 @@ func BenchmarkAblations(b *testing.B) {
 	}
 	b.ReportMetric(analogGain, "analog-stage-dB")
 }
+
+// BenchmarkRobustness times the impairment-severity sweep (DESIGN.md
+// §5d) and reports how much of the QPSK link survives the harshest
+// modeled front end.
+func BenchmarkRobustness(b *testing.B) {
+	var qpskAtOne float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Robustness(experiments.QuickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Severity == 1 && r.Mod.String() == "QPSK" {
+				qpskAtOne = r.SuccessRate
+			}
+		}
+	}
+	b.ReportMetric(qpskAtOne, "QPSK-success@sev1")
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"backfi/internal/experiments"
+	"backfi/internal/fault"
 	"backfi/internal/obs"
 	"backfi/internal/parallel"
 )
@@ -25,10 +26,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("backfi-bench: ")
 
-	fig := flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, headline, ablation (empty = all)")
+	fig := flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, headline, ablation, excitation, mimo, robustness (empty = all)")
 	trials := flag.Int("trials", 5, "Monte-Carlo trials per point")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "evaluation concurrency: 0 = all CPUs, 1 = sequential (results are identical for every value)")
+	impair := flag.Float64("impair", 0, "RF impairment severity in [0,1]: 0 = the paper's ideal front end, >0 runs every figure under fault.Standard(severity) (DESIGN.md §5d)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	benchOut := flag.String("benchout", "", "write per-figure headline metrics + wall-clock seconds to this JSON file (e.g. BENCH_results.json)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ while running (e.g. localhost:9090)")
@@ -36,7 +38,17 @@ func main() {
 	flag.Parse()
 
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
-	figs := []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "headline", "ablation", "excitation", "mimo"}
+	if *impair < 0 || *impair > 1 {
+		log.Fatalf("impair: severity %v outside [0,1]", *impair)
+	}
+	if *impair > 0 {
+		p := fault.Standard(*impair)
+		if err := p.Validate(); err != nil {
+			log.Fatalf("impair: %v", err)
+		}
+		opt.Faults = &p
+	}
+	figs := []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "headline", "ablation", "excitation", "mimo", "robustness"}
 	if *fig != "" {
 		figs = []string{*fig}
 	}
@@ -63,6 +75,7 @@ func main() {
 			"trials":  *trials,
 			"seed":    *seed,
 			"workers": parallel.Normalize(*workers),
+			"impair":  *impair,
 		})
 	}
 	finishManifest := func() {
@@ -209,6 +222,14 @@ func headlineMetric(fig string, data any) (string, float64) {
 			}
 		}
 		return "4rx-gain-dB@7m", four - one
+	case "robustness":
+		// Success at full severity for the paper's QPSK operating point:
+		// how much link survives the worst modeled front end.
+		for _, r := range data.([]experiments.RobustnessRow) {
+			if r.Severity == 1 && r.Mod.String() == "QPSK" {
+				return "QPSK-success@sev1", r.SuccessRate
+			}
+		}
 	}
 	return "n/a", 0
 }
@@ -260,6 +281,8 @@ func runData(fig string, opt experiments.Options) (any, error) {
 		return experiments.ExcitationComparison(opt)
 	case "mimo":
 		return experiments.MIMOExtension(opt)
+	case "robustness":
+		return experiments.Robustness(opt)
 	}
 	return nil, fmt.Errorf("unknown figure %q", fig)
 }
@@ -293,6 +316,8 @@ func render(fig string, data any) string {
 		return experiments.RenderExcitation(data.([]experiments.ExcitationRow))
 	case "mimo":
 		return experiments.RenderMIMO(data.([]experiments.MIMORow))
+	case "robustness":
+		return experiments.RenderRobustness(data.([]experiments.RobustnessRow))
 	}
 	return ""
 }

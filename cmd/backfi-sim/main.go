@@ -88,6 +88,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	excitation := flag.String("excitation", "wifi", "excitation signal: wifi | 11b | zigbee | ble | white")
 	antennas := flag.Int("antennas", 1, "AP receive antennas (MIMO extension, wifi excitation only)")
+	impair := flag.Float64("impair", 0, "RF impairment severity in [0,1]: 0 = ideal front end, >0 applies the standard fault profile (DESIGN.md §5d)")
+	cfoHz := flag.Float64("cfo", 0, "carrier frequency offset in Hz on the excitation air path (overrides -impair's CFO)")
+	interfDuty := flag.Float64("interf-duty", 0, "co-channel interference duty cycle in [0,1) (overrides -impair's interference)")
+	interfDBm := flag.Float64("interf-power", -70, "co-channel interference burst power in dBm (with -interf-duty)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ while running (e.g. localhost:9090)")
 	manifestOut := flag.String("manifest", "", "write a per-run manifest (config, seed, build info, metric snapshot) to this JSON file")
 	flag.Parse()
@@ -120,6 +124,24 @@ func main() {
 	cfg.Tag = tcfg
 	cfg.Seed = *seed
 
+	var faults backfi.FaultProfile
+	if *impair > 0 {
+		faults = backfi.StandardFaultProfile(*impair)
+	}
+	if *cfoHz != 0 {
+		faults.CFOHz = *cfoHz
+	}
+	if *interfDuty > 0 {
+		faults.InterfDuty = *interfDuty
+		faults.InterfPowerDBm = *interfDBm
+	}
+	if err := faults.Validate(); err != nil {
+		log.Fatalf("fault profile: %v", err)
+	}
+	if faults.Enabled() {
+		cfg.Faults = &faults
+	}
+
 	var reg *obs.Registry
 	if *metricsAddr != "" || *manifestOut != "" {
 		reg = obs.NewRegistry()
@@ -142,6 +164,7 @@ func main() {
 			"bytes":    *bytes,
 			"packets":  *packets,
 			"seed":     *seed,
+			"impair":   *impair,
 		})
 	}
 

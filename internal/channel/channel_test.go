@@ -182,7 +182,7 @@ func TestTxDistortionDisabled(t *testing.T) {
 
 func TestScenarioStructure(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
-	s := NewScenario(DefaultConfig(2), r)
+	s := mustScenario(DefaultConfig(2), r)
 	if s.HEnv.Gain() == 0 || s.HF.Gain() == 0 || s.HB.Gain() == 0 {
 		t.Fatal("channels should be non-zero")
 	}
@@ -206,7 +206,7 @@ func TestScenarioSNRDecreasesWithDistance(t *testing.T) {
 		var snr float64
 		const reps = 20
 		for i := 0; i < reps; i++ {
-			snr += NewScenario(DefaultConfig(d), r).ExpectedSNRdB()
+			snr += mustScenario(DefaultConfig(d), r).ExpectedSNRdB()
 		}
 		snr /= reps
 		if snr >= prev {
@@ -217,12 +217,9 @@ func TestScenarioSNRDecreasesWithDistance(t *testing.T) {
 }
 
 func TestScenarioRequiresDistance(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewScenario(Config{}, rand.New(rand.NewSource(1)))
+	if _, err := NewScenario(Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for zero distance")
+	}
 }
 
 func TestDownlinkGainTracksDistance(t *testing.T) {

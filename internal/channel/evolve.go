@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -25,10 +26,10 @@ type Evolver struct {
 
 // NewEvolver builds an evolver bound to a scenario, with AR(1)
 // correlation rho in [0, 1] (1 = frozen, 0 = independent redraw per
-// step).
-func NewEvolver(r *rand.Rand, rho float64, s *Scenario) *Evolver {
+// step). An out-of-range rho is reported as an error.
+func NewEvolver(r *rand.Rand, rho float64, s *Scenario) (*Evolver, error) {
 	if rho < 0 || rho > 1 {
-		panic("channel: evolution rho must be in [0,1]")
+		return nil, fmt.Errorf("channel: evolution rho %v outside [0,1]", rho)
 	}
 	e := &Evolver{rng: r, rho: rho, scenario: s}
 	// The leakage tap (index 0 of h_env) is AP-internal and does not
@@ -39,7 +40,7 @@ func NewEvolver(r *rand.Rand, rho float64, s *Scenario) *Evolver {
 	}
 	e.refF = tapPowers(s.HF)
 	e.refB = tapPowers(s.HB)
-	return e
+	return e, nil
 }
 
 func tapPowers(t Taps) []float64 {

@@ -8,7 +8,7 @@ import (
 
 func TestMIMOScenarioStructure(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
-	m := NewMIMOScenario(DefaultConfig(2), 3, r)
+	m := mustMIMOScenario(DefaultConfig(2), 3, r)
 	if m.NumRx() != 3 {
 		t.Fatalf("NumRx = %d", m.NumRx())
 	}
@@ -33,20 +33,17 @@ func TestMIMOScenarioStructure(t *testing.T) {
 	}
 }
 
-func TestMIMOScenarioPanicsOnZeroAntennas(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewMIMOScenario(DefaultConfig(1), 0, rand.New(rand.NewSource(1)))
+func TestMIMOScenarioRejectsZeroAntennas(t *testing.T) {
+	if _, err := NewMIMOScenario(DefaultConfig(1), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for zero antennas")
+	}
 }
 
 func TestEvolverStationaryStatistics(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
-	s := NewScenario(DefaultConfig(2), r)
+	s := mustScenario(DefaultConfig(2), r)
 	ref := s.HF.Gain()
-	ev := NewEvolver(r, 0.9, s)
+	ev := mustEvolver(r, 0.9, s)
 	var mean float64
 	const steps = 2000
 	for i := 0; i < steps; i++ {
@@ -65,9 +62,9 @@ func TestEvolverLeakageTapFrozen(t *testing.T) {
 	// The circulator leakage (h_env tap 0) is AP-internal and must not
 	// fade.
 	r := rand.New(rand.NewSource(3))
-	s := NewScenario(DefaultConfig(1), r)
+	s := mustScenario(DefaultConfig(1), r)
 	leak := s.HEnv[0]
-	ev := NewEvolver(r, 0.5, s)
+	ev := mustEvolver(r, 0.5, s)
 	for i := 0; i < 50; i++ {
 		ev.Step()
 	}
@@ -88,13 +85,10 @@ func TestEvolverLeakageTapFrozen(t *testing.T) {
 
 func TestEvolverRhoValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
-	s := NewScenario(DefaultConfig(1), r)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for rho out of range")
-		}
-	}()
-	NewEvolver(r, 1.5, s)
+	s := mustScenario(DefaultConfig(1), r)
+	if _, err := NewEvolver(r, 1.5, s); err == nil {
+		t.Fatal("expected error for rho out of range")
+	}
 }
 
 func TestCoherenceRhoMonotone(t *testing.T) {

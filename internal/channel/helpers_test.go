@@ -1,0 +1,30 @@
+package channel
+
+import "math/rand"
+
+// Test helpers: constructors return errors since the panic-free API
+// refactor; tests built on known-valid configs unwrap them here.
+
+func mustScenario(cfg Config, r *rand.Rand) *Scenario {
+	s, err := NewScenario(cfg, r)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustMIMOScenario(cfg Config, nrx int, r *rand.Rand) *MIMOScenario {
+	m, err := NewMIMOScenario(cfg, nrx, r)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func mustEvolver(r *rand.Rand, rho float64, s *Scenario) *Evolver {
+	e, err := NewEvolver(r, rho, s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

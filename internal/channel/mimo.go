@@ -1,6 +1,9 @@
 package channel
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // MIMOScenario extends Scenario with multiple AP receive antennas
 // (the paper's Sec. 7 extension). The AP transmits from one antenna;
@@ -21,12 +24,16 @@ type MIMOScenario struct {
 	Distortion *TxDistortion
 }
 
-// NewMIMOScenario draws one placement with nrx receive antennas.
-func NewMIMOScenario(cfg Config, nrx int, r *rand.Rand) *MIMOScenario {
+// NewMIMOScenario draws one placement with nrx receive antennas. Bad
+// configuration (including nrx < 1) is reported as an error.
+func NewMIMOScenario(cfg Config, nrx int, r *rand.Rand) (*MIMOScenario, error) {
 	if nrx < 1 {
-		panic("channel: need at least one receive antenna")
+		return nil, fmt.Errorf("channel: need at least one receive antenna, got %d", nrx)
 	}
-	base := NewScenario(cfg, r)
+	base, err := NewScenario(cfg, r)
+	if err != nil {
+		return nil, err
+	}
 	m := &MIMOScenario{
 		Cfg:        base.Cfg,
 		HF:         base.HF,
@@ -37,11 +44,14 @@ func NewMIMOScenario(cfg Config, nrx int, r *rand.Rand) *MIMOScenario {
 	}
 	cfgFull := base.Cfg
 	for i := 1; i < nrx; i++ {
-		extra := NewScenario(cfgFull, r)
+		extra, err := NewScenario(cfgFull, r)
+		if err != nil {
+			return nil, err
+		}
 		m.HEnv = append(m.HEnv, extra.HEnv)
 		m.HB = append(m.HB, extra.HB)
 	}
-	return m
+	return m, nil
 }
 
 // NumRx returns the receive antenna count.

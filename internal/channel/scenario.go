@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -120,6 +121,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate checks the configuration as NewScenario will see it, i.e.
+// after zero fields are filled from DefaultConfig — a zero CarrierHz is
+// fine (it means "default"), a negative one is not.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.DistanceM <= 0 {
+		return fmt.Errorf("channel: AP–tag distance %v m must be positive", c.DistanceM)
+	}
+	if c.CarrierHz <= 0 {
+		return fmt.Errorf("channel: carrier %v Hz must be positive", c.CarrierHz)
+	}
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("channel: sample rate %v Hz must be positive", c.SampleRate)
+	}
+	if c.BandwidthHz <= 0 {
+		return fmt.Errorf("channel: noise bandwidth %v Hz must be positive", c.BandwidthHz)
+	}
+	if c.PathLossExponent <= 0 {
+		return fmt.Errorf("channel: path-loss exponent %v must be positive", c.PathLossExponent)
+	}
+	if c.EnvTaps < 1 {
+		return fmt.Errorf("channel: EnvTaps %d must be at least 1", c.EnvTaps)
+	}
+	if c.LinkTaps < 1 {
+		return fmt.Errorf("channel: LinkTaps %d must be at least 1", c.LinkTaps)
+	}
+	if c.DecayPerTap <= 0 || c.DecayPerTap > 1 {
+		return fmt.Errorf("channel: DecayPerTap %v outside (0,1]", c.DecayPerTap)
+	}
+	return nil
+}
+
 // Scenario is one realized placement: the three channels of the
 // paper's Eq. 1 plus noise and transmit-hardware distortion sources.
 type Scenario struct {
@@ -135,12 +168,13 @@ type Scenario struct {
 	Distortion *TxDistortion
 }
 
-// NewScenario draws one random placement realization.
-func NewScenario(cfg Config, r *rand.Rand) *Scenario {
-	cfg = cfg.withDefaults()
-	if cfg.DistanceM <= 0 {
-		panic("channel: scenario requires a positive AP–tag distance")
+// NewScenario draws one random placement realization. The configuration
+// is rejected with an error (never a panic) if Validate fails.
+func NewScenario(cfg Config, r *rand.Rand) (*Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	cfg = cfg.withDefaults()
 
 	// Self-interference: a dominant leakage tap at zero delay plus
 	// Rayleigh environmental reflections spread over EnvTaps.
@@ -167,7 +201,7 @@ func NewScenario(cfg Config, r *rand.Rand) *Scenario {
 		HB:         hb,
 		Noise:      NewAWGN(r, noiseW),
 		Distortion: NewTxDistortion(r, cfg.TxEVMdB),
-	}
+	}, nil
 }
 
 // TxPowerW returns the configured transmit power in watts.

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"backfi/internal/channel"
 	"backfi/internal/energy"
+	"backfi/internal/fault"
 	"backfi/internal/fec"
 	"backfi/internal/parallel"
 	"backfi/internal/reader"
@@ -41,9 +44,14 @@ type Feasibility struct {
 	// SuccessRate is the fraction of trials whose frame decoded
 	// correctly.
 	SuccessRate float64
-	// MeanSNRdB averages the measured post-MRC symbol SNR.
+	// WakeRate is the fraction of trials in which the tag woke (the
+	// remainder contribute zero throughput and no SNR/BER samples).
+	WakeRate float64
+	// MeanSNRdB averages the measured post-MRC symbol SNR over the
+	// trials that decoded (the tag woke); 0 when none did.
 	MeanSNRdB float64
-	// MeanRawBER averages the pre-FEC bit error rate.
+	// MeanRawBER averages the pre-FEC bit error rate over the trials
+	// that decoded; 0 when none did.
 	MeanRawBER float64
 	// ThroughputBps is the configuration's information bit rate.
 	ThroughputBps float64
@@ -83,8 +91,29 @@ type trialOutcome struct {
 // installed as each trial link's LinkConfig.Obs, so packet counters and
 // stage spans cover sweeps without widening this signature.
 func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, trials, payloadBytes int, seed int64, workers int) (Feasibility, error) {
+	return EvaluateFaults(chanCfg, tcfg, rdrCfg, nil, trials, payloadBytes, seed, workers)
+}
+
+// EvaluateFaults is EvaluateWorkers with an impairment profile injected
+// into every trial link (nil = the clean evaluation). Trials where the
+// tag fails to wake (ErrTagNoWake) count as zero throughput; any other
+// RunPacket error is a genuine pipeline failure and is returned.
+//
+// Summary statistics follow the sampling structure: SuccessRate and
+// WakeRate are per-trial fractions, while MeanSNRdB/MeanRawBER average
+// only over the trials that decoded — a placement where half the tags
+// sleep must not bias the decoded population's SNR toward zero.
+func EvaluateFaults(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Config, faults *fault.Profile, trials, payloadBytes int, seed int64, workers int) (Feasibility, error) {
 	if trials <= 0 {
 		return Feasibility{}, fmt.Errorf("core: trials must be positive")
+	}
+	// Validate before touching tcfg.BitRate()/REPB: unknown modulations
+	// or code rates must surface as errors, not panics.
+	if err := tcfg.Validate(); err != nil {
+		return Feasibility{}, err
+	}
+	if err := faults.Validate(); err != nil {
+		return Feasibility{}, err
 	}
 	f := Feasibility{Cfg: tcfg, ThroughputBps: tcfg.BitRate()}
 	if repb, err := energy.ConfigREPB(tcfg); err == nil {
@@ -99,6 +128,7 @@ func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Conf
 			WiFiMbps:      24,
 			WiFiPSDUBytes: 1500,
 			Seed:          seed + int64(i)*7919,
+			Faults:        faults,
 			Obs:           rdrCfg.Obs,
 		}
 		link, err := NewLink(lc)
@@ -108,14 +138,18 @@ func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Conf
 		}
 		res, err := link.RunPacket(link.RandomPayload(payloadBytes))
 		if err != nil {
-			// A tag that cannot wake (out of detector range) simply
-			// yields no throughput at this placement.
+			if errors.Is(err, ErrTagNoWake) {
+				// Out of detector range: zero throughput at this
+				// placement, not a failure of the pipeline.
+				return
+			}
+			outcomes[i].err = err
 			return
 		}
 		outcomes[i] = trialOutcome{decoded: true, ok: res.PayloadOK, snr: res.MeasuredSNRdB, ber: res.RawBER()}
 	})
 	var snrSum, berSum float64
-	success := 0
+	success, decoded := 0, 0
 	for _, o := range outcomes {
 		if o.err != nil {
 			return Feasibility{}, o.err
@@ -123,6 +157,7 @@ func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Conf
 		if !o.decoded {
 			continue
 		}
+		decoded++
 		if o.ok {
 			success++
 		}
@@ -130,8 +165,11 @@ func EvaluateWorkers(chanCfg channel.Config, tcfg tag.Config, rdrCfg reader.Conf
 		berSum += o.ber
 	}
 	f.SuccessRate = float64(success) / float64(trials)
-	f.MeanSNRdB = snrSum / float64(trials)
-	f.MeanRawBER = berSum / float64(trials)
+	f.WakeRate = float64(decoded) / float64(trials)
+	if decoded > 0 {
+		f.MeanSNRdB = snrSum / float64(decoded)
+		f.MeanRawBER = berSum / float64(decoded)
+	}
 	return f, nil
 }
 
@@ -217,10 +255,17 @@ func ParetoREPB(results []Feasibility) []Feasibility {
 	return out
 }
 
+// sortByThroughput orders ascending by throughput with a fully
+// deterministic tie-break (REPB, then the config's name), so Pareto
+// output never depends on map iteration order.
 func sortByThroughput(fs []Feasibility) {
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && fs[j].ThroughputBps < fs[j-1].ThroughputBps; j-- {
-			fs[j], fs[j-1] = fs[j-1], fs[j]
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].ThroughputBps != fs[j].ThroughputBps {
+			return fs[i].ThroughputBps < fs[j].ThroughputBps
 		}
-	}
+		if fs[i].REPB != fs[j].REPB {
+			return fs[i].REPB < fs[j].REPB
+		}
+		return fs[i].Cfg.String() < fs[j].Cfg.String()
+	})
 }

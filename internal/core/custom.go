@@ -34,20 +34,25 @@ func (l *Link) RunCustomExcitation(excitation []complex128, payload []byte) (*Pa
 	packetLen := len(x) - packetStart
 
 	spChan := l.m.spanChannelSim.Start()
-	xAir := l.Scenario.Distortion.Apply(x)
+	xAir := l.inj.ApplyFrontEnd(l.Scenario.Distortion.Apply(x))
 	z := l.Scenario.HF.Apply(xAir)
 	if _, ok := l.Tag.TryWake(z[:packetStart+tag.SilentSamples]); !ok {
 		l.m.failWake.Inc()
-		return nil, fmt.Errorf("core: tag did not wake")
+		return nil, ErrTagNoWake
 	}
 	m, plan, err := l.Tag.ModulationSequence(packetLen, payload)
 	if err != nil {
 		return nil, err
 	}
+	l.inj.ApplyTagPhaseNoise(m)
+	l.inj.CorruptPreamble(m, plan.SilentEnd, l.Tag.Cfg.PreambleChips, tag.ChipSamples)
 	mFull := make([]complex128, len(x))
 	copy(mFull[packetStart:], m)
 	bs := l.Scenario.HB.Apply(tag.Backscatter(z, mFull))
 	y := l.Scenario.Noise.Add(dsp.Add(l.Scenario.HEnv.Apply(xAir), bs))
+	l.inj.AddInterference(y)
+	l.inj.ApplyADC(y)
+	l.inj.TruncateTail(y, packetStart, packetLen)
 	spChan.End()
 
 	spDec := l.m.spanDecode.Start()

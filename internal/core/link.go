@@ -7,18 +7,27 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"backfi/internal/channel"
 	"backfi/internal/dsp"
+	"backfi/internal/fault"
 	"backfi/internal/fec"
 	"backfi/internal/obs"
 	"backfi/internal/reader"
 	"backfi/internal/tag"
 	"backfi/internal/wifi"
 )
+
+// ErrTagNoWake is the expected outcome of a placement outside detector
+// range: the tag failed to wake (or woke off-time, which the protocol
+// treats the same way). Monte-Carlo evaluation counts it as zero
+// throughput instead of aborting; check with errors.Is. Every other
+// RunPacket error is a genuine pipeline failure and propagates.
+var ErrTagNoWake = errors.New("core: tag did not wake")
 
 // LinkConfig assembles one BackFi link.
 type LinkConfig struct {
@@ -34,6 +43,12 @@ type LinkConfig struct {
 	WiFiPSDUBytes int
 	// Seed drives all randomness (placement, noise, payloads).
 	Seed int64
+	// Faults selects the RF impairments and packet-level faults injected
+	// into the link (DESIGN.md §5d). Nil (or an all-zero profile) leaves
+	// the pipeline bit-identical to an unfaulted build: the injector
+	// draws from its own seeded RNG, so the placement/noise/payload
+	// streams never shift.
+	Faults *fault.Profile
 	// Obs receives the link's pipeline metrics (per-stage spans, packet
 	// and failure counters, SNR/BER histograms). Nil disables
 	// instrumentation at zero cost; metrics never feed back into the
@@ -180,9 +195,14 @@ type Link struct {
 	Tag      *tag.Tag
 	rdr      *reader.Reader
 	rng      *rand.Rand
+	inj      *fault.Injector
 	rate     wifi.Rate
 	m        linkMetrics
 }
+
+// faultSeedSalt decorrelates the injector's RNG stream from the link's
+// main stream, which is seeded with cfg.Seed directly.
+const faultSeedSalt = 0x5fa017
 
 // NewLink draws a placement realization and builds the endpoints.
 func NewLink(cfg LinkConfig) (*Link, error) {
@@ -200,13 +220,26 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 	if cfg.Reader.Obs == nil {
 		cfg.Reader.Obs = cfg.Obs
 	}
+	rdr, err := reader.New(cfg.Reader)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := fault.NewInjector(cfg.Faults, cfg.Seed^faultSeedSalt, tag.SampleRate, cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc, err := channel.NewScenario(cfg.Channel, rng)
+	if err != nil {
+		return nil, err
+	}
 	return &Link{
 		Cfg:      cfg,
-		Scenario: channel.NewScenario(cfg.Channel, rng),
+		Scenario: sc,
 		Tag:      tg,
-		rdr:      reader.New(cfg.Reader),
+		rdr:      rdr,
 		rng:      rng,
+		inj:      inj,
 		rate:     rate,
 		m:        newLinkMetrics(cfg.Obs),
 	}, nil
@@ -299,8 +332,10 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 	spChan := l.m.spanChannelSim.Start()
 
 	// Air: the transmitted waveform carries hardware distortion the
-	// receiver cannot reconstruct.
-	xAir := l.Scenario.Distortion.Apply(x)
+	// receiver cannot reconstruct, plus any injected front-end
+	// impairments (CFO/SCO) — the reader's ideal copy x keeps its own
+	// clock, so these degrade cancellation and channel estimation.
+	xAir := l.inj.ApplyFrontEnd(l.Scenario.Distortion.Apply(x))
 
 	// Tag side: excitation through the forward channel; wake detection.
 	// The tag scans only the region after the CTS-to-SELF (its envelope
@@ -311,26 +346,35 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 	wakeIdx, ok := l.Tag.TryWake(z[:packetStart+tag.SilentSamples])
 	if !ok {
 		l.m.failWake.Inc()
-		return nil, fmt.Errorf("core: tag did not wake at %.2g m", l.Cfg.Channel.DistanceM)
+		return nil, fmt.Errorf("%w at %.2g m", ErrTagNoWake, l.Cfg.Channel.DistanceM)
 	}
 	// The detector quantizes to 1 µs bits; snap to the true PPDU start
 	// (within one bit period, as the real tag's comparator clock does).
 	if d := wakeIdx - packetStart; d < -tag.WakeBitSamples || d > tag.WakeBitSamples {
 		l.m.failWakeTiming.Inc()
-		return nil, fmt.Errorf("core: wake timing off by %d samples", d)
+		return nil, fmt.Errorf("%w: wake timing off by %d samples", ErrTagNoWake, d)
 	}
 
 	m, plan, err := l.Tag.ModulationSequence(packetLen, payload)
 	if err != nil {
 		return nil, err
 	}
+	// Tag-side faults: oscillator phase noise over the reflection, and
+	// preamble chips the modulator glitches.
+	l.inj.ApplyTagPhaseNoise(m)
+	l.inj.CorruptPreamble(m, plan.SilentEnd, l.Tag.Cfg.PreambleChips, tag.ChipSamples)
 	mFull := make([]complex128, len(x))
 	copy(mFull[packetStart:], m)
 	reflected := tag.Backscatter(z, mFull)
 	bs := l.Scenario.HB.Apply(reflected)
 
-	// AP receive: self-interference + backscatter + thermal noise.
+	// AP receive: self-interference + backscatter + thermal noise, then
+	// receiver-side faults (interference bursts, the real ADC, capture
+	// truncation).
 	y := l.Scenario.Noise.Add(dsp.Add(l.Scenario.HEnv.Apply(xAir), bs))
+	l.inj.AddInterference(y)
+	l.inj.ApplyADC(y)
+	l.inj.TruncateTail(y, packetStart, packetLen)
 	spChan.End()
 
 	spDec := l.m.spanDecode.Start()

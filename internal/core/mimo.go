@@ -36,10 +36,14 @@ func NewMIMOLink(cfg LinkConfig, nrx int) (*MIMOLink, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc, err := channel.NewMIMOScenario(cfg.Channel, nrx, base.rng)
+	if err != nil {
+		return nil, err
+	}
 	return &MIMOLink{
 		Cfg:      cfg,
 		NumRx:    nrx,
-		Scenario: channel.NewMIMOScenario(cfg.Channel, nrx, base.rng),
+		Scenario: sc,
 		Tag:      base.Tag,
 		rdr:      base.rdr,
 		rng:      base.rng,
@@ -78,7 +82,7 @@ func (l *MIMOLink) RunPacket(payload []byte) (*MIMOPacketResult, error) {
 	xAir := l.Scenario.Distortion.Apply(x)
 	z := l.Scenario.HF.Apply(xAir)
 	if _, ok := l.Tag.TryWake(z[:packetStart+tag.SilentSamples]); !ok {
-		return nil, fmt.Errorf("core: tag did not wake")
+		return nil, ErrTagNoWake
 	}
 	m, plan, err := l.Tag.ModulationSequence(packetLen, payload)
 	if err != nil {

@@ -49,8 +49,12 @@ func NewMultiTagLink(cfg LinkConfig, distances []float64) (*MultiTagLink, error)
 		}
 		chanCfg := cfg.Channel
 		chanCfg.DistanceM = d
+		sc, err := channel.NewScenario(chanCfg, m.rng)
+		if err != nil {
+			return nil, err
+		}
 		m.Tags = append(m.Tags, tg)
-		m.Scenarios = append(m.Scenarios, channel.NewScenario(chanCfg, m.rng))
+		m.Scenarios = append(m.Scenarios, sc)
 	}
 	m.rdr = base.rdr
 	return m, nil

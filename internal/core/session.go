@@ -29,6 +29,10 @@ type SessionStats struct {
 	PayloadBits int
 	// AirtimeSec accumulates tag modulation time across attempts.
 	AirtimeSec float64
+	// ACKsDropped counts frames that decoded but whose ACK was lost on
+	// the way back to the tag (injected fault), forcing a retransmission
+	// of data the reader already had.
+	ACKsDropped int
 }
 
 // Retries returns the retransmission count.
@@ -61,9 +65,13 @@ func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session,
 	if maxRetries < 0 {
 		return nil, fmt.Errorf("core: negative retry budget")
 	}
+	ev, err := channel.NewEvolver(link.rng, coherenceRho, link.Scenario)
+	if err != nil {
+		return nil, err
+	}
 	return &Session{
 		link:       link,
-		evolver:    channel.NewEvolver(link.rng, coherenceRho, link.Scenario),
+		evolver:    ev,
 		MaxRetries: maxRetries,
 	}, nil
 }
@@ -90,6 +98,13 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 		s.Stats.AirtimeSec += res.TagAirtimeSec
 		last = res
 		if res.PayloadOK {
+			// An injected ACK loss means the tag never learns the frame
+			// got through: the reader has the data, but the exchange
+			// repeats and only a later attempt can complete the frame.
+			if s.link.inj.DropACK() {
+				s.Stats.ACKsDropped++
+				continue
+			}
 			s.Stats.FramesDelivered++
 			s.Stats.PayloadBits += 8 * len(payload)
 			return res, true, nil

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"backfi/internal/channel"
+	"backfi/internal/fault"
 )
 
 func TestSessionDeliversStream(t *testing.T) {
@@ -84,7 +86,10 @@ func TestEvolverPreservesPowerAndCorrelates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev := channel.NewEvolver(link.rng, 0.99, link.Scenario)
+	ev, err := channel.NewEvolver(link.rng, 0.99, link.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
 	before := link.Scenario.HF.Gain()
 	const steps = 500
 	var meanGain float64
@@ -112,7 +117,10 @@ func TestEvolverPreservesPowerAndCorrelates(t *testing.T) {
 		t.Fatalf("one rho=0.99 step moved the channel by %v", diff/ref)
 	}
 	// Frozen channel: rho=1 must be exactly invariant.
-	frozen := channel.NewEvolver(link.rng, 1, link.Scenario)
+	frozen, err := channel.NewEvolver(link.rng, 1, link.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
 	snapshot := append([]complex128{}, link.Scenario.HF...)
 	frozen.Step()
 	for i := range snapshot {
@@ -132,5 +140,103 @@ func TestCoherenceRho(t *testing.T) {
 	mid := channel.CoherenceRho(0.1, 0.5)
 	if mid <= 0 || mid >= 1 {
 		t.Fatalf("rho %v out of range", mid)
+	}
+}
+
+// TestSessionARQUnderDroppedACKs pins the ARQ accounting when the
+// fault layer eats every ACK: the reader decodes the frame on each
+// attempt, but the tag never learns it and burns the whole retry
+// budget. Bursty co-channel interference rides along to exercise the
+// receive chain the way a hostile deployment would.
+func TestSessionARQUnderDroppedACKs(t *testing.T) {
+	cfg := DefaultLinkConfig(1)
+	cfg.Seed = 11
+	cfg.Faults = &fault.Profile{
+		ACKDropProb:    1,
+		InterfDuty:     0.1,
+		InterfPowerDBm: -78,
+		InterfBurstUs:  10,
+	}
+	const maxRetries = 3
+	s, err := NewSession(cfg, 1, maxRetries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, delivered, err := s.Send(s.Link().RandomPayload(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Fatal("frame cannot complete when every ACK is dropped")
+	}
+	if res == nil {
+		t.Fatal("last attempt's result should be returned")
+	}
+	st := s.Stats
+	if st.FramesOffered != 1 || st.FramesDelivered != 0 {
+		t.Fatalf("offered/delivered = %d/%d", st.FramesOffered, st.FramesDelivered)
+	}
+	if st.PacketsSent != maxRetries+1 {
+		t.Fatalf("PacketsSent %d, want the full budget %d", st.PacketsSent, maxRetries+1)
+	}
+	if st.Retries() != maxRetries {
+		t.Fatalf("Retries %d, want %d", st.Retries(), maxRetries)
+	}
+	// Every decode that did succeed must be accounted as a dropped ACK,
+	// and there must have been at least one (1 m decodes easily).
+	if st.ACKsDropped < 1 || st.ACKsDropped > st.PacketsSent {
+		t.Fatalf("ACKsDropped %d outside [1,%d]", st.ACKsDropped, st.PacketsSent)
+	}
+	// Airtime accrues per attempt; goodput is zero since nothing was
+	// delivered end to end.
+	wantAir := float64(st.PacketsSent) * res.TagAirtimeSec
+	if math.Abs(st.AirtimeSec-wantAir) > 1e-12 {
+		t.Fatalf("AirtimeSec %v, want %d attempts × %v = %v",
+			st.AirtimeSec, st.PacketsSent, res.TagAirtimeSec, wantAir)
+	}
+	if st.PayloadBits != 0 || st.GoodputBps() != 0 {
+		t.Fatalf("goodput should be zero: bits=%d goodput=%v", st.PayloadBits, st.GoodputBps())
+	}
+}
+
+// TestSessionARQPartialACKLoss checks the accounting identities when
+// ACKs are lost only sometimes: delivered frames carry their payload
+// bits, goodput divides by total airtime (retries included), and each
+// dropped ACK shows up as an extra transmission.
+func TestSessionARQPartialACKLoss(t *testing.T) {
+	cfg := DefaultLinkConfig(1)
+	cfg.Seed = 13
+	cfg.Faults = &fault.Profile{ACKDropProb: 0.5}
+	s, err := NewSession(cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 12
+	const bytesPer = 24
+	for i := 0; i < frames; i++ {
+		if _, _, err := s.Send(s.Link().RandomPayload(bytesPer)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats
+	if st.FramesOffered != frames {
+		t.Fatalf("FramesOffered %d", st.FramesOffered)
+	}
+	if st.FramesDelivered == 0 {
+		t.Fatal("half-rate ACK loss should still deliver some frames")
+	}
+	if st.ACKsDropped == 0 {
+		t.Fatal("p=0.5 over many attempts should drop at least one ACK")
+	}
+	if st.PayloadBits != 8*bytesPer*st.FramesDelivered {
+		t.Fatalf("PayloadBits %d, want %d", st.PayloadBits, 8*bytesPer*st.FramesDelivered)
+	}
+	if st.Retries() < st.ACKsDropped-1 {
+		// Each dropped ACK forces a retransmission unless it ate the
+		// final attempt of a frame's budget.
+		t.Fatalf("Retries %d cannot be below ACKsDropped-1 (%d)", st.Retries(), st.ACKsDropped-1)
+	}
+	if got, want := st.GoodputBps(), float64(st.PayloadBits)/st.AirtimeSec; got != want {
+		t.Fatalf("GoodputBps %v, want %v", got, want)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -139,6 +140,7 @@ func runAblation(study, variant string, lcfg core.LinkConfig, opt Options, salt 
 		cfg := lcfg
 		cfg.Seed = opt.Seed + salt*10000 + int64(i)*53
 		cfg.Obs = opt.Obs
+		cfg.Faults = opt.Faults
 		link, err := core.NewLink(cfg)
 		if err != nil {
 			outcomes[i].err = err
@@ -146,7 +148,10 @@ func runAblation(study, variant string, lcfg core.LinkConfig, opt Options, salt 
 		}
 		res, err := link.RunPacket(link.RandomPayload(24))
 		if err != nil {
-			return // e.g. wake failure at the range edge counts as loss
+			if !errors.Is(err, core.ErrTagNoWake) {
+				outcomes[i].err = err // genuine pipeline failure
+			}
+			return // a sleeping tag at the range edge counts as loss
 		}
 		outcomes[i] = outcome{completed: true, ok: res.PayloadOK, snr: res.MeasuredSNRdB, ber: res.RawBER()}
 	})

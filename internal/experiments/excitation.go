@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -104,6 +105,7 @@ func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 			cfg.Tag.SymbolRateHz = 500e3
 			cfg.Seed = opt.Seed + int64(trial)*31
 			cfg.Obs = opt.Obs
+			cfg.Faults = opt.Faults
 			link, err := core.NewLink(cfg)
 			if err != nil {
 				return err
@@ -130,7 +132,10 @@ func ExcitationComparison(opt Options) ([]ExcitationRow, error) {
 				res, err = link.RunCustomExcitation(exc, payload)
 			}
 			if err != nil {
-				continue
+				if !errors.Is(err, core.ErrTagNoWake) {
+					return err
+				}
+				continue // no wake counts as loss
 			}
 			if kind == "wifi" && !occSet {
 				row.BandOccupancy = 0.84 // 52 of 64 subcarriers

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"backfi/internal/fault"
 	"backfi/internal/obs"
 	"backfi/internal/parallel"
 )
@@ -37,6 +38,10 @@ type Options struct {
 	// deterministic trial grid, so figure outputs are byte-identical
 	// with or without a registry (see determinism_test.go).
 	Obs *obs.Registry
+	// Faults injects an RF-impairment profile into every link the
+	// harness builds (DESIGN.md §5d). Nil runs the paper's ideal front
+	// end and leaves every figure byte-identical to an unfaulted build.
+	Faults *fault.Profile
 }
 
 // DefaultOptions gives publication-grade fidelity; QuickOptions is for

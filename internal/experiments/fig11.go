@@ -47,6 +47,7 @@ func Fig11a(locations, runsPerLocation int, opt Options) (*Fig11aResult, error) 
 		cfg := core.DefaultLinkConfig(d)
 		cfg.Seed = opt.Seed + int64(loc)*1000 + int64(run)
 		cfg.Obs = opt.Obs
+		cfg.Faults = opt.Faults
 		link, err := core.NewLink(cfg)
 		if err != nil {
 			return err
@@ -120,6 +121,7 @@ func Fig11b(opt Options) ([]Fig11bRow, error) {
 			cfg.Tag.SymbolRateHz = rs
 			cfg.Seed = opt.Seed + int64(ri)*100 + int64(trial) // same placements across mods/rates
 			cfg.Obs = opt.Obs
+			cfg.Faults = opt.Faults
 			link, err := core.NewLink(cfg)
 			if err != nil {
 				return err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"backfi/internal/core"
@@ -41,13 +42,17 @@ func MIMOExtension(opt Options) ([]MIMORow, error) {
 			cfg := core.DefaultLinkConfig(d)
 			cfg.Seed = opt.Seed + int64(trial)*61
 			cfg.Obs = opt.Obs
+			cfg.Faults = opt.Faults
 			link, err := core.NewMIMOLink(cfg, nrx)
 			if err != nil {
 				return err
 			}
 			res, err := link.RunPacket(link.RandomPayload(24))
 			if err != nil {
-				continue // wake failure at extreme range
+				if !errors.Is(err, core.ErrTagNoWake) {
+					return err
+				}
+				continue // wake failure at extreme range counts as loss
 			}
 			n++
 			if res.PayloadOK {

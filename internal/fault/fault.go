@@ -1,0 +1,175 @@
+// Package fault is the deterministic RF-impairment and fault-injection
+// layer of the BackFi simulator. The paper's evaluation assumes an
+// ideal front end — no frequency offset, no phase noise, an infinite-
+// resolution ADC, and a channel that only fades — but the rate
+// adaptation of Sec. 6.1 exists precisely because real deployments
+// degrade. This package models the degradations a deployed reader/tag
+// pair actually sees so the pipeline's robustness can be measured
+// instead of assumed:
+//
+//   - carrier frequency offset and sampling clock offset on the
+//     excitation as the reader receives it (the excitation transmitter
+//     and the reader are only the same oscillator in the idealized
+//     full-duplex AP; residual LO drift and non-AP excitations break
+//     that assumption);
+//   - oscillator phase noise at the tag, modeled as a Wiener process
+//     with a Lorentzian linewidth (the standard free-running-oscillator
+//     model);
+//   - ADC quantization and clipping at the reader front end;
+//   - bursty co-channel interference (a Gauss-Markov on/off hidden
+//     state, e.g. a neighboring WiFi cell) landing anywhere in the
+//     packet, including the SIC training window;
+//   - packet-level faults: excitation truncation, tag-preamble chip
+//     corruption, and dropped ACKs for the session ARQ.
+//
+// Everything is seeded: an Injector draws from its own rand.Rand, so
+// enabling faults never perturbs the simulator's placement/noise/
+// payload streams, and a fixed (profile, seed) pair is bit-identical
+// for any worker count. A nil *Profile (or an all-zero one) yields a
+// nil *Injector whose methods are all no-ops returning their inputs
+// unchanged — the unfaulted pipeline is byte-identical to a build
+// without this package.
+package fault
+
+import "fmt"
+
+// Profile configures which impairments an Injector applies and how
+// hard. The zero value disables everything.
+type Profile struct {
+	// CFOHz is the carrier frequency offset of the excitation relative
+	// to the reader's local oscillator, applied to the over-the-air
+	// waveform (the reader's ideal transmit copy keeps its own clock,
+	// which is what degrades cancellation and channel estimation).
+	CFOHz float64
+	// SCOPpm is the sampling clock offset in parts per million: the
+	// received waveform is resampled by (1 + SCOPpm·1e−6).
+	SCOPpm float64
+	// PhaseNoiseHz is the Lorentzian linewidth of the tag's oscillator
+	// in Hz; the tag's reflection picks up a Wiener phase walk with
+	// per-sample variance 2π·linewidth/fs. 0 disables.
+	PhaseNoiseHz float64
+	// ADCBits quantizes the reader's received I and Q to 2^bits uniform
+	// levels, clipping beyond full scale. 0 disables (ideal converter).
+	ADCBits int
+	// ADCClipDB places the converter's full scale this many dB above
+	// the packet's RMS input (an AGC that leaves headroom). Defaults to
+	// 12 dB when ADCBits > 0.
+	ADCClipDB float64
+	// InterfDuty is the long-run fraction of samples covered by
+	// co-channel interference bursts, in [0, 1).
+	InterfDuty float64
+	// InterfPowerDBm is the burst power at the reader input.
+	InterfPowerDBm float64
+	// InterfBurstUs is the mean burst duration in µs (default 10).
+	InterfBurstUs float64
+	// TruncateProb is the per-packet probability that the received
+	// capture is cut short; the zeroed tail length is drawn uniformly
+	// in (0, TruncateFrac·packetLen].
+	TruncateProb float64
+	// TruncateFrac is the maximum fraction of the packet lost to a
+	// truncation fault (default 0.25 when TruncateProb > 0).
+	TruncateFrac float64
+	// PreambleCorruptProb is the per-chip probability that the tag
+	// inverts one of its preamble chips (a modulator glitch corrupting
+	// the reader's training sequence).
+	PreambleCorruptProb float64
+	// ACKDropProb is the per-frame probability that the reader's ACK
+	// never reaches the tag, forcing a retransmission of a frame that
+	// was in fact decoded (session ARQ).
+	ACKDropProb float64
+}
+
+// Validate checks the profile. A nil profile is valid (faults off).
+func (p *Profile) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"TruncateProb", p.TruncateProb},
+		{"PreambleCorruptProb", p.PreambleCorruptProb},
+		{"ACKDropProb", p.ACKDropProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.InterfDuty < 0 || p.InterfDuty >= 1 {
+		return fmt.Errorf("fault: InterfDuty %v outside [0,1)", p.InterfDuty)
+	}
+	if p.TruncateFrac < 0 || p.TruncateFrac > 1 {
+		return fmt.Errorf("fault: TruncateFrac %v outside [0,1]", p.TruncateFrac)
+	}
+	if p.ADCBits < 0 || p.ADCBits > 24 {
+		return fmt.Errorf("fault: ADCBits %d outside [0,24]", p.ADCBits)
+	}
+	if p.PhaseNoiseHz < 0 {
+		return fmt.Errorf("fault: PhaseNoiseHz %v must be non-negative", p.PhaseNoiseHz)
+	}
+	if p.InterfBurstUs < 0 {
+		return fmt.Errorf("fault: InterfBurstUs %v must be non-negative", p.InterfBurstUs)
+	}
+	return nil
+}
+
+// Enabled reports whether any impairment is switched on.
+func (p *Profile) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.CFOHz != 0 || p.SCOPpm != 0 || p.PhaseNoiseHz > 0 ||
+		p.ADCBits > 0 || p.InterfDuty > 0 || p.TruncateProb > 0 ||
+		p.PreambleCorruptProb > 0 || p.ACKDropProb > 0
+}
+
+// withDefaults fills the secondary knobs of enabled impairments.
+func (p Profile) withDefaults() Profile {
+	if p.ADCBits > 0 && p.ADCClipDB == 0 {
+		p.ADCClipDB = 12
+	}
+	if p.InterfDuty > 0 && p.InterfBurstUs == 0 {
+		p.InterfBurstUs = 10
+	}
+	if p.TruncateProb > 0 && p.TruncateFrac == 0 {
+		p.TruncateFrac = 0.25
+	}
+	return p
+}
+
+// Standard returns the calibrated reference profile at the given
+// severity in [0, 1]: 0 is the paper's ideal front end, 1 is a hostile
+// deployment (strong CFO, coarse ADC, a loud neighboring transmitter,
+// lossy control channel). The robustness sweep (experiments.Robustness)
+// and the -impair CLI flags scale along this axis. Severity is clamped
+// to [0, 1].
+func Standard(severity float64) Profile {
+	if severity < 0 {
+		severity = 0
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	if severity == 0 {
+		return Profile{}
+	}
+	// The slopes are calibrated so the 1 m QPSK link degrades gradually:
+	// mild at 0.25, marginal near 0.5, gone by 1. The ADC keeps 18 dB of
+	// clip headroom — OFDM excitation peaks ~12 dB above RMS, and an AGC
+	// that clips them costs far more than the lost quantizer levels.
+	return Profile{
+		CFOHz:               50 * severity,
+		SCOPpm:              5 * severity,
+		PhaseNoiseHz:        300 * severity,
+		ADCBits:             16 - int(4*severity),
+		ADCClipDB:           18,
+		InterfDuty:          0.25 * severity,
+		InterfPowerDBm:      -80 + 15*severity,
+		InterfBurstUs:       10,
+		TruncateProb:        0.2 * severity,
+		TruncateFrac:        0.25,
+		PreambleCorruptProb: 0.1 * severity,
+		ACKDropProb:         0.15 * severity,
+	}
+}

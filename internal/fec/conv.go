@@ -85,6 +85,17 @@ func (r CodeRate) String() string {
 	return fmt.Sprintf("CodeRate(%d)", int(r))
 }
 
+// Validate reports whether r is one of the defined rates. Rate-dependent
+// lookups (Fraction, puncturing) treat an unknown rate as an internal
+// invariant violation and panic, so config paths must validate first.
+func (r CodeRate) Validate() error {
+	switch r {
+	case Rate12, Rate23, Rate34:
+		return nil
+	}
+	return fmt.Errorf("fec: unknown code rate %d", int(r))
+}
+
 // Fraction returns the information rate as a float (e.g. 0.5 for 1/2).
 func (r CodeRate) Fraction() float64 {
 	switch r {

@@ -55,9 +55,22 @@ const (
 
 	// MetricFigureDuration times one figure harness (label fig).
 	MetricFigureDuration = "backfi_figure_duration_seconds"
+
+	// MetricFaultsInjected counts impairments applied by the fault
+	// layer (label kind = cfo | sco | phase_noise | adc_clip |
+	// interference_burst | truncate | preamble_corrupt | ack_drop).
+	// Units vary by kind: per-packet applications for cfo/sco/
+	// phase_noise/truncate, per-sample-component clips for adc_clip,
+	// bursts for interference_burst, chips for preamble_corrupt and
+	// frames for ack_drop.
+	MetricFaultsInjected = "backfi_faults_injected_total"
 )
 
 // HelpStageDuration is shared by every MetricStageDuration registration
 // so the family help text is identical regardless of which package
 // registers the family first.
 const HelpStageDuration = "Wall-clock seconds per decoder pipeline stage."
+
+// HelpFaultsInjected is shared by every MetricFaultsInjected
+// registration (one per fault kind) for the same reason.
+const HelpFaultsInjected = "Impairments applied by the fault-injection layer, by kind."

@@ -1,0 +1,11 @@
+package reader
+
+// mustNew builds a Reader from a config the test knows is valid (New
+// returns errors since the panic-free API refactor).
+func mustNew(cfg Config) *Reader {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -54,7 +54,7 @@ func buildMultiScene(t *testing.T, seed int64, tcfg tag.Config, payloadN int, bs
 
 func TestDecodeMultiRecoversPayload(t *testing.T) {
 	sc, ys := buildMultiScene(t, 1, qpskCfg(), 60, -70)
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	res, err := rd.DecodeMulti(sc.x, sc.x, ys, sc.packetStart, sc.packetLen, sc.tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ func TestDecodeMultiRecoversPayload(t *testing.T) {
 
 func TestDecodeMultiValidation(t *testing.T) {
 	sc, ys := buildMultiScene(t, 2, qpskCfg(), 8, -60)
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	if _, err := rd.DecodeMulti(sc.x, sc.x, nil, sc.packetStart, sc.packetLen, sc.tcfg); err == nil {
 		t.Fatal("expected error for no antennas")
 	}

@@ -49,6 +49,21 @@ func DefaultConfig() Config {
 	return Config{ChannelTaps: 8, Lambda: 1e-16, TimingSearch: 6, SIC: sic.DefaultConfig()}
 }
 
+// Validate checks the decoder configuration, including the embedded
+// canceller's.
+func (c Config) Validate() error {
+	if c.ChannelTaps <= 0 {
+		return fmt.Errorf("reader: ChannelTaps %d must be positive", c.ChannelTaps)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("reader: ridge regularizer %v must be non-negative", c.Lambda)
+	}
+	if c.TimingSearch < 0 {
+		return fmt.Errorf("reader: TimingSearch %d must be non-negative", c.TimingSearch)
+	}
+	return c.SIC.Validate()
+}
+
 // Result is the outcome of decoding one tag transmission.
 type Result struct {
 	// Payload is the decoded application payload (nil if the frame
@@ -135,15 +150,16 @@ type Reader struct {
 	m   readerMetrics
 }
 
-// New returns a Reader.
-func New(cfg Config) *Reader {
-	if cfg.ChannelTaps <= 0 {
-		panic("reader: ChannelTaps must be positive")
+// New returns a Reader, rejecting bad configuration with an error
+// (never a panic).
+func New(cfg Config) (*Reader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.SIC.Obs == nil {
 		cfg.SIC.Obs = cfg.Obs
 	}
-	return &Reader{cfg: cfg, m: newReaderMetrics(cfg.Obs)}
+	return &Reader{cfg: cfg, m: newReaderMetrics(cfg.Obs)}, nil
 }
 
 // Decode processes one excitation packet.

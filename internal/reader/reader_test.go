@@ -9,6 +9,7 @@ import (
 	"backfi/internal/channel"
 	"backfi/internal/dsp"
 	"backfi/internal/fec"
+	"backfi/internal/sic"
 	"backfi/internal/tag"
 )
 
@@ -67,7 +68,7 @@ func qpskCfg() tag.Config {
 
 func TestDecodeRecoversPayload(t *testing.T) {
 	sc := buildScene(t, 1, qpskCfg(), 80, -70)
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	res, err := rd.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, sc.tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +86,7 @@ func TestDecodeRecoversPayload(t *testing.T) {
 
 func TestDecodeSymbolEstimatesMatchGroundTruth(t *testing.T) {
 	sc := buildScene(t, 2, qpskCfg(), 40, -65)
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	res, err := rd.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, sc.tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +112,7 @@ func TestDecodeAllTagModulations(t *testing.T) {
 		cfg := qpskCfg()
 		cfg.Mod = mod
 		sc := buildScene(t, 3, cfg, 40, -60)
-		rd := New(DefaultConfig())
+		rd := mustNew(DefaultConfig())
 		res, err := rd.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", mod, err)
@@ -126,7 +127,7 @@ func TestDecodeFailsGracefullyAtVeryLowSNR(t *testing.T) {
 	// Backscatter far below the noise floor even after MRC: the frame
 	// must fail CRC, not crash or return a false positive.
 	sc := buildScene(t, 4, qpskCfg(), 80, -145)
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	res, err := rd.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, sc.tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +138,7 @@ func TestDecodeFailsGracefullyAtVeryLowSNR(t *testing.T) {
 }
 
 func TestDecodeArgumentErrors(t *testing.T) {
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	sc := buildScene(t, 5, qpskCfg(), 8, -60)
 	if _, err := rd.Decode(sc.x[:10], sc.x[:10], sc.y, sc.packetStart, sc.packetLen, sc.tcfg); err == nil {
 		t.Fatal("expected length-mismatch error")
@@ -156,13 +157,18 @@ func TestDecodeArgumentErrors(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestNewRejectsBadConfig(t *testing.T) {
+	cases := []Config{
+		{ChannelTaps: 0, SIC: sic.DefaultConfig()},
+		{ChannelTaps: 8, Lambda: -1, SIC: sic.DefaultConfig()},
+		{ChannelTaps: 8, TimingSearch: -1, SIC: sic.DefaultConfig()},
+		{ChannelTaps: 8}, // zero SIC config: digital stage missing
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, cfg)
 		}
-	}()
-	New(Config{ChannelTaps: 0})
+	}
 }
 
 func TestHfbEstimateQuality(t *testing.T) {
@@ -171,7 +177,7 @@ func TestHfbEstimateQuality(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	tcfg := qpskCfg()
 	sc := buildScene(t, 6, tcfg, 40, -60)
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	res, err := rd.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +204,7 @@ func TestHfbEstimateQuality(t *testing.T) {
 
 func TestDecodeZeroLengthPayloadFrame(t *testing.T) {
 	sc := buildScene(t, 7, qpskCfg(), 0, -60)
-	rd := New(DefaultConfig())
+	rd := mustNew(DefaultConfig())
 	res, err := rd.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, sc.tcfg)
 	if err != nil {
 		t.Fatal(err)

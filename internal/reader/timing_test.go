@@ -60,7 +60,7 @@ func TestTimingSearchRecoversLateTag(t *testing.T) {
 
 	cfg := DefaultConfig()
 	cfg.TimingSearch = 16
-	withSearch := New(cfg)
+	withSearch := mustNew(cfg)
 	res, err := withSearch.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestTimingSearchRecoversLateTag(t *testing.T) {
 	}
 
 	cfg.TimingSearch = 0
-	noSearch := New(cfg)
+	noSearch := mustNew(cfg)
 	res0, err := noSearch.Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +92,7 @@ func TestTimingSearchStaysPutWhenAligned(t *testing.T) {
 	// would misalign short symbols.
 	tcfg := qpskCfg()
 	sc := buildScene(t, 12, tcfg, 60, -60)
-	res, err := New(DefaultConfig()).Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, tcfg)
+	res, err := mustNew(DefaultConfig()).Decode(sc.x, sc.x, sc.y, sc.packetStart, sc.packetLen, tcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,26 @@ type Config struct {
 	Obs *obs.Registry
 }
 
+// Validate checks the canceller configuration. The digital stage is
+// mandatory; the analog stage is optional (AnalogTaps = 0) but when
+// present its quantizer resolutions must be positive.
+func (c Config) Validate() error {
+	if c.DigitalTaps <= 0 {
+		return fmt.Errorf("sic: digital stage is required (DigitalTaps=%d)", c.DigitalTaps)
+	}
+	if c.AnalogTaps < 0 {
+		return fmt.Errorf("sic: AnalogTaps %d must be non-negative", c.AnalogTaps)
+	}
+	if c.AnalogTaps > 0 && (c.AnalogPhaseBits < 1 || c.AnalogMagBits < 1) {
+		return fmt.Errorf("sic: analog stage needs positive phase/magnitude resolution, got %d/%d bits",
+			c.AnalogPhaseBits, c.AnalogMagBits)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("sic: ridge regularizer %v must be non-negative", c.Lambda)
+	}
+	return nil
+}
+
 // DefaultConfig mirrors the full-duplex hardware of [Bharadia'13]: a
 // 16-tap analog board with fine attenuator/phase steps (the board's
 // tuning achieves ~60 dB of analog suppression) and a 32-tap digital

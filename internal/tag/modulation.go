@@ -31,6 +31,18 @@ var Modulations = []Modulation{BPSK, QPSK, PSK16}
 // AllModulations additionally includes the 16-QAM extension.
 var AllModulations = []Modulation{BPSK, QPSK, PSK16, QAM16}
 
+// Validate reports whether m is one of the defined constellations.
+// Constellation lookups (BitsPerSymbol, Map, …) treat an unknown order
+// as an internal invariant violation and panic, so config paths must
+// validate first.
+func (m Modulation) Validate() error {
+	switch m {
+	case BPSK, QPSK, PSK16, QAM16:
+		return nil
+	}
+	return fmt.Errorf("tag: unknown modulation %d", int(m))
+}
+
 // BitsPerSymbol returns the information bits carried per tag symbol.
 func (m Modulation) BitsPerSymbol() int {
 	switch m {

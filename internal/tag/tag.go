@@ -40,6 +40,15 @@ type Config struct {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
+	if err := c.Mod.Validate(); err != nil {
+		return err
+	}
+	if err := c.Coding.Validate(); err != nil {
+		return err
+	}
+	if c.ID < 0 {
+		return fmt.Errorf("tag: negative tag ID %d", c.ID)
+	}
 	if c.SymbolRateHz <= 0 {
 		return fmt.Errorf("tag: symbol rate must be positive")
 	}
