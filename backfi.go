@@ -34,6 +34,7 @@ import (
 	"backfi/internal/fault"
 	"backfi/internal/fec"
 	"backfi/internal/obs"
+	"backfi/internal/serve"
 	"backfi/internal/tag"
 )
 
@@ -212,3 +213,35 @@ func ServeMetrics(addr string, r *MetricsRegistry) (*http.Server, string, error)
 func NewRunManifest(command string, config map[string]any) *RunManifest {
 	return obs.NewManifest(command, config)
 }
+
+// Serving layer (DESIGN.md §5e): a long-running reader daemon that
+// decodes many concurrent tag sessions over a length-prefixed TCP
+// protocol, sharding session state by id with bounded queues, typed
+// backpressure, per-job deadlines and graceful drain. The daemon and a
+// closed-loop load generator ship as cmd/backfi-readerd and
+// cmd/backfi-loadgen.
+type (
+	// ReaderConfig assembles one reader daemon.
+	ReaderConfig = serve.Config
+	// ReaderServer is a running reader daemon.
+	ReaderServer = serve.Server
+	// ReaderClient is a connection to a reader daemon.
+	ReaderClient = serve.Client
+	// ReaderResponse is one daemon reply (decode outcome or stats).
+	ReaderResponse = serve.Response
+)
+
+// Typed serving rejections, checked with errors.Is on client errors: a
+// full shard queue, a draining daemon, an expired per-job deadline.
+var (
+	ErrReaderQueueFull = serve.ErrQueueFull
+	ErrReaderDraining  = serve.ErrDraining
+	ErrReaderDeadline  = serve.ErrDeadline
+)
+
+// NewReaderServer builds a reader daemon; call Start on the result to
+// listen and Shutdown to drain it.
+func NewReaderServer(cfg ReaderConfig) (*ReaderServer, error) { return serve.NewServer(cfg) }
+
+// DialReader connects a client to a reader daemon.
+func DialReader(addr string) (*ReaderClient, error) { return serve.Dial(addr) }

@@ -1,0 +1,215 @@
+// Command backfi-loadgen drives a reader daemon with a closed-loop
+// workload — one connection per session, each offering frames
+// back-to-back — and reports offered vs. delivered throughput and tail
+// latency. With -out it merges a "serving" entry into a benchmark
+// results file (e.g. BENCH_results.json), preserving whatever other
+// sections the file already holds.
+//
+// Example (self-contained, no external daemon):
+//
+//	backfi-loadgen -selfserve -sessions 8 -frames 100 -out BENCH_results.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"backfi/internal/core"
+	"backfi/internal/fault"
+	"backfi/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("backfi-loadgen: ")
+
+	addr := flag.String("addr", "", "daemon address to load (empty with -selfserve)")
+	selfserve := flag.Bool("selfserve", false, "spawn an in-process daemon on an ephemeral loopback port instead of dialing -addr")
+	sessions := flag.Int("sessions", 8, "concurrent sessions (one connection each)")
+	frames := flag.Int("frames", 100, "frames offered per session")
+	payload := flag.Int("bytes", 24, "payload bytes per frame")
+	shards := flag.Int("shards", 4, "daemon shards (-selfserve only)")
+	queue := flag.Int("queue", 64, "daemon per-shard queue bound (-selfserve only)")
+	batch := flag.Int("batch", 16, "daemon batch bound (-selfserve only)")
+	distance := flag.Float64("distance", 1, "link distance in meters (-selfserve only)")
+	rho := flag.Float64("rho", 0.95, "session channel coherence (-selfserve only)")
+	retries := flag.Int("retries", 2, "per-frame ARQ budget (-selfserve only)")
+	seed := flag.Int64("seed", 1, "daemon base seed (-selfserve only)")
+	impair := flag.Float64("impair", 0, "RF impairment severity in [0,1] (-selfserve only)")
+	out := flag.String("out", "", "merge the run's summary under a \"serving\" key in this JSON file")
+	flag.Parse()
+
+	target := *addr
+	if *selfserve {
+		link := core.DefaultLinkConfig(*distance)
+		link.Seed = *seed
+		if *impair < 0 || *impair > 1 {
+			log.Fatalf("impair: severity %v outside [0,1]", *impair)
+		}
+		if *impair > 0 {
+			p := fault.Standard(*impair)
+			if err := p.Validate(); err != nil {
+				log.Fatalf("impair: %v", err)
+			}
+			link.Faults = &p
+		}
+		srv, err := serve.NewServer(serve.Config{
+			Addr:         "localhost:0",
+			Link:         link,
+			CoherenceRho: *rho,
+			MaxRetries:   *retries,
+			Shards:       *shards,
+			QueueDepth:   *queue,
+			BatchMax:     *batch,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Shutdown(context.Background())
+		target = srv.Addr()
+		log.Printf("self-serving on %s (shards=%d)", target, *shards)
+	}
+	if target == "" {
+		log.Fatal("need -addr or -selfserve")
+	}
+
+	sum, err := run(target, *sessions, *frames, *payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum["sessions"] = *sessions
+	sum["frames_per_session"] = *frames
+	sum["payload_bytes"] = *payload
+	if *selfserve {
+		sum["shards"] = *shards
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := mergeOut(*out, sum); err != nil {
+			log.Fatalf("out: %v", err)
+		}
+		log.Printf("merged serving entry into %s", *out)
+	}
+}
+
+// run offers sessions*frames jobs closed-loop and aggregates the
+// outcome into the serving summary.
+func run(addr string, sessions, frames, payloadBytes int) (map[string]any, error) {
+	type sessionResult struct {
+		delivered int
+		rejected  int
+		failed    int
+		latencies []time.Duration
+		err       error
+	}
+	results := make([]sessionResult, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := &results[s]
+			c, err := serve.Dial(addr)
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer c.Close()
+			id := fmt.Sprintf("loadgen-%03d", s)
+			for i := 0; i < frames; i++ {
+				p := []byte(fmt.Sprintf("%s/%06d/", id, i))
+				for len(p) < payloadBytes {
+					p = append(p, byte(i))
+				}
+				t0 := time.Now()
+				resp, err := c.Decode(id, p[:payloadBytes])
+				r.latencies = append(r.latencies, time.Since(t0))
+				switch {
+				case err == nil && resp.Delivered:
+					r.delivered++
+				case errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrDraining) || errors.Is(err, serve.ErrDeadline):
+					r.rejected++
+				case err != nil:
+					r.failed++
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	var delivered, rejected, failed int
+	var lat []time.Duration
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		delivered += r.delivered
+		rejected += r.rejected
+		failed += r.failed
+		lat = append(lat, r.latencies...)
+	}
+	offered := sessions * frames
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return map[string]any{
+		"offered_frames":   offered,
+		"delivered_frames": delivered,
+		"rejected_frames":  rejected,
+		"failed_frames":    failed,
+		"wall_seconds":     wall,
+		"offered_fps":      float64(offered) / wall,
+		"delivered_fps":    float64(delivered) / wall,
+		"delivery_rate":    float64(delivered) / float64(offered),
+		"goodput_bps":      float64(delivered*payloadBytes*8) / wall,
+		"latency_p50_ms":   quantile(lat, 0.50),
+		"latency_p95_ms":   quantile(lat, 0.95),
+		"latency_p99_ms":   quantile(lat, 0.99),
+	}, nil
+}
+
+// quantile returns the q-th latency quantile in milliseconds
+// (nearest-rank on the sorted sample).
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}
+
+// mergeOut folds the summary into path under "serving", preserving
+// every other top-level key (the file also carries "figures" and
+// "micro" sections written by other tools).
+func mergeOut(path string, sum map[string]any) error {
+	doc := map[string]any{}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("existing %s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	doc["serving"] = sum
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

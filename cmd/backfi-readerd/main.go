@@ -1,0 +1,103 @@
+// Command backfi-readerd is the long-running BackFi reader daemon: it
+// accepts decode jobs (session id + application frame) over a
+// length-prefixed TCP protocol, shards session state by id across a
+// fixed worker pool, and serves with production discipline — bounded
+// queues with typed backpressure, per-job deadlines, panic isolation,
+// and graceful drain on SIGINT/SIGTERM. See DESIGN.md §5e for the wire
+// protocol and determinism contract.
+//
+// Example:
+//
+//	backfi-readerd -addr localhost:8337 -shards 8 -metrics-addr localhost:9090
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"backfi/internal/core"
+	"backfi/internal/fault"
+	"backfi/internal/obs"
+	"backfi/internal/parallel"
+	"backfi/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("backfi-readerd: ")
+
+	addr := flag.String("addr", "localhost:8337", "TCP listen address (host:0 picks an ephemeral port)")
+	shards := flag.Int("shards", 4, "session-state shards; a session id always decodes on the same shard")
+	queue := flag.Int("queue", 64, "per-shard job queue bound; a full queue rejects with queue_full")
+	batch := flag.Int("batch", 16, "max queued jobs drained into one parallel decode batch")
+	batchWorkers := flag.Int("batch-workers", 0, "decode concurrency inside one batch: 0 = all CPUs (results are identical for every value)")
+	distance := flag.Float64("distance", 1, "AP-tag distance in meters of the session link template")
+	rho := flag.Float64("rho", 0.95, "packet-to-packet channel correlation of each session")
+	retries := flag.Int("retries", 2, "per-frame ARQ retry budget")
+	seed := flag.Int64("seed", 1, "base seed; each session offsets it by a hash of its id")
+	impair := flag.Float64("impair", 0, "RF impairment severity in [0,1]: 0 = the paper's ideal front end (DESIGN.md §5d)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline measured from admission (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for admitted jobs")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ (e.g. localhost:9090)")
+	flag.Parse()
+
+	link := core.DefaultLinkConfig(*distance)
+	link.Seed = *seed
+	if *impair < 0 || *impair > 1 {
+		log.Fatalf("impair: severity %v outside [0,1]", *impair)
+	}
+	if *impair > 0 {
+		p := fault.Standard(*impair)
+		if err := p.Validate(); err != nil {
+			log.Fatalf("impair: %v", err)
+		}
+		link.Faults = &p
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		parallel.SetRegistry(reg)
+		_, bound, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics-addr: %v", err)
+		}
+		log.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof/", bound, bound)
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Addr:         *addr,
+		Link:         link,
+		CoherenceRho: *rho,
+		MaxRetries:   *retries,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		BatchMax:     *batch,
+		BatchWorkers: *batchWorkers,
+		JobTimeout:   *jobTimeout,
+		DrainTimeout: *drainTimeout,
+		Obs:          reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (shards=%d queue=%d batch=%d distance=%.2gm)",
+		srv.Addr(), *shards, *queue, *batch, *distance)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("%s: draining (new jobs rejected, admitted jobs finishing)...", s)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatalf("drain incomplete: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -65,6 +65,7 @@ func (l *Link) RunCustomExcitation(excitation []complex128, payload []byte) (*Pa
 		Decode:            res,
 		Sent:              payload,
 		PayloadOK:         res.FrameOK && bytesEqual(res.Payload, payload),
+		Delivered:         res.FrameOK && bytesEqual(res.Payload, payload),
 		ExcitationSamples: packetLen,
 		TagAirtimeSec:     float64(plan.End()-plan.SilentEnd) / tag.SampleRate,
 		ExpectedSNRdB:     l.Scenario.ExpectedSNRdB(),

@@ -86,6 +86,13 @@ type PacketResult struct {
 	Sent []byte
 	// PayloadOK reports whether the decoded payload matched exactly.
 	PayloadOK bool
+	// Delivered reports whether the exchange completed end to end. For
+	// a one-shot RunPacket it equals PayloadOK; the session ARQ layer
+	// clears it when the reader decoded the frame but the ACK back to
+	// the tag was lost, so PayloadOK can be true while Delivered is
+	// false. Goodput consumers must key off Delivered — counting
+	// PayloadOK double-counts ACK-dropped frames the tag retransmits.
+	Delivered bool
 	// RawBitErrors / RawBits count pre-FEC coded-bit errors (hard
 	// decisions on the MRC symbol estimates vs the transmitted coded
 	// bits) — the BER axis of paper Fig. 11b.
@@ -343,6 +350,10 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 	// the balanced wake sequence, but we keep the search window tight
 	// like a real comparator would).
 	z := l.Scenario.HF.Apply(xAir)
+	if l.inj.DropWake() {
+		l.m.failWake.Inc()
+		return nil, fmt.Errorf("%w: injected wake fault at %.2g m", ErrTagNoWake, l.Cfg.Channel.DistanceM)
+	}
 	wakeIdx, ok := l.Tag.TryWake(z[:packetStart+tag.SilentSamples])
 	if !ok {
 		l.m.failWake.Inc()
@@ -402,6 +413,7 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 	floorW := dsp.UnDBm(pr.SICResidualDBm)
 	pr.ExpectedMRCSNRdB = dsp.SNRdB(l.Scenario.BackscatterRxPowerW(), floorW) + dsp.DB(float64(sps-guard))
 	pr.PayloadOK = res.FrameOK && bytesEqual(res.Payload, payload)
+	pr.Delivered = pr.PayloadOK
 
 	// Raw coded-bit errors over the frame's symbols.
 	hard := l.Tag.Cfg.Mod.DemapHard(res.SymbolEstimates[:min(len(plan.Symbols), len(res.SymbolEstimates))])

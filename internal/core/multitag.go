@@ -134,6 +134,7 @@ func (m *MultiTagLink) RunPacket(addressed int, payload []byte) (*MultiTagResult
 		Decode:            dec,
 		Sent:              payload,
 		PayloadOK:         dec.FrameOK && bytesEqual(dec.Payload, payload),
+		Delivered:         dec.FrameOK && bytesEqual(dec.Payload, payload),
 		ExcitationSamples: packetLen,
 		MeasuredSNRdB:     dec.SNRdB,
 	}

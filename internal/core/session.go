@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"backfi/internal/channel"
@@ -33,10 +34,24 @@ type SessionStats struct {
 	// the way back to the tag (injected fault), forcing a retransmission
 	// of data the reader already had.
 	ACKsDropped int
+	// NoWakes counts attempts the tag slept through: the AP transmitted
+	// the excitation (consuming a retry attempt, like a CRC failure) but
+	// the tag never woke, so no tag airtime accrues for the attempt.
+	// This mirrors EvaluateWorkers, which counts ErrTagNoWake as loss
+	// rather than aborting.
+	NoWakes int
 }
 
-// Retries returns the retransmission count.
-func (s SessionStats) Retries() int { return s.PacketsSent - s.FramesOffered }
+// Retries returns the retransmission count: air transmissions beyond
+// each offered frame's first. A frame that errors out of the pipeline
+// before its first transmission leaves PacketsSent behind FramesOffered,
+// so the count clamps at zero instead of going negative.
+func (s SessionStats) Retries() int {
+	if r := s.PacketsSent - s.FramesOffered; r > 0 {
+		return r
+	}
+	return 0
+}
 
 // DeliveryRate returns delivered/offered.
 func (s SessionStats) DeliveryRate() float64 {
@@ -80,9 +95,13 @@ func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session,
 func (s *Session) Link() *Link { return s.link }
 
 // Send delivers one application frame with stop-and-wait ARQ: on CRC
-// failure the tag retransmits (the AP polls again) up to MaxRetries
-// times, with the channel evolving between attempts. It returns the
-// last attempt's result and whether the frame was delivered.
+// failure — or a wake miss, which the protocol cannot tell apart from a
+// lost frame — the tag retransmits (the AP polls again) up to
+// MaxRetries times, with the channel evolving between attempts. It
+// returns the last attempt's result (nil when no attempt produced one)
+// and whether the frame was delivered end to end. The result's
+// Delivered field matches the returned flag, so an ACK-dropped final
+// attempt reads PayloadOK=true, Delivered=false.
 func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 	s.Stats.FramesOffered++
 	var last *PacketResult
@@ -92,6 +111,16 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 		}
 		res, err := s.link.RunPacket(payload)
 		if err != nil {
+			if errors.Is(err, ErrTagNoWake) {
+				// The AP transmitted but the tag slept through the wake
+				// preamble: a lost attempt, exactly as EvaluateWorkers
+				// accounts it — not a pipeline failure. The excitation
+				// was sent, so the attempt counts; the tag never
+				// modulated, so no airtime accrues.
+				s.Stats.PacketsSent++
+				s.Stats.NoWakes++
+				continue
+			}
 			return nil, false, err
 		}
 		s.Stats.PacketsSent++
@@ -103,8 +132,10 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 			// repeats and only a later attempt can complete the frame.
 			if s.link.inj.DropACK() {
 				s.Stats.ACKsDropped++
+				res.Delivered = false
 				continue
 			}
+			res.Delivered = true
 			s.Stats.FramesDelivered++
 			s.Stats.PayloadBits += 8 * len(payload)
 			return res, true, nil

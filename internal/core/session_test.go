@@ -199,6 +199,159 @@ func TestSessionARQUnderDroppedACKs(t *testing.T) {
 	}
 }
 
+// TestSessionNoWakeConsumesAttempt pins the bugfix for no-wake
+// accounting: a tag that sleeps through the wake preamble must consume
+// a retry attempt like a CRC failure — the session keeps going and the
+// stats stay consistent with EvaluateWorkers' loss accounting — instead
+// of aborting the whole session with an error.
+func TestSessionNoWakeConsumesAttempt(t *testing.T) {
+	cfg := DefaultLinkConfig(1)
+	cfg.Seed = 21
+	cfg.Faults = &fault.Profile{NoWakeProb: 1}
+	const maxRetries = 2
+	s, err := NewSession(cfg, 1, maxRetries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, delivered, err := s.Send(s.Link().RandomPayload(24))
+	if err != nil {
+		t.Fatalf("no-wake must consume an attempt, not abort the session: %v", err)
+	}
+	if delivered {
+		t.Fatal("nothing can deliver when the tag never wakes")
+	}
+	if res != nil {
+		t.Fatal("no attempt decoded, so there is no last result")
+	}
+	st := s.Stats
+	if st.FramesOffered != 1 || st.FramesDelivered != 0 {
+		t.Fatalf("offered/delivered = %d/%d", st.FramesOffered, st.FramesDelivered)
+	}
+	if st.PacketsSent != maxRetries+1 {
+		t.Fatalf("PacketsSent %d, want the full budget %d (each no-wake costs an attempt)", st.PacketsSent, maxRetries+1)
+	}
+	if st.NoWakes != maxRetries+1 {
+		t.Fatalf("NoWakes %d, want %d", st.NoWakes, maxRetries+1)
+	}
+	if st.Retries() != maxRetries {
+		t.Fatalf("Retries %d, want %d", st.Retries(), maxRetries)
+	}
+	// The tag never modulated: zero airtime, zero goodput, no payload.
+	if st.AirtimeSec != 0 || st.PayloadBits != 0 || st.GoodputBps() != 0 {
+		t.Fatalf("sleeping tag accrued airtime=%v bits=%d goodput=%v", st.AirtimeSec, st.PayloadBits, st.GoodputBps())
+	}
+}
+
+// TestSessionNoWakePartialLoss checks the session still delivers frames
+// around intermittent wake misses and that every miss is visible in the
+// NoWakes stat with the attempt counted.
+func TestSessionNoWakePartialLoss(t *testing.T) {
+	cfg := DefaultLinkConfig(1)
+	cfg.Seed = 23
+	cfg.Faults = &fault.Profile{NoWakeProb: 0.5}
+	s, err := NewSession(cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 10
+	const bytesPer = 24
+	for i := 0; i < frames; i++ {
+		if _, _, err := s.Send(s.Link().RandomPayload(bytesPer)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats
+	if st.FramesOffered != frames {
+		t.Fatalf("FramesOffered %d", st.FramesOffered)
+	}
+	if st.FramesDelivered == 0 {
+		t.Fatal("half-rate wake loss with retries should still deliver frames")
+	}
+	if st.NoWakes == 0 {
+		t.Fatal("p=0.5 over many attempts should miss at least one wake")
+	}
+	// Attempts split into decodes (which accrue airtime) and no-wakes
+	// (which do not); every attempt is a sent packet.
+	if st.PacketsSent < st.NoWakes+st.FramesDelivered {
+		t.Fatalf("PacketsSent %d below NoWakes+FramesDelivered = %d+%d", st.PacketsSent, st.NoWakes, st.FramesDelivered)
+	}
+	if st.PayloadBits != 8*bytesPer*st.FramesDelivered {
+		t.Fatalf("PayloadBits %d, want %d", st.PayloadBits, 8*bytesPer*st.FramesDelivered)
+	}
+	if st.AirtimeSec <= 0 {
+		t.Fatal("decoded attempts must accrue airtime")
+	}
+}
+
+// TestSessionDeliveredFlag pins the goodput double-count bugfix over
+// the ACK-drop-on-last-attempt and clean-delivery edges: PayloadOK
+// says "the reader decoded it", Delivered says "the exchange
+// completed" — an ACK-dropped final attempt is the case where they
+// must disagree.
+func TestSessionDeliveredFlag(t *testing.T) {
+	cases := []struct {
+		name          string
+		faults        *fault.Profile
+		maxRetries    int
+		wantDelivered bool
+		wantPayloadOK bool
+	}{
+		// Every ACK lost: the reader decodes each attempt but the frame
+		// never completes; the last result must not read as delivered.
+		{"ack-drop-on-last-attempt", &fault.Profile{ACKDropProb: 1}, 1, false, true},
+		// Clean link: both agree.
+		{"clean-delivery", nil, 1, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultLinkConfig(1)
+			cfg.Seed = 29
+			cfg.Faults = tc.faults
+			s, err := NewSession(cfg, 1, tc.maxRetries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, delivered, err := s.Send(s.Link().RandomPayload(24))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if delivered != tc.wantDelivered {
+				t.Fatalf("delivered = %v, want %v", delivered, tc.wantDelivered)
+			}
+			if res == nil {
+				t.Fatal("decoded attempts must return a result")
+			}
+			if res.PayloadOK != tc.wantPayloadOK {
+				t.Fatalf("PayloadOK = %v, want %v", res.PayloadOK, tc.wantPayloadOK)
+			}
+			if res.Delivered != tc.wantDelivered {
+				t.Fatalf("res.Delivered = %v but the frame delivered = %v: goodput consumers keying off this field double-count", res.Delivered, tc.wantDelivered)
+			}
+		})
+	}
+}
+
+// TestSessionRetriesNeverNegative drives Retries() over the accounting
+// edges, including a frame that errors out of the pipeline before its
+// first transmission (FramesOffered incremented, PacketsSent not).
+func TestSessionRetriesNeverNegative(t *testing.T) {
+	cases := []struct {
+		name string
+		st   SessionStats
+		want int
+	}{
+		{"error-on-first-attempt", SessionStats{FramesOffered: 1, PacketsSent: 0}, 0},
+		{"error-after-one-clean-frame", SessionStats{FramesOffered: 2, PacketsSent: 1}, 0},
+		{"no-retries", SessionStats{FramesOffered: 3, PacketsSent: 3}, 0},
+		{"two-retries", SessionStats{FramesOffered: 3, PacketsSent: 5}, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.st.Retries(); got != tc.want {
+			t.Errorf("%s: Retries() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
 // TestSessionARQPartialACKLoss checks the accounting identities when
 // ACKs are lost only sometimes: delivered frames carry their payload
 // bits, goodput divides by total airtime (retries included), and each

@@ -77,6 +77,13 @@ type Profile struct {
 	// never reaches the tag, forcing a retransmission of a frame that
 	// was in fact decoded (session ARQ).
 	ACKDropProb float64
+	// NoWakeProb is the per-packet probability that the tag sleeps
+	// through its wake preamble (a desensitized envelope detector or an
+	// ill-timed duty cycle). The exchange fails before the tag ever
+	// modulates — RunPacket returns core.ErrTagNoWake — so the session
+	// ARQ counts a lost attempt with zero tag airtime
+	// (SessionStats.NoWakes).
+	NoWakeProb float64
 }
 
 // Validate checks the profile. A nil profile is valid (faults off).
@@ -91,6 +98,7 @@ func (p *Profile) Validate() error {
 		{"TruncateProb", p.TruncateProb},
 		{"PreambleCorruptProb", p.PreambleCorruptProb},
 		{"ACKDropProb", p.ACKDropProb},
+		{"NoWakeProb", p.NoWakeProb},
 	} {
 		if pr.v < 0 || pr.v > 1 {
 			return fmt.Errorf("fault: %s %v outside [0,1]", pr.name, pr.v)
@@ -121,7 +129,7 @@ func (p *Profile) Enabled() bool {
 	}
 	return p.CFOHz != 0 || p.SCOPpm != 0 || p.PhaseNoiseHz > 0 ||
 		p.ADCBits > 0 || p.InterfDuty > 0 || p.TruncateProb > 0 ||
-		p.PreambleCorruptProb > 0 || p.ACKDropProb > 0
+		p.PreambleCorruptProb > 0 || p.ACKDropProb > 0 || p.NoWakeProb > 0
 }
 
 // withDefaults fills the secondary knobs of enabled impairments.

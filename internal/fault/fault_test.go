@@ -87,6 +87,9 @@ func TestNilInjectorNoOps(t *testing.T) {
 	if in.DropACK() {
 		t.Fatal("nil DropACK dropped")
 	}
+	if in.DropWake() {
+		t.Fatal("nil DropWake dropped")
+	}
 	if x[0] != 1 || x[1] != 2i || x[2] != 3 {
 		t.Fatal("nil methods mutated input")
 	}
@@ -132,6 +135,35 @@ func TestDeterminism(t *testing.T) {
 		if x1[i] != x2[i] || m1[i] != m2[i] || y1[i] != y2[i] {
 			t.Fatalf("sample %d diverged", i)
 		}
+	}
+}
+
+// TestDropWake pins the wake-fault edge probabilities and the injected
+// count surfacing in the §5c registry.
+func TestDropWake(t *testing.T) {
+	reg := obs.NewRegistry()
+	in, err := NewInjector(&Profile{NoWakeProb: 1}, 5, 20e6, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const packets = 7
+	for i := 0; i < packets; i++ {
+		if !in.DropWake() {
+			t.Fatal("NoWakeProb=1 must drop every wake")
+		}
+	}
+	if got := reg.Snapshot().Counter(obs.MetricFaultsInjected, `{kind="wake_drop"}`); got != packets {
+		t.Fatalf("wake_drop count %d, want %d", got, packets)
+	}
+	never, err := NewInjector(&Profile{NoWakeProb: 0, ACKDropProb: 1}, 5, 20e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.DropWake() {
+		t.Fatal("NoWakeProb=0 dropped a wake")
+	}
+	if err := (&Profile{NoWakeProb: 1.5}).Validate(); err == nil {
+		t.Fatal("NoWakeProb above 1 must fail validation")
 	}
 }
 

@@ -18,6 +18,7 @@ type injectorMetrics struct {
 	truncated   *obs.Counter
 	preamble    *obs.Counter
 	ackDropped  *obs.Counter
+	wakeDropped *obs.Counter
 }
 
 func newInjectorMetrics(r *obs.Registry) injectorMetrics {
@@ -36,6 +37,7 @@ func newInjectorMetrics(r *obs.Registry) injectorMetrics {
 		truncated:   kind("truncate"),
 		preamble:    kind("preamble_corrupt"),
 		ackDropped:  kind("ack_drop"),
+		wakeDropped: kind("wake_drop"),
 	}
 }
 
@@ -273,6 +275,21 @@ func (in *Injector) TruncateTail(y []complex128, packetStart, packetLen int) int
 	}
 	in.m.truncated.Inc()
 	return end - start
+}
+
+// DropWake reports whether the tag sleeps through this packet's wake
+// preamble. The link translates a dropped wake into core.ErrTagNoWake
+// before the tag modulates anything, so the attempt costs excitation
+// airtime but zero tag airtime.
+func (in *Injector) DropWake() bool {
+	if in == nil || in.p.NoWakeProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() >= in.p.NoWakeProb {
+		return false
+	}
+	in.m.wakeDropped.Inc()
+	return true
 }
 
 // DropACK reports whether this frame's ACK was lost on its way back to

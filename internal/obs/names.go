@@ -58,12 +58,35 @@ const (
 
 	// MetricFaultsInjected counts impairments applied by the fault
 	// layer (label kind = cfo | sco | phase_noise | adc_clip |
-	// interference_burst | truncate | preamble_corrupt | ack_drop).
+	// interference_burst | truncate | preamble_corrupt | ack_drop |
+	// wake_drop).
 	// Units vary by kind: per-packet applications for cfo/sco/
-	// phase_noise/truncate, per-sample-component clips for adc_clip,
-	// bursts for interference_burst, chips for preamble_corrupt and
-	// frames for ack_drop.
+	// phase_noise/truncate/wake_drop, per-sample-component clips for
+	// adc_clip, bursts for interference_burst, chips for
+	// preamble_corrupt and frames for ack_drop.
 	MetricFaultsInjected = "backfi_faults_injected_total"
+
+	// Serving-path metrics (internal/serve, DESIGN.md §5e).
+	// MetricServeJobs counts decode-job admission outcomes (label
+	// outcome = admitted | rejected_full | rejected_draining |
+	// deadline | done | error | panic).
+	MetricServeJobs = "backfi_serve_jobs_total"
+	// MetricServeQueueDepth is the per-shard queued-job gauge (label
+	// shard).
+	MetricServeQueueDepth = "backfi_serve_queue_depth"
+	// MetricServeJobStage is the per-stage job latency histogram (label
+	// stage = queue_wait | decode).
+	MetricServeJobStage = "backfi_serve_job_stage_seconds"
+	// MetricServeBatchJobs is the jobs-per-shard-batch histogram — the
+	// shard utilization signal (batches near BatchMax mean the shard is
+	// running saturated).
+	MetricServeBatchJobs = "backfi_serve_batch_jobs"
+	// MetricServeSessions gauges live sessions; MetricServeConns counts
+	// accepted connections; MetricServeConnPanics counts connection
+	// handlers recovered from a panic (panic isolation contract).
+	MetricServeSessions   = "backfi_serve_sessions"
+	MetricServeConns      = "backfi_serve_connections_total"
+	MetricServeConnPanics = "backfi_serve_conn_panics_total"
 )
 
 // HelpStageDuration is shared by every MetricStageDuration registration

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a connection to a reader daemon. Calls are synchronous
+// (one request in flight per client, matching the server's
+// per-connection ordering that keeps a session's decode stream
+// deterministic); open one client per concurrent session. Safe for
+// concurrent use — calls serialize on an internal lock.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a daemon at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// do runs one request/response round trip.
+func (c *Client) do(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.br, &resp); err != nil {
+		return nil, fmt.Errorf("serve: read response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Decode submits one application frame for the session and returns the
+// outcome. Typed rejections (ErrQueueFull, ErrDraining, ErrDeadline)
+// come back as the error with the response still populated, so callers
+// can distinguish backpressure from transport failure with errors.Is.
+func (c *Client) Decode(session string, payload []byte) (*Response, error) {
+	resp, err := c.do(&Request{Op: OpDecode, Session: session, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
+// DecodeTimeout is Decode with an explicit per-job deadline in
+// milliseconds, overriding the server default.
+func (c *Client) DecodeTimeout(session string, payload []byte, timeoutMs int) (*Response, error) {
+	resp, err := c.do(&Request{Op: OpDecode, Session: session, Payload: payload, TimeoutMs: timeoutMs})
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
+// Stats returns the session's accumulated statistics, ordered after
+// every decode the session has answered.
+func (c *Client) Stats(session string) (*SessionStats, error) {
+	resp, err := c.do(&Request{Op: OpStats, Session: session})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("serve: stats response missing body")
+	}
+	return resp.Stats, nil
+}
+
+// Ping checks daemon liveness.
+func (c *Client) Ping() error {
+	resp, err := c.do(&Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }

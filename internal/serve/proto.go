@@ -1,0 +1,187 @@
+// Package serve turns the repository's one-shot link simulator into
+// the long-running reader service the paper describes (Sec. 1, 5): a
+// BackFi AP is not a lab harness that runs one sweep and exits — it
+// decodes many tag uplinks at WiFi rates, continuously, while serving
+// its normal traffic. The daemon accepts decode jobs over a simple
+// length-prefixed TCP protocol, shards session state by session id
+// across a fixed worker pool, batches queued jobs into the
+// deterministic parallel engine for the DSP hot path, and applies
+// production serving discipline: bounded queues with explicit typed
+// backpressure, per-job deadlines, graceful drain on shutdown, and
+// panic isolation per connection. Zero dependencies, matching
+// internal/obs. See DESIGN.md §5e for the wire protocol, sharding and
+// determinism contract.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format: every message is a frame — a 4-byte big-endian length
+// prefix followed by that many bytes of JSON. JSON keeps the protocol
+// inspectable with nc/jq and zero-dependency; the length prefix keeps
+// framing trivial and lets the server bound memory per message.
+const (
+	// MaxFrameBytes bounds one frame's JSON body. Requests beyond it
+	// are rejected before allocation; the bound dwarfs any real decode
+	// job (tag payloads are tens to hundreds of bytes).
+	MaxFrameBytes = 1 << 20
+)
+
+// Request operations.
+const (
+	// OpDecode submits one application frame for a session: the daemon
+	// runs the full ARQ exchange on that session's link and reports the
+	// outcome.
+	OpDecode = "decode"
+	// OpStats returns a session's accumulated SessionStats. It routes
+	// through the session's shard queue like a decode, so it observes a
+	// consistent snapshot ordered against the session's decodes.
+	OpStats = "stats"
+	// OpPing is a connection liveness check answered inline.
+	OpPing = "ping"
+)
+
+// Response codes. CodeOK accompanies OK=true; every other code is a
+// typed rejection or failure mapped to the Err* sentinels below.
+const (
+	CodeOK         = "ok"
+	CodeQueueFull  = "queue_full"
+	CodeDraining   = "draining"
+	CodeDeadline   = "deadline_exceeded"
+	CodeBadRequest = "bad_request"
+	CodeError      = "error"
+)
+
+// Typed serving errors. The backpressure contract: a full shard queue
+// rejects immediately with ErrQueueFull — it never blocks the
+// connection and never panics — and a draining server rejects new work
+// with ErrDraining while completing what it already admitted. Check
+// with errors.Is on the client side (Response.Err returns these).
+var (
+	ErrQueueFull  = errors.New("serve: shard queue full")
+	ErrDraining   = errors.New("serve: server draining")
+	ErrDeadline   = errors.New("serve: job deadline exceeded")
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Request is one client message.
+type Request struct {
+	// Op is the operation: OpDecode, OpStats, or OpPing.
+	Op string `json:"op"`
+	// Session names the long-lived session this job belongs to. A
+	// session id always hashes to the same shard, and its seed stream
+	// derives from the id alone, so a session's decode results are
+	// byte-identical regardless of shard count or interleaving with
+	// other sessions.
+	Session string `json:"session,omitempty"`
+	// Payload is the application frame to deliver (OpDecode).
+	Payload []byte `json:"payload,omitempty"`
+	// TimeoutMs overrides the server's default per-job deadline,
+	// measured from admission. 0 keeps the server default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Response is one server reply. It deliberately carries no wall-clock
+// quantities: a session's response stream must be byte-identical run
+// to run (the §5e determinism contract), so latency is the client's to
+// measure.
+type Response struct {
+	OK   bool   `json:"ok"`
+	Code string `json:"code"`
+	// Error is the human-readable failure detail for non-OK codes.
+	Error string `json:"error,omitempty"`
+	// Session / Seq echo the job's session and its 1-based position in
+	// that session's decode order.
+	Session string `json:"session,omitempty"`
+	Seq     int    `json:"seq,omitempty"`
+
+	// Decode outcome (OpDecode): Delivered is the end-to-end ARQ
+	// verdict, PayloadOK whether the reader decoded the last attempt
+	// (they disagree exactly when the final attempt's ACK was lost).
+	Delivered bool `json:"delivered,omitempty"`
+	PayloadOK bool `json:"payload_ok,omitempty"`
+	// Attempts / NoWakes / ACKsDropped count this frame's air
+	// transmissions, wake misses, and lost ACKs.
+	Attempts    int `json:"attempts,omitempty"`
+	NoWakes     int `json:"no_wakes,omitempty"`
+	ACKsDropped int `json:"acks_dropped,omitempty"`
+	// SNRdB is the last attempt's measured post-MRC symbol SNR.
+	SNRdB float64 `json:"snr_db,omitempty"`
+
+	// Stats is the session summary (OpStats).
+	Stats *SessionStats `json:"stats,omitempty"`
+}
+
+// SessionStats mirrors core.SessionStats on the wire.
+type SessionStats struct {
+	FramesOffered   int     `json:"frames_offered"`
+	FramesDelivered int     `json:"frames_delivered"`
+	PacketsSent     int     `json:"packets_sent"`
+	PayloadBits     int     `json:"payload_bits"`
+	AirtimeSec      float64 `json:"airtime_sec"`
+	ACKsDropped     int     `json:"acks_dropped"`
+	NoWakes         int     `json:"no_wakes"`
+}
+
+// Err maps a response to its typed error: nil for OK responses, the
+// Err* sentinels for typed rejections, and a generic error otherwise.
+func (r *Response) Err() error {
+	switch r.Code {
+	case CodeOK:
+		return nil
+	case CodeQueueFull:
+		return ErrQueueFull
+	case CodeDraining:
+		return ErrDraining
+	case CodeDeadline:
+		return ErrDeadline
+	case CodeBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, r.Error)
+	default:
+		return fmt.Errorf("serve: %s", r.Error)
+	}
+}
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("serve: marshal frame: %w", err)
+	}
+	if len(body) > MaxFrameBytes {
+		return fmt.Errorf("serve: frame of %d bytes exceeds cap %d", len(body), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into v. Oversized frames
+// fail with ErrBadRequest before any body allocation.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return fmt.Errorf("%w: frame of %d bytes exceeds cap %d", ErrBadRequest, n, MaxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{Op: OpDecode, Session: "alpha", Payload: []byte("reading-42"), TimeoutMs: 250}
+	if err := WriteFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Session != in.Session || out.TimeoutMs != in.TimeoutMs || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mutated request: %+v vs %+v", out, in)
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	// Read side: a header claiming more than the cap must fail before
+	// the body is allocated or consumed.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	err := ReadFrame(bytes.NewReader(hdr[:]), &Request{})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversize read error = %v, want ErrBadRequest", err)
+	}
+	// Write side: a body beyond the cap must refuse to hit the wire.
+	var buf bytes.Buffer
+	big := Request{Op: OpDecode, Session: "x", Payload: bytes.Repeat([]byte{1}, MaxFrameBytes)}
+	if err := WriteFrame(&buf, &big); err == nil {
+		t.Fatal("oversize frame written")
+	}
+}
+
+func TestFrameBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if err := ReadFrame(&buf, &Request{}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad JSON error = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestResponseErrMapping(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{CodeOK, nil},
+		{CodeQueueFull, ErrQueueFull},
+		{CodeDraining, ErrDraining},
+		{CodeDeadline, ErrDeadline},
+		{CodeBadRequest, ErrBadRequest},
+	}
+	for _, tc := range cases {
+		err := (&Response{Code: tc.code, Error: "detail"}).Err()
+		if tc.want == nil {
+			if err != nil {
+				t.Fatalf("code %q: err = %v, want nil", tc.code, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("code %q: err = %v, want %v", tc.code, err, tc.want)
+		}
+	}
+	if err := (&Response{Code: CodeError, Error: "decode exploded"}).Err(); err == nil || !strings.Contains(err.Error(), "decode exploded") {
+		t.Fatalf("generic error lost detail: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Shards: -1},
+		{QueueDepth: -2},
+		{BatchMax: -1},
+		{MaxRetries: -3},
+		{CoherenceRho: 1.5},
+		{JobTimeout: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config passed validation", i)
+		}
+	}
+	if err := (&Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate (defaults fill later): %v", err)
+	}
+}

@@ -1,0 +1,612 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"backfi/internal/core"
+	"backfi/internal/obs"
+	"backfi/internal/parallel"
+)
+
+// Config assembles one reader daemon.
+type Config struct {
+	// Addr is the TCP listen address; use "localhost:0" for an
+	// ephemeral port (read it back with Server.Addr).
+	Addr string
+	// Link is the session template. Every session clones it with a
+	// per-session seed, Link.Seed + FNV-1a64(session id), so a
+	// session's decode stream depends only on its id and the order of
+	// its own jobs — never on shard count or cross-session
+	// interleaving. The zero value defaults to
+	// core.DefaultLinkConfig(1).
+	Link core.LinkConfig
+	// CoherenceRho is the packet-to-packet channel correlation of each
+	// session (see core.NewSession). 0 defaults to 0.95.
+	CoherenceRho float64
+	// MaxRetries bounds each session's per-frame ARQ budget.
+	MaxRetries int
+	// Shards is the number of independent session-state owners. A
+	// session id always hashes to the same shard, which serializes that
+	// session's jobs; different sessions proceed concurrently. 0
+	// defaults to 4.
+	Shards int
+	// QueueDepth bounds each shard's job queue. A full queue rejects
+	// with ErrQueueFull immediately — admission never blocks a
+	// connection. 0 defaults to 64.
+	QueueDepth int
+	// BatchMax bounds how many queued jobs one shard pass drains into a
+	// single parallel.ForEach batch. 0 defaults to 16.
+	BatchMax int
+	// BatchWorkers bounds each batch's decode concurrency across the
+	// distinct sessions it contains (0 = all CPUs).
+	BatchWorkers int
+	// JobTimeout is the default per-job deadline measured from
+	// admission; a job still queued past it is answered
+	// deadline_exceeded without touching its session. 0 disables.
+	JobTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long Shutdown waits
+	// for admitted jobs to finish before giving up. 0 defaults to 10s.
+	DrainTimeout time.Duration
+	// Obs receives serving metrics (queue depth, admission outcomes,
+	// per-stage latency, batch sizes, session/connection gauges) and is
+	// propagated into every session link. Nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// Validate checks the configuration without filling defaults.
+func (c *Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("serve: negative shard count %d", c.Shards)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: negative queue depth %d", c.QueueDepth)
+	}
+	if c.BatchMax < 0 {
+		return fmt.Errorf("serve: negative batch bound %d", c.BatchMax)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("serve: negative retry budget %d", c.MaxRetries)
+	}
+	if c.CoherenceRho < 0 || c.CoherenceRho > 1 {
+		return fmt.Errorf("serve: coherence rho %v outside [0,1]", c.CoherenceRho)
+	}
+	if c.JobTimeout < 0 || c.DrainTimeout < 0 {
+		return fmt.Errorf("serve: negative timeout")
+	}
+	return nil
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "localhost:8337"
+	}
+	if c.Link.WiFiMbps == 0 && c.Link.Channel.DistanceM == 0 {
+		c.Link = core.DefaultLinkConfig(1)
+	}
+	if c.CoherenceRho == 0 {
+		c.CoherenceRho = 0.95
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 16
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// job is one admitted request on its way through a shard.
+type job struct {
+	op       string
+	session  string
+	payload  []byte
+	enqueued time.Time
+	deadline time.Time // zero = none
+	// resp is buffered (cap 1): serveJob never blocks on a slow or
+	// vanished connection handler.
+	resp chan Response
+}
+
+func (j *job) respond(r Response) { j.resp <- r }
+
+// sessionState is one live session plus its decode sequence counter.
+// Only its owning shard touches it, and within one batch only the
+// goroutine assigned to its session id, so no lock is needed.
+type sessionState struct {
+	sess *core.Session
+	seq  int
+}
+
+// shard owns an id-partition of the session space: a bounded job
+// queue, the sessions hashed to it, and one worker goroutine that
+// drains the queue in batches.
+type shard struct {
+	srv *Server
+	id  int
+	// mu guards the draining flag against the queue close in Shutdown:
+	// enqueue holds it shared so a send never races the close.
+	mu       sync.RWMutex
+	draining bool
+	q        chan *job
+	depth    atomic.Int64
+	depthG   *obs.Gauge
+	sessions map[string]*sessionState
+}
+
+// enqueue admits a job or rejects it with a typed error. It never
+// blocks: a full queue is ErrQueueFull, a draining shard ErrDraining.
+func (sh *shard) enqueue(j *job) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.draining {
+		return ErrDraining
+	}
+	select {
+	case sh.q <- j:
+		sh.depthG.Set(float64(sh.depth.Add(1)))
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// run is the shard worker: block for one job, opportunistically drain
+// up to BatchMax-1 more, and process the batch. Exits when the queue
+// is closed and empty (drain complete).
+func (sh *shard) run() {
+	defer sh.srv.shardWg.Done()
+	for {
+		j, ok := <-sh.q
+		if !ok {
+			return
+		}
+		sh.process(sh.collect(j))
+	}
+}
+
+// collect drains queued jobs behind first without blocking, up to the
+// batch bound.
+func (sh *shard) collect(first *job) []*job {
+	batch := []*job{first}
+	for len(batch) < sh.srv.cfg.BatchMax {
+		select {
+		case j, ok := <-sh.q:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// process runs one batch: group jobs by session preserving admission
+// order, realize any new sessions sequentially (map writes stay on
+// this goroutine), then fan the distinct sessions out into
+// parallel.ForEach — each session's jobs run sequentially in admission
+// order inside its slot, which is the §5e determinism contract.
+func (sh *shard) process(batch []*job) {
+	sh.depthG.Set(float64(sh.depth.Add(-int64(len(batch)))))
+	sh.srv.m.batchJobs.Observe(float64(len(batch)))
+	order := make([]string, 0, len(batch))
+	bySess := make(map[string][]*job, len(batch))
+	for _, j := range batch {
+		if _, ok := bySess[j.session]; !ok {
+			order = append(order, j.session)
+		}
+		bySess[j.session] = append(bySess[j.session], j)
+	}
+	for _, id := range order {
+		if err := sh.ensureSession(id); err != nil {
+			for _, j := range bySess[id] {
+				sh.srv.m.jobsError.Inc()
+				j.respond(Response{Code: CodeError, Error: err.Error(), Session: id})
+			}
+			delete(bySess, id)
+		}
+	}
+	live := order[:0]
+	for _, id := range order {
+		if _, ok := bySess[id]; ok {
+			live = append(live, id)
+		}
+	}
+	parallel.ForEach(len(live), sh.srv.cfg.BatchWorkers, func(i int) {
+		st := sh.sessions[live[i]]
+		for _, j := range bySess[live[i]] {
+			sh.serveJob(st, j)
+		}
+	})
+}
+
+// ensureSession realizes the session for id if it does not exist yet.
+// The seed derives from the id alone (plus the template seed), so the
+// same id opens the same session stream under any shard count.
+func (sh *shard) ensureSession(id string) error {
+	if _, ok := sh.sessions[id]; ok {
+		return nil
+	}
+	cfg := sh.srv.cfg.Link
+	cfg.Seed += sessionSeed(id)
+	sess, err := core.NewSession(cfg, sh.srv.cfg.CoherenceRho, sh.srv.cfg.MaxRetries)
+	if err != nil {
+		return fmt.Errorf("serve: open session %q: %w", id, err)
+	}
+	sh.sessions[id] = &sessionState{sess: sess}
+	sh.srv.m.sessions.Add(1)
+	return nil
+}
+
+// serveJob answers one job against its session. Panics are isolated to
+// the job: the session's shard keeps serving (CodeError response,
+// outcome=panic counter).
+func (sh *shard) serveJob(st *sessionState, j *job) {
+	m := &sh.srv.m
+	defer func() {
+		if r := recover(); r != nil {
+			m.jobsPanic.Inc()
+			j.respond(Response{Code: CodeError, Error: fmt.Sprintf("serve: decode panic: %v", r), Session: j.session})
+		}
+	}()
+	m.stageWait.Observe(time.Since(j.enqueued).Seconds())
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		// Deadline rejection happens before the job touches session
+		// state, so a timed-out job never perturbs the session's
+		// deterministic decode stream.
+		m.jobsDeadline.Inc()
+		j.respond(Response{Code: CodeDeadline, Error: ErrDeadline.Error(), Session: j.session})
+		return
+	}
+	switch j.op {
+	case OpStats:
+		s := st.sess.Stats
+		j.respond(Response{OK: true, Code: CodeOK, Session: j.session, Seq: st.seq, Stats: &SessionStats{
+			FramesOffered:   s.FramesOffered,
+			FramesDelivered: s.FramesDelivered,
+			PacketsSent:     s.PacketsSent,
+			PayloadBits:     s.PayloadBits,
+			AirtimeSec:      s.AirtimeSec,
+			ACKsDropped:     s.ACKsDropped,
+			NoWakes:         s.NoWakes,
+		}})
+	case OpDecode:
+		sp := m.stageDecode.Start()
+		before := st.sess.Stats
+		res, delivered, err := st.sess.Send(j.payload)
+		sp.End()
+		if err != nil {
+			m.jobsError.Inc()
+			j.respond(Response{Code: CodeError, Error: err.Error(), Session: j.session})
+			return
+		}
+		after := st.sess.Stats
+		st.seq++
+		m.jobsDone.Inc()
+		resp := Response{
+			OK:          true,
+			Code:        CodeOK,
+			Session:     j.session,
+			Seq:         st.seq,
+			Delivered:   delivered,
+			Attempts:    after.PacketsSent - before.PacketsSent,
+			NoWakes:     after.NoWakes - before.NoWakes,
+			ACKsDropped: after.ACKsDropped - before.ACKsDropped,
+		}
+		if res != nil {
+			resp.PayloadOK = res.PayloadOK
+			resp.SNRdB = res.MeasuredSNRdB
+		}
+		j.respond(resp)
+	default:
+		j.respond(Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: unknown op %q", j.op), Session: j.session})
+	}
+}
+
+// sessionSeed hashes a session id into its seed offset.
+func sessionSeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
+}
+
+// serverMetrics caches the serving instruments; all fields are nil
+// (no-op) without a registry.
+type serverMetrics struct {
+	jobsAdmitted *obs.Counter
+	jobsRejFull  *obs.Counter
+	jobsRejDrain *obs.Counter
+	jobsDeadline *obs.Counter
+	jobsDone     *obs.Counter
+	jobsError    *obs.Counter
+	jobsPanic    *obs.Counter
+	stageWait    *obs.Histogram
+	stageDecode  *obs.Histogram
+	batchJobs    *obs.Histogram
+	sessions     *obs.Gauge
+	conns        *obs.Counter
+	connPanics   *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	if r == nil {
+		return serverMetrics{}
+	}
+	outcome := func(name string) *obs.Counter {
+		return r.Counter(obs.MetricServeJobs, "Decode-job admission outcomes.", "outcome", name)
+	}
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram(obs.MetricServeJobStage, "Per-stage serving latency.", obs.DurationBuckets, "stage", name)
+	}
+	return serverMetrics{
+		jobsAdmitted: outcome("admitted"),
+		jobsRejFull:  outcome("rejected_full"),
+		jobsRejDrain: outcome("rejected_draining"),
+		jobsDeadline: outcome("deadline"),
+		jobsDone:     outcome("done"),
+		jobsError:    outcome("error"),
+		jobsPanic:    outcome("panic"),
+		stageWait:    stage("queue_wait"),
+		stageDecode:  stage("decode"),
+		batchJobs:    r.Histogram(obs.MetricServeBatchJobs, "Jobs per shard batch.", obs.LinBuckets(1, 1, 32)),
+		sessions:     r.Gauge(obs.MetricServeSessions, "Live reader sessions."),
+		conns:        r.Counter(obs.MetricServeConns, "Accepted TCP connections."),
+		connPanics:   r.Counter(obs.MetricServeConnPanics, "Connection handlers recovered from a panic."),
+	}
+}
+
+// Server is a running reader daemon.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	shards []*shard
+
+	shardWg sync.WaitGroup
+	connWg  sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	draining atomic.Bool
+	shutdown sync.Once
+
+	m serverMetrics
+}
+
+// NewServer validates the configuration and builds a daemon. Call
+// Start to listen.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Link.Obs == nil {
+		cfg.Link.Obs = cfg.Obs
+	}
+	// Realize the template once so configuration errors surface at
+	// construction, not on the first decode of some future session.
+	if _, err := core.NewSession(cfg.Link, cfg.CoherenceRho, cfg.MaxRetries); err != nil {
+		return nil, fmt.Errorf("serve: link template: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		conns: map[net.Conn]struct{}{},
+		m:     newServerMetrics(cfg.Obs),
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			srv:      s,
+			id:       i,
+			q:        make(chan *job, cfg.QueueDepth),
+			sessions: map[string]*sessionState{},
+			depthG:   cfg.Obs.Gauge(obs.MetricServeQueueDepth, "Queued jobs per shard.", "shard", strconv.Itoa(i)),
+		}
+	}
+	return s, nil
+}
+
+// Start begins listening on cfg.Addr and serving connections; it
+// returns once the listener is bound (use Addr for the resolved
+// address).
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	for _, sh := range s.shards {
+		s.shardWg.Add(1)
+		go sh.run()
+	}
+	s.connWg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown)
+		}
+		s.m.conns.Inc()
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// handleConn serves one connection's request stream sequentially —
+// pipelining within a connection would reorder one session's jobs,
+// breaking the determinism contract; concurrency comes from many
+// connections. A panic anywhere in the handler is isolated to this
+// connection.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.connPanics.Inc()
+		}
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		var req Request
+		if err := ReadFrame(br, &req); err != nil {
+			// A malformed-but-framed request gets a typed answer before
+			// the connection drops; transport errors (EOF) just close.
+			if errors.Is(err, ErrBadRequest) {
+				_ = WriteFrame(bw, Response{Code: CodeBadRequest, Error: err.Error()})
+				_ = bw.Flush()
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := WriteFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch validates one request, admits it to its session's shard,
+// and waits for the result.
+func (s *Server) dispatch(req *Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true, Code: CodeOK}
+	case OpDecode, OpStats:
+	default:
+		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: unknown op %q", req.Op)}
+	}
+	if req.Session == "" {
+		return Response{Code: CodeBadRequest, Error: "serve: missing session id"}
+	}
+	if req.Op == OpDecode && len(req.Payload) == 0 {
+		return Response{Code: CodeBadRequest, Error: "serve: empty payload", Session: req.Session}
+	}
+	if s.draining.Load() {
+		s.m.jobsRejDrain.Inc()
+		return Response{Code: CodeDraining, Error: ErrDraining.Error(), Session: req.Session}
+	}
+	j := &job{
+		op:       req.Op,
+		session:  req.Session,
+		payload:  req.Payload,
+		enqueued: time.Now(),
+		resp:     make(chan Response, 1),
+	}
+	timeout := s.cfg.JobTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		j.deadline = j.enqueued.Add(timeout)
+	}
+	sh := s.shards[shardOf(req.Session, len(s.shards))]
+	if err := sh.enqueue(j); err != nil {
+		code := CodeQueueFull
+		ctr := s.m.jobsRejFull
+		if err == ErrDraining {
+			code = CodeDraining
+			ctr = s.m.jobsRejDrain
+		}
+		ctr.Inc()
+		return Response{Code: code, Error: err.Error(), Session: req.Session}
+	}
+	s.m.jobsAdmitted.Inc()
+	return <-j.resp
+}
+
+// shardOf maps a session id onto its shard.
+func shardOf(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Shutdown drains the daemon gracefully: stop accepting connections,
+// reject new jobs with ErrDraining, let every admitted job finish (or
+// hit its deadline), then close remaining connections. The context —
+// capped by cfg.DrainTimeout — bounds the wait; on expiry the error is
+// returned and remaining work is abandoned. Safe to call once; later
+// calls return nil without acting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdown.Do(func() {
+		ctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
+		s.draining.Store(true)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			sh.draining = true
+			close(sh.q)
+			sh.mu.Unlock()
+		}
+		err = waitCtx(ctx, &s.shardWg)
+		// Every admitted job has answered (or drain timed out); drop
+		// the connections so handlers unblock from their reads.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		if werr := waitCtx(ctx, &s.connWg); err == nil {
+			err = werr
+		}
+	})
+	return err
+}
+
+// waitCtx waits for wg, bounded by ctx.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) error {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
