@@ -28,6 +28,7 @@ package backfi
 import (
 	"net/http"
 
+	"backfi/internal/adapt"
 	"backfi/internal/channel"
 	"backfi/internal/core"
 	"backfi/internal/energy"
@@ -245,3 +246,67 @@ func NewReaderServer(cfg ReaderConfig) (*ReaderServer, error) { return serve.New
 
 // DialReader connects a client to a reader daemon.
 func DialReader(addr string) (*ReaderClient, error) { return serve.Dial(addr) }
+
+// Robustness layer (DESIGN.md §5f): closed-loop link adaptation over
+// the standard configuration ladder, scripted fault timelines for
+// reproducible soak runs, deterministic ARQ backoff accounting, and a
+// self-healing reader client (I/O deadlines, seeded-jitter redial
+// backoff, per-session circuit breaking). The chaos harness that
+// exercises all of it end to end ships as cmd/backfi-chaos.
+type (
+	// AdaptConfig tunes the rate controller's hysteresis (zero-valued
+	// fields take package defaults).
+	AdaptConfig = adapt.Config
+	// AdaptObservation is one packet outcome fed to the controller.
+	AdaptObservation = adapt.Observation
+	// AdaptSwitch records one controller ladder move.
+	AdaptSwitch = adapt.Switch
+	// RateController walks the configuration ladder from packet
+	// observations — a pure, deterministic state machine.
+	RateController = adapt.Controller
+	// BackoffPolicy adds deterministic virtual-time backoff between a
+	// session's ARQ retries (accounted, never slept).
+	BackoffPolicy = core.BackoffPolicy
+	// FaultTimeline schedules fault-profile switches at frame indices.
+	FaultTimeline = fault.Timeline
+	// FaultTimelineStep is one scheduled switch.
+	FaultTimelineStep = fault.TimelineStep
+	// ReaderClientConfig tunes the self-healing reader client; the zero
+	// value reproduces the legacy fragile client.
+	ReaderClientConfig = serve.ClientConfig
+	// ReaderClientHealth snapshots a client's self-healing counters.
+	ReaderClientHealth = serve.ClientHealth
+)
+
+// Self-healing client errors, checked with errors.Is: a connection
+// that broke mid-call (the underlying cause stays matchable through
+// it), a call shed by an open per-session circuit, use after Close.
+var (
+	ErrReaderConnBroken   = serve.ErrConnBroken
+	ErrReaderBreakerOpen  = serve.ErrBreakerOpen
+	ErrReaderClientClosed = serve.ErrClientClosed
+)
+
+// NewRateController builds a controller over the given ladder,
+// starting at start (which must be on the ladder).
+func NewRateController(cfg AdaptConfig, ladder []TagConfig, start TagConfig) (*RateController, error) {
+	return adapt.NewController(cfg, ladder, start)
+}
+
+// AdaptLadder orders configurations for the controller: ascending bit
+// rate, deterministic tie-break.
+func AdaptLadder(cfgs []TagConfig) []TagConfig { return adapt.Ladder(cfgs) }
+
+// ParseFaultTimeline parses "frame:severity[,frame:severity...]" into
+// a timeline of Standard profiles (severity 0 = faults off).
+func ParseFaultTimeline(spec string) (*FaultTimeline, error) { return fault.ParseTimeline(spec) }
+
+// NewAdaptiveSession opens a session whose tag configuration is driven
+// by a rate controller over the standard ladder (restricted to symbol
+// rates ≥ minSymbolRateHz when non-zero), starting at cfg.Tag.
+func NewAdaptiveSession(cfg LinkConfig, coherenceRho float64, maxRetries int, actrl AdaptConfig, minSymbolRateHz float64) (*Session, error) {
+	return core.NewAdaptiveSession(cfg, coherenceRho, maxRetries, actrl, minSymbolRateHz)
+}
+
+// DialReaderClient connects with the self-healing configuration.
+func DialReaderClient(cfg ReaderClientConfig) (*ReaderClient, error) { return serve.DialClient(cfg) }

@@ -1,0 +1,316 @@
+// Command backfi-chaos is the soak-and-chaos harness for the serving
+// path: it boots two in-process reader daemons from the same link
+// template — one fixed-rate, one with the closed-loop rate controller
+// and SIC watchdog on — drives both through a scripted interference
+// timeline while killing client connections on a fixed cadence, and
+// asserts the robustness contract: the adaptive daemon's delivery
+// rate must clear an absolute floor AND a multiple of the fixed
+// daemon's rate, every connection kill must heal through the client's
+// seeded-backoff redial path, and shutdown must leak zero goroutines.
+//
+// The default regime is calibrated to the paper's operating envelope:
+// at 6 m with a severity-0.1 interference ramp from frame 5, the
+// fixed template (QPSK 1/2 @ 1 Msym/s) delivers ~30% while the
+// controller converges to BPSK 1/2 @ 0.5 Msym/s and delivers ~75%.
+//
+// With -out it merges a "chaos" entry into a benchmark results file
+// (e.g. BENCH_results.json), preserving other sections. A failed
+// assertion exits non-zero, so CI can gate on it directly.
+//
+// Example:
+//
+//	backfi-chaos -sessions 4 -frames 60 -out BENCH_results.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"backfi/internal/core"
+	"backfi/internal/fault"
+	"backfi/internal/obs"
+	"backfi/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("backfi-chaos: ")
+
+	distance := flag.Float64("distance", 6, "AP-tag distance in meters (the default regime is calibrated at 6 m)")
+	timeline := flag.String("timeline", "0:0,5:0.1", "scripted fault timeline frame:severity[,frame:severity...]")
+	sessions := flag.Int("sessions", 4, "concurrent sessions per daemon (one self-healing connection each)")
+	frames := flag.Int("frames", 60, "frames offered per session")
+	payload := flag.Int("bytes", 24, "payload bytes per frame")
+	rho := flag.Float64("rho", 0.9, "packet-to-packet channel coherence")
+	retries := flag.Int("retries", 1, "per-frame ARQ retry budget")
+	seed := flag.Int64("seed", 1, "daemon base seed; each session offsets it by a hash of its id")
+	shards := flag.Int("shards", 4, "daemon shards")
+	minSymRate := flag.Float64("min-symrate", 500e3, "adaptation ladder floor in symbols/s (slow rungs cost real decode CPU)")
+	wdAfter := flag.Int("watchdog-after", 2, "consecutive unhealthy SIC frames before degraded mode on the adaptive daemon (0 disables)")
+	wdResidual := flag.Float64("watchdog-residual", -80, "SIC residual threshold in dBm above which a frame counts unhealthy")
+	wdRecover := flag.Int("watchdog-recover", 8, "consecutive healthy frames to lift degraded mode")
+	killEvery := flag.Int("kill-every", 15, "sever each session's connection every N frames (0 disables connection chaos)")
+	minRatio := flag.Float64("min-ratio", 2, "assert adaptive delivery ≥ this multiple of fixed delivery (0 disables)")
+	floor := flag.Float64("floor", 0.45, "assert adaptive delivery rate ≥ this absolute floor (0 disables)")
+	out := flag.String("out", "", "merge the run's summary under a \"chaos\" key in this JSON file")
+	flag.Parse()
+
+	goroutinesStart := runtime.NumGoroutine()
+
+	tlSpec := *timeline
+	link := core.DefaultLinkConfig(*distance)
+	link.Seed = *seed
+
+	// One daemon per policy; same template, same scripted faults. Each
+	// parses its own Timeline (the spec is immutable but keeping them
+	// separate mirrors two independent deployments).
+	boot := func(adaptive bool) *serve.Server {
+		tl, err := fault.ParseTimeline(tlSpec)
+		if err != nil {
+			log.Fatalf("timeline: %v", err)
+		}
+		cfg := serve.Config{
+			Addr:         "localhost:0",
+			Link:         link,
+			CoherenceRho: *rho,
+			MaxRetries:   *retries,
+			Shards:       *shards,
+			Timeline:     tl,
+			Obs:          obs.NewRegistry(),
+		}
+		if adaptive {
+			cfg.Adapt = true
+			cfg.AdaptMinSymbolRateHz = *minSymRate
+			cfg.WatchdogAfter = *wdAfter
+			cfg.WatchdogResidualDBm = *wdResidual
+			cfg.WatchdogRecover = *wdRecover
+		}
+		srv, err := serve.NewServer(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		return srv
+	}
+
+	fixedSrv := boot(false)
+	adaptSrv := boot(true)
+	log.Printf("fixed daemon on %s, adaptive daemon on %s (distance=%.3gm timeline=%q)",
+		fixedSrv.Addr(), adaptSrv.Addr(), *distance, tlSpec)
+
+	fixed, err := soak(fixedSrv.Addr(), *sessions, *frames, *payload, *killEvery, *seed)
+	if err != nil {
+		log.Fatalf("fixed daemon: %v", err)
+	}
+	adaptive, err := soak(adaptSrv.Addr(), *sessions, *frames, *payload, *killEvery, *seed)
+	if err != nil {
+		log.Fatalf("adaptive daemon: %v", err)
+	}
+
+	if err := fixedSrv.Shutdown(context.Background()); err != nil {
+		log.Fatalf("fixed drain: %v", err)
+	}
+	if err := adaptSrv.Shutdown(context.Background()); err != nil {
+		log.Fatalf("adaptive drain: %v", err)
+	}
+
+	// Both daemons are down and every client closed: whatever goroutines
+	// remain beyond the baseline are leaks. Poll briefly — conn handlers
+	// unwind asynchronously after Shutdown returns.
+	goroutinesEnd := runtime.NumGoroutine()
+	for wait := 0; goroutinesEnd > goroutinesStart && wait < 100; wait++ {
+		time.Sleep(20 * time.Millisecond)
+		goroutinesEnd = runtime.NumGoroutine()
+	}
+
+	ratio := 0.0
+	if fixed.DeliveryRate > 0 {
+		ratio = adaptive.DeliveryRate / fixed.DeliveryRate
+	} else if adaptive.DeliveryRate > 0 {
+		ratio = adaptive.DeliveryRate / (1.0 / float64(adaptive.Offered)) // lower bound: fixed delivered < 1 frame
+	}
+
+	sum := map[string]any{
+		"distance_m":         *distance,
+		"timeline":           tlSpec,
+		"sessions":           *sessions,
+		"frames_per_session": *frames,
+		"retries":            *retries,
+		"rho":                *rho,
+		"kill_every":         *killEvery,
+		"fixed":              fixed,
+		"adaptive":           adaptive,
+		"adaptive_vs_fixed":  ratio,
+		"min_ratio":          *minRatio,
+		"floor":              *floor,
+		"goroutines_start":   goroutinesStart,
+		"goroutines_end":     goroutinesEnd,
+	}
+
+	var failures []string
+	if *minRatio > 0 && ratio < *minRatio {
+		failures = append(failures, fmt.Sprintf("adaptive/fixed delivery ratio %.2f below required %.2f (adaptive %.3f, fixed %.3f)",
+			ratio, *minRatio, adaptive.DeliveryRate, fixed.DeliveryRate))
+	}
+	if *floor > 0 && adaptive.DeliveryRate < *floor {
+		failures = append(failures, fmt.Sprintf("adaptive delivery rate %.3f below floor %.3f", adaptive.DeliveryRate, *floor))
+	}
+	if *killEvery > 0 && adaptive.Redials < adaptive.ConnKills {
+		failures = append(failures, fmt.Sprintf("adaptive clients healed %d of %d connection kills", adaptive.Redials, adaptive.ConnKills))
+	}
+	if goroutinesEnd > goroutinesStart {
+		failures = append(failures, fmt.Sprintf("goroutine leak: %d before, %d after shutdown", goroutinesStart, goroutinesEnd))
+	}
+	sum["pass"] = len(failures) == 0
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := mergeOut(*out, sum); err != nil {
+			log.Fatalf("out: %v", err)
+		}
+		log.Printf("merged chaos entry into %s", *out)
+	}
+	for _, f := range failures {
+		log.Printf("FAIL: %s", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	log.Printf("pass: adaptive %.3f vs fixed %.3f (%.2fx), %d conn kills healed by %d redials",
+		adaptive.DeliveryRate, fixed.DeliveryRate, ratio, adaptive.ConnKills, adaptive.Redials)
+}
+
+// soakResult aggregates one daemon's soak outcome across sessions.
+type soakResult struct {
+	Offered      int     `json:"offered_frames"`
+	Delivered    int     `json:"delivered_frames"`
+	Failed       int     `json:"failed_frames"`
+	DeliveryRate float64 `json:"delivery_rate"`
+	// Self-healing activity: scripted connection kills, redials that
+	// healed them, broken connections the clients observed.
+	ConnKills   int `json:"conn_kills"`
+	Redials     int `json:"redials"`
+	BrokenConns int `json:"broken_conns"`
+	// Session-level control-loop accounting summed over sessions.
+	ConfigSwitches int `json:"config_switches"`
+	Backoffs       int `json:"backoffs"`
+	// FinalBitRateBps is the mean of the sessions' final tag bit rates
+	// (0 when the daemon reports none, i.e. all robustness features off).
+	FinalBitRateBps float64 `json:"final_bit_rate_bps"`
+	WallSeconds     float64 `json:"wall_seconds"`
+}
+
+// soak drives sessions*frames decode jobs through self-healing
+// clients, severing each connection every killEvery frames.
+func soak(addr string, sessions, frames, payloadBytes, killEvery int, seed int64) (*soakResult, error) {
+	type sessionOutcome struct {
+		delivered, failed, kills int
+		health                   serve.ClientHealth
+		stats                    *serve.SessionStats
+		err                      error
+	}
+	outcomes := make([]sessionOutcome, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := &outcomes[s]
+			c, err := serve.DialClient(serve.ClientConfig{
+				Addr:       addr,
+				IOTimeout:  10 * time.Second,
+				MaxRedials: 6,
+				RedialBase: 2 * time.Millisecond,
+				RedialMax:  50 * time.Millisecond,
+				JitterSeed: seed + int64(s),
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer c.Close()
+			id := fmt.Sprintf("chaos-%03d", s)
+			for i := 0; i < frames; i++ {
+				if killEvery > 0 && i > 0 && i%killEvery == 0 {
+					c.BreakConn()
+					r.kills++
+				}
+				p := []byte(fmt.Sprintf("%s/%06d/", id, i))
+				for len(p) < payloadBytes {
+					p = append(p, byte(i))
+				}
+				resp, err := c.Decode(id, p[:payloadBytes])
+				if err == nil && resp.Delivered {
+					r.delivered++
+				} else {
+					r.failed++
+				}
+			}
+			r.stats, r.err = c.Stats(id)
+			r.health = c.Health()
+		}(s)
+	}
+	wg.Wait()
+
+	res := &soakResult{Offered: sessions * frames, WallSeconds: time.Since(start).Seconds()}
+	var rateSum float64
+	var rateN int
+	for i := range outcomes {
+		r := &outcomes[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		res.Delivered += r.delivered
+		res.Failed += r.failed
+		res.ConnKills += r.kills
+		res.Redials += r.health.Redials
+		res.BrokenConns += r.health.BrokenConns
+		res.ConfigSwitches += r.stats.ConfigSwitches
+		res.Backoffs += r.stats.Backoffs
+		if r.stats.BitRateBps > 0 {
+			rateSum += r.stats.BitRateBps
+			rateN++
+		}
+	}
+	if rateN > 0 {
+		res.FinalBitRateBps = rateSum / float64(rateN)
+	}
+	if res.Offered > 0 {
+		res.DeliveryRate = float64(res.Delivered) / float64(res.Offered)
+	}
+	return res, nil
+}
+
+// mergeOut folds the summary into path under "chaos", preserving every
+// other top-level key ("figures", "micro", "serving", ...).
+func mergeOut(path string, sum map[string]any) error {
+	doc := map[string]any{}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("existing %s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	doc["chaos"] = sum
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

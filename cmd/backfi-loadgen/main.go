@@ -44,6 +44,9 @@ func main() {
 	retries := flag.Int("retries", 2, "per-frame ARQ budget (-selfserve only)")
 	seed := flag.Int64("seed", 1, "daemon base seed (-selfserve only)")
 	impair := flag.Float64("impair", 0, "RF impairment severity in [0,1] (-selfserve only)")
+	adapt := flag.Bool("adapt", false, "closed-loop rate adaptation on the self-served daemon (DESIGN.md §5f, -selfserve only)")
+	minSymRate := flag.Float64("min-symrate", 0, "with -adapt, restrict the ladder to symbol rates ≥ this (-selfserve only)")
+	timeline := flag.String("timeline", "", "scripted fault timeline frame:severity[,...] on the self-served daemon (overrides -impair; -selfserve only)")
 	out := flag.String("out", "", "merge the run's summary under a \"serving\" key in this JSON file")
 	flag.Parse()
 
@@ -61,6 +64,14 @@ func main() {
 			}
 			link.Faults = &p
 		}
+		var tl *fault.Timeline
+		if *timeline != "" {
+			parsed, err := fault.ParseTimeline(*timeline)
+			if err != nil {
+				log.Fatalf("timeline: %v", err)
+			}
+			tl = parsed
+		}
 		srv, err := serve.NewServer(serve.Config{
 			Addr:         "localhost:0",
 			Link:         link,
@@ -69,6 +80,10 @@ func main() {
 			Shards:       *shards,
 			QueueDepth:   *queue,
 			BatchMax:     *batch,
+
+			Adapt:                *adapt,
+			AdaptMinSymbolRateHz: *minSymRate,
+			Timeline:             tl,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -41,6 +41,12 @@ func main() {
 	retries := flag.Int("retries", 2, "per-frame ARQ retry budget")
 	seed := flag.Int64("seed", 1, "base seed; each session offsets it by a hash of its id")
 	impair := flag.Float64("impair", 0, "RF impairment severity in [0,1]: 0 = the paper's ideal front end (DESIGN.md §5d)")
+	adapt := flag.Bool("adapt", false, "closed-loop rate adaptation: each session walks the configuration ladder with hysteresis (DESIGN.md §5f)")
+	minSymRate := flag.Float64("min-symrate", 0, "with -adapt, restrict the ladder to symbol rates ≥ this (slow rungs cost real decode CPU; 0 keeps all 36)")
+	timeline := flag.String("timeline", "", "scripted fault timeline frame:severity[,frame:severity...] applied per session (overrides -impair; empty = none)")
+	wdAfter := flag.Int("watchdog-after", 0, "SIC-health watchdog: consecutive unhealthy frames before a session degrades to the robust configuration (0 disables)")
+	wdResidual := flag.Float64("watchdog-residual", -80, "SIC residual threshold in dBm above which a frame counts unhealthy")
+	wdRecover := flag.Int("watchdog-recover", 0, "consecutive healthy frames to lift degraded mode (0 = default 8)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline measured from admission (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for admitted jobs")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ (e.g. localhost:9090)")
@@ -57,6 +63,13 @@ func main() {
 			log.Fatalf("impair: %v", err)
 		}
 		link.Faults = &p
+	}
+	var tl *fault.Timeline
+	if *timeline != "" {
+		var err error
+		if tl, err = fault.ParseTimeline(*timeline); err != nil {
+			log.Fatalf("timeline: %v", err)
+		}
 	}
 
 	var reg *obs.Registry
@@ -81,7 +94,15 @@ func main() {
 		BatchWorkers: *batchWorkers,
 		JobTimeout:   *jobTimeout,
 		DrainTimeout: *drainTimeout,
-		Obs:          reg,
+
+		Adapt:                *adapt,
+		AdaptMinSymbolRateHz: *minSymRate,
+		Timeline:             tl,
+		WatchdogAfter:        *wdAfter,
+		WatchdogResidualDBm:  *wdResidual,
+		WatchdogRecover:      *wdRecover,
+
+		Obs: reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,259 @@
+package adapt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"backfi/internal/fec"
+	"backfi/internal/tag"
+)
+
+// testLadder is a four-rung ladder, deliberately given out of order and
+// with a duplicate to exercise Ladder's sort/dedup.
+func testLadder() []tag.Config {
+	mk := func(mod tag.Modulation, rate float64) tag.Config {
+		return tag.Config{Mod: mod, Coding: fec.Rate12, SymbolRateHz: rate, PreambleChips: tag.DefaultPreambleChips, ID: 1}
+	}
+	return []tag.Config{
+		mk(tag.QPSK, 1e6),
+		mk(tag.BPSK, 100e3),
+		mk(tag.QPSK, 2.5e6),
+		mk(tag.BPSK, 500e3),
+		mk(tag.BPSK, 100e3), // duplicate
+	}
+}
+
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	start := tag.Config{Mod: tag.QPSK, Coding: fec.Rate12, SymbolRateHz: 1e6, PreambleChips: tag.DefaultPreambleChips, ID: 1}
+	c, err := NewController(cfg, testLadder(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Canonical observations.
+var (
+	clean = Observation{PayloadOK: true, Delivered: true, RawBER: 0.005, SICResidualDBm: -92}
+	crc   = Observation{PayloadOK: false, RawBER: 0.2, SICResidualDBm: -92}
+	wake  = Observation{NoWake: true}
+)
+
+func TestLadderSortedDeduped(t *testing.T) {
+	l := Ladder(testLadder())
+	if len(l) != 4 {
+		t.Fatalf("ladder has %d rungs, want 4 (dedup)", len(l))
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i-1].BitRate() > l[i].BitRate() {
+			t.Fatalf("ladder not sorted: %s (%v bps) before %s (%v bps)", l[i-1], l[i-1].BitRate(), l[i], l[i].BitRate())
+		}
+	}
+}
+
+func TestStartRungResolution(t *testing.T) {
+	// A start config not on the ladder lands on the fastest rung at or
+	// below its bit rate.
+	start := tag.Config{Mod: tag.PSK16, Coding: fec.Rate23, SymbolRateHz: 500e3, PreambleChips: tag.DefaultPreambleChips, ID: 1}
+	c, err := NewController(Config{}, testLadder(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config().BitRate(); got > start.BitRate() {
+		t.Fatalf("start rung %s faster than requested %s", c.Config(), start)
+	}
+}
+
+func TestFastDownshiftOnConsecutiveFailures(t *testing.T) {
+	c := newTestController(t, Config{DownAfter: 2})
+	if _, changed := c.Observe(crc); changed {
+		t.Fatal("downshifted after a single failure")
+	}
+	next, changed := c.Observe(crc)
+	if !changed {
+		t.Fatal("no downshift after DownAfter consecutive failures")
+	}
+	if next.BitRate() >= 1e6 {
+		t.Fatalf("downshift went up: %s", next)
+	}
+	tr := c.Trace()
+	if len(tr) != 1 || !strings.HasPrefix(tr[0].Reason, "down:") {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestWakeMissDropsTwoRungs(t *testing.T) {
+	c := newTestController(t, Config{DownAfter: 2})
+	from := c.Index()
+	c.Observe(wake)
+	_, changed := c.Observe(wake)
+	if !changed {
+		t.Fatal("no downshift after consecutive wake misses")
+	}
+	if got := from - c.Index(); got != 2 {
+		t.Fatalf("wake-miss downshift moved %d rungs, want 2", got)
+	}
+	if r := c.Trace()[0].Reason; r != "down:wake" {
+		t.Fatalf("reason = %q, want down:wake", r)
+	}
+}
+
+func TestBEREarlyWarningDownshift(t *testing.T) {
+	// CRC passes but raw BER sits above BERDown: the controller must
+	// step down without waiting for frame loss.
+	c := newTestController(t, Config{})
+	hot := Observation{PayloadOK: true, Delivered: true, RawBER: 0.12, SICResidualDBm: -92}
+	changed := false
+	for i := 0; i < 6 && !changed; i++ {
+		_, changed = c.Observe(hot)
+	}
+	if !changed {
+		t.Fatal("no early-warning downshift on sustained high BER")
+	}
+	if r := c.Trace()[0].Reason; r != "down:ber" {
+		t.Fatalf("reason = %q, want down:ber", r)
+	}
+}
+
+func TestSlowUpshiftWithHysteresis(t *testing.T) {
+	c := newTestController(t, Config{DownAfter: 2, UpAfter: 4, HoldPackets: 6})
+	c.Observe(crc)
+	c.Observe(crc) // downshift at attempt 2
+	idx := c.Index()
+	// Four clean deliveries satisfy UpAfter but not HoldPackets (the
+	// switch was 4 attempts ago, hold is 6): no upshift yet.
+	for i := 0; i < 4; i++ {
+		c.Observe(clean)
+	}
+	if c.Index() != idx {
+		t.Fatal("upshifted inside the hold-down window")
+	}
+	// Two more clean packets clear the hold-down.
+	c.Observe(clean)
+	_, changed := c.Observe(clean)
+	if !changed || c.Index() != idx+1 {
+		t.Fatalf("no upshift after hold-down: idx %d (was %d), changed %v", c.Index(), idx, changed)
+	}
+	if r := c.Trace()[1].Reason; r != "up:clean" {
+		t.Fatalf("reason = %q, want up:clean", r)
+	}
+}
+
+func TestACKDropResetsStreakWithoutFailure(t *testing.T) {
+	c := newTestController(t, Config{DownAfter: 2, UpAfter: 3, HoldPackets: 1})
+	ack := Observation{PayloadOK: true, Delivered: false, ACKDropped: true, RawBER: 0.005, SICResidualDBm: -92}
+	// Alternating clean/ACK-drop never accumulates UpAfter clean
+	// deliveries, and never downshifts either.
+	for i := 0; i < 12; i++ {
+		c.Observe(clean)
+		c.Observe(ack)
+	}
+	if len(c.Trace()) != 0 {
+		t.Fatalf("ACK drops moved the ladder: %v", c.TraceStrings())
+	}
+}
+
+func TestResidualAboveFloorBlocksUpshift(t *testing.T) {
+	c := newTestController(t, Config{DownAfter: 2, UpAfter: 2, HoldPackets: 1})
+	// Establish the floor, then deliver with a jammed canceller: +20 dB
+	// residual marks attempts dirty, so no upshift credit accrues.
+	c.Observe(clean)
+	jammed := clean
+	jammed.SICResidualDBm = clean.SICResidualDBm + 20
+	for i := 0; i < 8; i++ {
+		c.Observe(jammed)
+	}
+	if len(c.Trace()) != 0 {
+		t.Fatalf("jammed-canceller deliveries moved the ladder: %v", c.TraceStrings())
+	}
+}
+
+func TestFloorStopsDownshift(t *testing.T) {
+	c := newTestController(t, Config{DownAfter: 1})
+	for i := 0; i < 20; i++ {
+		c.Observe(crc)
+	}
+	if c.Index() != 0 {
+		t.Fatalf("index %d after sustained failure, want floor 0", c.Index())
+	}
+	// Every switch in the trace moves down and none crosses the floor.
+	for _, s := range c.Trace() {
+		if s.To.BitRate() >= s.From.BitRate() {
+			t.Fatalf("non-downward switch under sustained failure: %s", s)
+		}
+	}
+}
+
+func TestSetCeilingForcesAndHolds(t *testing.T) {
+	c := newTestController(t, Config{UpAfter: 2, HoldPackets: 1})
+	cfg, changed := c.SetCeiling(0)
+	if !changed || c.Index() != 0 {
+		t.Fatalf("ceiling 0 did not force the floor rung: idx %d changed %v", c.Index(), changed)
+	}
+	if cfg != c.Config() {
+		t.Fatal("SetCeiling returned a different rung than Config()")
+	}
+	if r := c.Trace()[0].Reason; r != "down:ceiling" {
+		t.Fatalf("reason = %q, want down:ceiling", r)
+	}
+	// Clean traffic cannot climb past the ceiling.
+	for i := 0; i < 10; i++ {
+		c.Observe(clean)
+	}
+	if c.Index() != 0 {
+		t.Fatalf("climbed to %d past ceiling 0", c.Index())
+	}
+	// Raising the ceiling lets the slow-upshift rules climb again.
+	c.SetCeiling(3)
+	for i := 0; i < 10; i++ {
+		c.Observe(clean)
+	}
+	if c.Index() == 0 {
+		t.Fatal("never climbed after the ceiling lifted")
+	}
+}
+
+// TestDeterministicTrace replays one mixed observation stream twice and
+// requires byte-identical traces — the property the serving layer's
+// shard-count determinism test leans on.
+func TestDeterministicTrace(t *testing.T) {
+	stream := []Observation{
+		clean, crc, crc, wake, clean, clean, clean, clean, clean, clean,
+		clean, clean, clean, clean, clean, crc, clean, wake, wake, clean,
+	}
+	run := func() []string {
+		c := newTestController(t, Config{DownAfter: 2, UpAfter: 3, HoldPackets: 2})
+		for _, o := range stream {
+			c.Observe(o)
+		}
+		return c.TraceStrings()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("trace diverged across identical replays:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("stream produced no switches; test is vacuous")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	start := tag.Config{Mod: tag.BPSK, Coding: fec.Rate12, SymbolRateHz: 100e3, PreambleChips: tag.DefaultPreambleChips, ID: 1}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		lad  []tag.Config
+	}{
+		{"empty ladder", Config{}, nil},
+		{"inverted BER thresholds", Config{BERUp: 0.2, BERDown: 0.1}, testLadder()},
+		{"floor beyond ladder", Config{Floor: 99}, testLadder()},
+		{"bad alpha", Config{EWMAAlpha: 1.5}, testLadder()},
+		{"invalid rung", Config{}, []tag.Config{{Mod: tag.BPSK, Coding: fec.Rate12, SymbolRateHz: 123, PreambleChips: 32}}},
+	} {
+		if _, err := NewController(tc.cfg, tc.lad, start); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"backfi/internal/adapt"
+	"backfi/internal/fault"
+	"backfi/internal/tag"
+)
+
+func TestBackoffPolicyDelay(t *testing.T) {
+	var zero BackoffPolicy
+	for k := 0; k < 5; k++ {
+		if d := zero.Delay(k); d != 0 {
+			t.Fatalf("zero policy Delay(%d) = %v", k, d)
+		}
+	}
+	b := BackoffPolicy{BaseSec: 1e-3, MaxSec: 2.5e-3}
+	for k, want := range map[int]float64{0: 0, 1: 1e-3, 2: 2e-3, 3: 2.5e-3, 4: 2.5e-3} {
+		if d := b.Delay(k); math.Abs(d-want) > 1e-15 {
+			t.Fatalf("Delay(%d) = %v, want %v", k, d, want)
+		}
+	}
+	uncapped := BackoffPolicy{BaseSec: 1e-3}
+	if d := uncapped.Delay(4); d != 8e-3 {
+		t.Fatalf("uncapped Delay(4) = %v, want 8e-3", d)
+	}
+}
+
+// TestSessionBackoffAccounting pins the deterministic backoff
+// satellite: retries charge virtual wait to BackoffSec (no wall-clock
+// sleeping anywhere), and the policy is pure accounting — every other
+// stat matches a zero-policy run byte for byte.
+func TestSessionBackoffAccounting(t *testing.T) {
+	run := func(b BackoffPolicy) SessionStats {
+		cfg := DefaultLinkConfig(1)
+		cfg.Seed = 31
+		cfg.Faults = &fault.Profile{ACKDropProb: 1} // burn the whole budget
+		s, err := NewSession(cfg, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Backoff = b
+		if _, delivered, err := s.Send(s.Link().RandomPayload(24)); err != nil || delivered {
+			t.Fatalf("delivered=%v err=%v, want undelivered frame", delivered, err)
+		}
+		return s.Stats
+	}
+	with := run(BackoffPolicy{BaseSec: 1e-3, MaxSec: 2.5e-3})
+	without := run(BackoffPolicy{})
+
+	// Retries 1..3 charge 1, 2, 2.5 ms.
+	if with.Backoffs != 3 {
+		t.Fatalf("Backoffs = %d, want 3", with.Backoffs)
+	}
+	if want := 5.5e-3; math.Abs(with.BackoffSec-want) > 1e-12 {
+		t.Fatalf("BackoffSec = %v, want %v", with.BackoffSec, want)
+	}
+	if without.Backoffs != 0 || without.BackoffSec != 0 {
+		t.Fatalf("zero policy accrued backoff: %+v", without)
+	}
+	// Pure accounting: zeroing the backoff fields makes the runs equal.
+	with.Backoffs, with.BackoffSec = 0, 0
+	if with != without {
+		t.Fatalf("backoff perturbed the exchange:\nwith:    %+v\nwithout: %+v", with, without)
+	}
+	// Backoff is idle time, never tag airtime.
+	if with.AirtimeSec != without.AirtimeSec {
+		t.Fatal("backoff leaked into airtime")
+	}
+}
+
+// TestControllerObservationIsPure verifies that merely attaching a
+// controller (one that never decides a switch) leaves the session's
+// outputs byte-identical to a nil-controller run: the controller is a
+// pure observer until it switches, so disabling adaptation reproduces
+// pre-controller outputs exactly.
+func TestControllerObservationIsPure(t *testing.T) {
+	type frameOut struct {
+		OK, Delivered bool
+		SNR, BER      float64
+		Residual      float64
+	}
+	run := func(attach bool) ([]frameOut, SessionStats) {
+		cfg := DefaultLinkConfig(2)
+		cfg.Seed = 37
+		p := fault.Standard(0.4)
+		cfg.Faults = &p
+		s, err := NewSession(cfg, 0.9, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			// Single-rung ladder: the controller observes everything but
+			// has nowhere to go.
+			ctrl, err := adapt.NewController(adapt.Config{}, []tag.Config{cfg.Tag}, cfg.Tag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Controller = ctrl
+		}
+		var outs []frameOut
+		for i := 0; i < 5; i++ {
+			res, ok, err := s.Send(s.Link().RandomPayload(24))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fo := frameOut{Delivered: ok}
+			if res != nil {
+				fo.OK = res.PayloadOK
+				fo.SNR = res.MeasuredSNRdB
+				fo.BER = res.RawBER()
+				fo.Residual = res.SICResidualDBm
+			}
+			outs = append(outs, fo)
+		}
+		return outs, s.Stats
+	}
+	plainOut, plainStats := run(false)
+	ctrlOut, ctrlStats := run(true)
+	if !reflect.DeepEqual(plainOut, ctrlOut) {
+		t.Fatalf("observer controller changed outputs:\nnil:  %+v\nctrl: %+v", plainOut, ctrlOut)
+	}
+	if plainStats != ctrlStats {
+		t.Fatalf("observer controller changed stats:\nnil:  %+v\nctrl: %+v", plainStats, ctrlStats)
+	}
+}
+
+// TestAdaptiveSessionDownshiftsUnderFaultRamp drives the full closed
+// loop: a clean session absorbs a mid-stream severity ramp (via
+// SetFaultProfile, the chaos harness path) and must downshift instead
+// of riding its fixed config into the ground — and the switch trace
+// must replay byte-identically.
+func TestAdaptiveSessionDownshiftsUnderFaultRamp(t *testing.T) {
+	run := func() ([]string, SessionStats, float64) {
+		cfg := DefaultLinkConfig(1)
+		cfg.Seed = 41
+		s, err := NewAdaptiveSession(cfg, 0.9, 2, adapt.Config{DownAfter: 2, UpAfter: 6, HoldPackets: 4}, 500e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostile := fault.Standard(1)
+		for i := 0; i < 8; i++ {
+			if i == 2 {
+				if err := s.SetFaultProfile(&hostile); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, _, err := s.Send(s.Link().RandomPayload(24)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Controller.TraceStrings(), s.Stats, s.Link().Tag.Cfg.BitRate()
+	}
+	trace, stats, finalRate := run()
+	if stats.ConfigSwitches == 0 || len(trace) == 0 {
+		t.Fatalf("no downshift under severity-1 faults: switches=%d trace=%v stats=%+v", stats.ConfigSwitches, trace, stats)
+	}
+	startRate := DefaultLinkConfig(1).Tag.BitRate()
+	if finalRate >= startRate {
+		t.Fatalf("final rate %v did not drop below start %v; trace %v", finalRate, startRate, trace)
+	}
+	trace2, stats2, _ := run()
+	if !reflect.DeepEqual(trace, trace2) || stats != stats2 {
+		t.Fatalf("adaptive run not deterministic:\ntrace  %v\ntrace' %v\nstats  %+v\nstats' %+v", trace, trace2, stats, stats2)
+	}
+}
+
+// TestLinkSetTagConfigNoop: setting the current configuration must not
+// rebuild the tag (an idle controller leaves the link untouched).
+func TestLinkSetTagConfigNoop(t *testing.T) {
+	link, err := NewLink(DefaultLinkConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := link.Tag
+	if err := link.SetTagConfig(link.Tag.Cfg); err != nil {
+		t.Fatal(err)
+	}
+	if link.Tag != before {
+		t.Fatal("no-op SetTagConfig rebuilt the tag")
+	}
+	bad := link.Tag.Cfg
+	bad.SymbolRateHz = 123 // does not divide the sample rate
+	if err := link.SetTagConfig(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if link.Tag != before {
+		t.Fatal("failed SetTagConfig left the link half-swapped")
+	}
+}
+
+// TestSetFaultProfileDeterministicEpochs: the injector reseeds per
+// switch, so the same switch sequence reproduces exactly, and clearing
+// the profile really disables injection.
+func TestSetFaultProfileDeterministicEpochs(t *testing.T) {
+	run := func() SessionStats {
+		cfg := DefaultLinkConfig(1)
+		cfg.Seed = 43
+		s, err := NewSession(cfg, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drop := &fault.Profile{ACKDropProb: 1}
+		for i := 0; i < 6; i++ {
+			switch i {
+			case 2:
+				if err := s.SetFaultProfile(drop); err != nil {
+					t.Fatal(err)
+				}
+			case 4:
+				if err := s.SetFaultProfile(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, _, err := s.Send(s.Link().RandomPayload(24)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault-profile switches not deterministic:\n%+v\n%+v", a, b)
+	}
+	// Frames 0–1 and 4–5 deliver (no faults); 2–3 burn their budget on
+	// dropped ACKs.
+	if a.FramesDelivered != 4 || a.ACKsDropped == 0 {
+		t.Fatalf("profile switches did not take effect: %+v", a)
+	}
+}

@@ -205,6 +205,9 @@ type Link struct {
 	inj      *fault.Injector
 	rate     wifi.Rate
 	m        linkMetrics
+	// faultEpoch counts SetFaultProfile calls; it salts each new
+	// injector's seed so successive profiles draw decorrelated streams.
+	faultEpoch int
 }
 
 // faultSeedSalt decorrelates the injector's RNG stream from the link's
@@ -250,6 +253,43 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 		rate:     rate,
 		m:        newLinkMetrics(cfg.Obs),
 	}, nil
+}
+
+// SetTagConfig swaps the link's tag configuration in place — the rate
+// controller's switch path (DESIGN.md §5f). The placement realization,
+// RNG stream, and fault injector all carry over untouched: only the
+// tag's modulation/coding/rate change, exactly as a real tag obeys a
+// new configuration carried in the reader's poll. Setting the current
+// configuration is a no-op, so an idle controller never perturbs
+// anything.
+func (l *Link) SetTagConfig(cfg tag.Config) error {
+	if cfg == l.Tag.Cfg {
+		return nil
+	}
+	tg, err := tag.New(cfg)
+	if err != nil {
+		return err
+	}
+	l.Tag = tg
+	l.Cfg.Tag = cfg
+	return nil
+}
+
+// SetFaultProfile swaps the link's impairment profile mid-stream — the
+// chaos harness's severity ramp. The new injector's seed derives from
+// the link seed and a switch epoch counter, so a fixed (seed, switch
+// sequence) pair is bit-identical across runs while successive
+// profiles draw decorrelated fault streams. Nil (or an all-zero
+// profile) switches faults off.
+func (l *Link) SetFaultProfile(p *fault.Profile) error {
+	inj, err := fault.NewInjector(p, l.Cfg.Seed^faultSeedSalt+int64(l.faultEpoch+1)*15485863, tag.SampleRate, l.Cfg.Obs)
+	if err != nil {
+		return err
+	}
+	l.faultEpoch++
+	l.inj = inj
+	l.Cfg.Faults = p
+	return nil
 }
 
 // Well-known addresses of the simulated cell.

@@ -3,8 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"backfi/internal/adapt"
 	"backfi/internal/channel"
+	"backfi/internal/fault"
+	"backfi/internal/tag"
 )
 
 // Session is a long-lived BackFi connection: one placement whose
@@ -16,8 +20,44 @@ type Session struct {
 	evolver *channel.Evolver
 	// MaxRetries bounds retransmissions per frame.
 	MaxRetries int
+	// Controller, when non-nil, closes the rate-control loop (DESIGN.md
+	// §5f): every attempt's diagnostics feed it, and the configuration
+	// switches it decides apply before the next attempt — the session
+	// downshifts through the ladder instead of burning its retry budget
+	// when the channel degrades. Nil keeps the session fixed at
+	// LinkConfig.Tag, byte-identical to a build without the controller.
+	Controller *adapt.Controller
+	// Backoff is the deterministic ARQ backoff policy: retry k of a
+	// frame charges Delay(k) of virtual wait time to the session's
+	// BackoffSec. The zero value (no backoff) reproduces the historical
+	// back-to-back retry accounting exactly. No wall-clock sleeping
+	// happens anywhere — the simulator owns time.
+	Backoff BackoffPolicy
 	// Stats accumulates over the session.
 	Stats SessionStats
+}
+
+// BackoffPolicy is truncated binary exponential backoff, accounted in
+// virtual time: Delay(k) = BaseSec·2^(k−1) for retry k ≥ 1, capped at
+// MaxSec when MaxSec > 0. The zero value disables backoff.
+type BackoffPolicy struct {
+	// BaseSec is the first retry's delay in seconds.
+	BaseSec float64
+	// MaxSec caps a single delay; 0 means uncapped.
+	MaxSec float64
+}
+
+// Delay returns retry k's virtual wait in seconds (0 for the first
+// attempt and for a zero policy).
+func (b BackoffPolicy) Delay(retry int) float64 {
+	if b.BaseSec <= 0 || retry <= 0 {
+		return 0
+	}
+	d := b.BaseSec * math.Pow(2, float64(retry-1))
+	if b.MaxSec > 0 && d > b.MaxSec {
+		d = b.MaxSec
+	}
+	return d
 }
 
 // SessionStats summarizes a session's history.
@@ -40,6 +80,15 @@ type SessionStats struct {
 	// This mirrors EvaluateWorkers, which counts ErrTagNoWake as loss
 	// rather than aborting.
 	NoWakes int
+	// Backoffs counts retries that charged a backoff delay, and
+	// BackoffSec the virtual wait they accumulated (zero under the zero
+	// BackoffPolicy). Backoff time is protocol idle time, not tag
+	// modulation time, so it is kept apart from AirtimeSec.
+	Backoffs   int
+	BackoffSec float64
+	// ConfigSwitches counts rate-controller ladder moves applied to the
+	// link (0 without a controller).
+	ConfigSwitches int
 }
 
 // Retries returns the retransmission count: air transmissions beyond
@@ -91,8 +140,50 @@ func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session,
 	}, nil
 }
 
+// NewAdaptiveSession is NewSession plus a closed-loop rate controller
+// walking the standard 36-configuration ladder (restricted to symbol
+// rates ≥ minSymbolRateHz when positive; the slowest rungs cost real
+// decode time). The controller starts at cfg.Tag's rung. actrl tuning
+// follows adapt.Config zero-value defaults.
+func NewAdaptiveSession(cfg LinkConfig, coherenceRho float64, maxRetries int, actrl adapt.Config, minSymbolRateHz float64) (*Session, error) {
+	s, err := NewSession(cfg, coherenceRho, maxRetries)
+	if err != nil {
+		return nil, err
+	}
+	ladder := StandardConfigs(cfg.Tag.PreambleChips, cfg.Tag.ID)
+	if minSymbolRateHz > 0 {
+		kept := ladder[:0]
+		for _, c := range ladder {
+			if c.SymbolRateHz >= minSymbolRateHz {
+				kept = append(kept, c)
+			}
+		}
+		ladder = kept
+	}
+	ctrl, err := adapt.NewController(actrl, ladder, cfg.Tag)
+	if err != nil {
+		return nil, err
+	}
+	s.Controller = ctrl
+	return s, nil
+}
+
 // Link exposes the underlying link (e.g. for diagnostics).
 func (s *Session) Link() *Link { return s.link }
+
+// SetTagConfig forces the session's link onto a configuration,
+// bypassing the controller — the serving layer's degraded mode uses it
+// on non-adaptive sessions. With a controller attached, prefer
+// Controller.SetCeiling so the forced move is recorded in the trace.
+func (s *Session) SetTagConfig(cfg tag.Config) error {
+	return s.link.SetTagConfig(cfg)
+}
+
+// SetFaultProfile swaps the session's impairment profile mid-stream
+// (scripted chaos timelines). Deterministic: see Link.SetFaultProfile.
+func (s *Session) SetFaultProfile(p *fault.Profile) error {
+	return s.link.SetFaultProfile(p)
+}
 
 // Send delivers one application frame with stop-and-wait ARQ: on CRC
 // failure — or a wake miss, which the protocol cannot tell apart from a
@@ -106,6 +197,12 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 	s.Stats.FramesOffered++
 	var last *PacketResult
 	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if d := s.Backoff.Delay(attempt); d > 0 {
+				s.Stats.Backoffs++
+				s.Stats.BackoffSec += d
+			}
+		}
 		if attempt > 0 || s.Stats.PacketsSent > 0 {
 			s.evolver.Step()
 		}
@@ -119,6 +216,7 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 				// modulated, so no airtime accrues.
 				s.Stats.PacketsSent++
 				s.Stats.NoWakes++
+				s.adapt(adapt.Observation{NoWake: true})
 				continue
 			}
 			return nil, false, err
@@ -133,13 +231,48 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 			if s.link.inj.DropACK() {
 				s.Stats.ACKsDropped++
 				res.Delivered = false
+				s.adapt(observe(res, false, true))
 				continue
 			}
 			res.Delivered = true
 			s.Stats.FramesDelivered++
 			s.Stats.PayloadBits += 8 * len(payload)
+			s.adapt(observe(res, true, false))
 			return res, true, nil
 		}
+		s.adapt(observe(res, false, false))
 	}
 	return last, false, nil
+}
+
+// observe maps one decoded attempt into the controller's terms.
+func observe(res *PacketResult, delivered, ackDropped bool) adapt.Observation {
+	return adapt.Observation{
+		PayloadOK:            res.PayloadOK,
+		Delivered:            delivered,
+		ACKDropped:           ackDropped,
+		RawBER:               res.RawBER(),
+		SICResidualDBm:       res.SICResidualDBm,
+		ViterbiCorrectedBits: res.ViterbiCorrectedBits,
+		MeasuredSNRdB:        res.MeasuredSNRdB,
+	}
+}
+
+// adapt feeds one observation to the controller (if any) and applies
+// the switch it decides. Ladder rungs are validated at controller
+// construction, so a switch cannot fail; if one somehow does, the
+// session keeps its current configuration rather than aborting the
+// frame.
+func (s *Session) adapt(o adapt.Observation) {
+	if s.Controller == nil {
+		return
+	}
+	next, changed := s.Controller.Observe(o)
+	if !changed {
+		return
+	}
+	if err := s.link.SetTagConfig(next); err != nil {
+		return
+	}
+	s.Stats.ConfigSwitches++
 }

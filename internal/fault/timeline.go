@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Timeline scripts how a link's fault profile changes over a session's
+// lifetime — the input to the chaos/soak harness (cmd/backfi-chaos)
+// and to the serving layer's scripted-fault mode (DESIGN.md §5f).
+//
+// Steps are indexed by *frame count*, not wall clock: step k applies
+// from the session's Frame-th offered frame onward. Frame indexing is
+// what keeps scripted chaos deterministic — a session serves its
+// frames in order regardless of shard count, worker count, or how slow
+// the machine is, so the same (seed, timeline) pair reproduces the
+// same fault sequence everywhere.
+type Timeline struct {
+	steps []TimelineStep
+}
+
+// TimelineStep is one scripted point.
+type TimelineStep struct {
+	// Frame is the 0-based session frame index the step applies from.
+	Frame int
+	// Severity selects Standard(Severity) when Profile is nil.
+	Severity float64
+	// Profile, when non-nil, overrides the severity mapping with an
+	// explicit impairment profile.
+	Profile *Profile
+}
+
+// profile materializes the step's profile.
+func (s TimelineStep) profile() *Profile {
+	if s.Profile != nil {
+		return s.Profile
+	}
+	p := Standard(s.Severity)
+	return &p
+}
+
+// NewTimeline validates and sorts the steps (stably, by frame; later
+// entries at the same frame win). An empty step list is an error — use
+// a nil *Timeline for "no script".
+func NewTimeline(steps []TimelineStep) (*Timeline, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("fault: empty timeline")
+	}
+	out := make([]TimelineStep, len(steps))
+	copy(out, steps)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Frame < out[j].Frame })
+	for _, s := range out {
+		if s.Frame < 0 {
+			return nil, fmt.Errorf("fault: negative timeline frame %d", s.Frame)
+		}
+		if s.Profile == nil && (s.Severity < 0 || s.Severity > 1) {
+			return nil, fmt.Errorf("fault: timeline severity %v outside [0,1]", s.Severity)
+		}
+		if err := s.Profile.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Timeline{steps: out}, nil
+}
+
+// ParseTimeline parses the CLI spec format: comma-separated
+// "frame:severity" pairs, e.g. "0:0,40:0.7,80:0.25" — ideal front end
+// for the first 40 frames, a severity-0.7 burst until frame 80, then a
+// partial recovery. An empty spec returns (nil, nil): no script.
+func ParseTimeline(spec string) (*Timeline, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var steps []TimelineStep
+	for _, part := range strings.Split(spec, ",") {
+		fs := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(fs) != 2 {
+			return nil, fmt.Errorf("fault: timeline step %q is not frame:severity", part)
+		}
+		frame, err := strconv.Atoi(fs[0])
+		if err != nil {
+			return nil, fmt.Errorf("fault: timeline frame %q: %v", fs[0], err)
+		}
+		sev, err := strconv.ParseFloat(fs[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: timeline severity %q: %v", fs[1], err)
+		}
+		steps = append(steps, TimelineStep{Frame: frame, Severity: sev})
+	}
+	return NewTimeline(steps)
+}
+
+// Steps returns the sorted steps (shared slice; do not mutate).
+func (t *Timeline) Steps() []TimelineStep {
+	if t == nil {
+		return nil
+	}
+	return t.steps
+}
+
+// String renders the spec format back out.
+func (t *Timeline) String() string {
+	if t == nil {
+		return ""
+	}
+	parts := make([]string, len(t.steps))
+	for i, s := range t.steps {
+		if s.Profile != nil {
+			parts[i] = fmt.Sprintf("%d:<profile>", s.Frame)
+			continue
+		}
+		parts[i] = fmt.Sprintf("%d:%g", s.Frame, s.Severity)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Advance walks the timeline cursor up to (and including) frame:
+// starting from cursor (0 on first call), it consumes every step whose
+// Frame is ≤ frame and returns the last one's profile. switched is
+// true when at least one step was consumed — the caller applies the
+// profile exactly once per crossing, keeping injector reseeding
+// deterministic. Safe on a nil timeline (never switches).
+func (t *Timeline) Advance(cursor, frame int) (next int, p *Profile, switched bool) {
+	if t == nil {
+		return cursor, nil, false
+	}
+	next = cursor
+	for next < len(t.steps) && t.steps[next].Frame <= frame {
+		p = t.steps[next].profile()
+		next++
+	}
+	return next, p, next != cursor
+}

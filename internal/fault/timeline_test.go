@@ -1,0 +1,113 @@
+package fault
+
+import "testing"
+
+func TestParseTimeline(t *testing.T) {
+	tl, err := ParseTimeline("0:0, 40:0.7,80:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := tl.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("%d steps, want 3", len(steps))
+	}
+	if steps[1].Frame != 40 || steps[1].Severity != 0.7 {
+		t.Fatalf("step 1 = %+v", steps[1])
+	}
+	if got := tl.String(); got != "0:0,40:0.7,80:0.25" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseTimelineEmptyAndInvalid(t *testing.T) {
+	if tl, err := ParseTimeline("  "); err != nil || tl != nil {
+		t.Fatalf("empty spec: tl=%v err=%v, want nil,nil", tl, err)
+	}
+	for _, spec := range []string{"abc", "1", "1:2:3x", "x:0.5", "5:high", "5:1.5", "-2:0.5"} {
+		if _, err := ParseTimeline(spec); err == nil {
+			t.Errorf("spec %q: no error", spec)
+		}
+	}
+}
+
+func TestTimelineSortsStably(t *testing.T) {
+	tl, err := NewTimeline([]TimelineStep{
+		{Frame: 50, Severity: 0.9},
+		{Frame: 10, Severity: 0.3},
+		{Frame: 50, Severity: 0.1}, // later same-frame entry wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p, switched := tl.Advance(0, 60)
+	if !switched {
+		t.Fatal("no switch across the whole timeline")
+	}
+	// Severity 0.1 → Standard(0.1) → CFOHz = 5.
+	if p.CFOHz != 5 {
+		t.Fatalf("same-frame tie broke wrong: CFOHz %v, want 5", p.CFOHz)
+	}
+}
+
+func TestAdvanceCursorSemantics(t *testing.T) {
+	tl, err := NewTimeline([]TimelineStep{
+		{Frame: 0, Severity: 0},
+		{Frame: 3, Severity: 0.5},
+		{Frame: 7, Severity: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 0
+	var p *Profile
+	var sw bool
+
+	// Frame 0 consumes the first step: severity 0 → disabled profile.
+	cur, p, sw = tl.Advance(cur, 0)
+	if !sw || cur != 1 || p.Enabled() {
+		t.Fatalf("frame 0: cur=%d sw=%v enabled=%v", cur, sw, p.Enabled())
+	}
+	// Frames 1–2 cross nothing.
+	if cur2, _, sw := tl.Advance(cur, 2); sw || cur2 != cur {
+		t.Fatalf("frame 2 switched (cur %d → %d)", cur, cur2)
+	}
+	// Jumping straight to frame 9 consumes both remaining steps but
+	// yields only the last profile.
+	cur, p, sw = tl.Advance(cur, 9)
+	if !sw || cur != 3 {
+		t.Fatalf("frame 9: cur=%d sw=%v", cur, sw)
+	}
+	if want := Standard(0.2); p.CFOHz != want.CFOHz {
+		t.Fatalf("frame 9 profile severity wrong: CFOHz %v want %v", p.CFOHz, want.CFOHz)
+	}
+	// Past the end: never switches again.
+	if _, _, sw := tl.Advance(cur, 1000); sw {
+		t.Fatal("switched past the final step")
+	}
+}
+
+func TestAdvanceNilTimeline(t *testing.T) {
+	var tl *Timeline
+	if cur, p, sw := tl.Advance(0, 100); sw || p != nil || cur != 0 {
+		t.Fatalf("nil timeline advanced: cur=%d p=%v sw=%v", cur, p, sw)
+	}
+	if tl.Steps() != nil || tl.String() != "" {
+		t.Fatal("nil timeline not inert")
+	}
+}
+
+func TestTimelineExplicitProfile(t *testing.T) {
+	p := &Profile{ACKDropProb: 0.5}
+	tl, err := NewTimeline([]TimelineStep{{Frame: 2, Profile: p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, sw := tl.Advance(0, 5)
+	if !sw || got != p {
+		t.Fatalf("explicit profile not returned: %v", got)
+	}
+	// Invalid explicit profiles are rejected at construction.
+	if _, err := NewTimeline([]TimelineStep{{Frame: 0, Profile: &Profile{ACKDropProb: 2}}}); err == nil {
+		t.Fatal("invalid explicit profile accepted")
+	}
+}

@@ -87,6 +87,18 @@ const (
 	MetricServeSessions   = "backfi_serve_sessions"
 	MetricServeConns      = "backfi_serve_connections_total"
 	MetricServeConnPanics = "backfi_serve_conn_panics_total"
+	// MetricServeDegraded gauges sessions the SIC-health watchdog is
+	// currently holding in degraded mode (forced-robust configuration);
+	// MetricServeDegradedTrans counts mode transitions (label dir =
+	// enter | exit).
+	MetricServeDegraded      = "backfi_serve_degraded_sessions"
+	MetricServeDegradedTrans = "backfi_serve_degraded_transitions_total"
+	// MetricServeFaultSwitches counts scripted fault-profile switches
+	// the serving timeline applied to sessions;
+	// MetricServeConfigSwitches counts rate-controller ladder moves
+	// applied to serving sessions (adaptation + watchdog forcing).
+	MetricServeFaultSwitches  = "backfi_serve_fault_switches_total"
+	MetricServeConfigSwitches = "backfi_serve_config_switches_total"
 )
 
 // HelpStageDuration is shared by every MetricStageDuration registration

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"backfi/internal/core"
+	"backfi/internal/fault"
+	"backfi/internal/obs"
+)
+
+// chaosTimeline builds the scripted ramp used across these tests.
+func chaosTimeline(t *testing.T, spec string) *fault.Timeline {
+	t.Helper()
+	tl, err := fault.ParseTimeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+// TestAdaptiveDeterministicAcrossShardsAndWorkers extends the §5e
+// byte-identity contract to the full robustness stack: adaptation,
+// scripted fault timeline, watchdog, and backoff accounting all on.
+// Shards 1 / workers 1 versus shards 8 / workers 8 must produce
+// byte-identical per-session response streams and stats, because every
+// new control loop is driven by per-session state only (frame-indexed
+// timeline cursor, controller observation stream, watchdog counters).
+// Run under -race in CI.
+func TestAdaptiveDeterministicAcrossShardsAndWorkers(t *testing.T) {
+	link := core.DefaultLinkConfig(2)
+	link.Seed = 11
+	sessions := []string{"alpha", "bravo", "charlie", "delta"}
+	const frames = 5
+	run := func(shards, workers int) map[string][]byte {
+		s := startServer(t, Config{
+			Link:                 link,
+			Shards:               shards,
+			BatchWorkers:         workers,
+			MaxRetries:           1,
+			Adapt:                true,
+			AdaptMinSymbolRateHz: 500e3,
+			Timeline:             chaosTimeline(t, "0:0,2:0.6"),
+			WatchdogAfter:        2,
+			WatchdogResidualDBm:  -80,
+			WatchdogRecover:      3,
+			Obs:                  obs.NewRegistry(),
+		})
+		defer s.Shutdown(context.Background())
+		return runWorkload(t, s.Addr(), sessions, frames)
+	}
+	one := run(1, 1)
+	eight := run(8, 8)
+	for _, id := range sessions {
+		if string(one[id]) != string(eight[id]) {
+			t.Fatalf("adaptive session %s diverged between (1 shard, 1 worker) and (8 shards, 8 workers):\n1: %s\n8: %s", id, one[id], eight[id])
+		}
+	}
+}
+
+// TestWatchdogDegradedMode drives one session through an interference
+// window hot enough to push the SIC residual ~15 dB above the healthy
+// floor (severity 0.7 at 1 m leaves ≈ −69 dBm; healthy is ≈ −85), and
+// checks the watchdog's full cycle: degrade after WatchdogAfter
+// unhealthy frames (gauge up, robust config forced, responses
+// flagged), recover after WatchdogRecover healthy frames (gauge down,
+// original configuration restored).
+func TestWatchdogDegradedMode(t *testing.T) {
+	link := core.DefaultLinkConfig(1)
+	link.Seed = 13
+	reg := obs.NewRegistry()
+	s := startServer(t, Config{
+		Link:                 link,
+		Shards:               1,
+		MaxRetries:           1,
+		AdaptMinSymbolRateHz: 500e3,
+		Timeline:             chaosTimeline(t, "0:0.7,6:0"),
+		WatchdogAfter:        2,
+		WatchdogResidualDBm:  -80,
+		WatchdogRecover:      3,
+		Obs:                  reg,
+	})
+	defer s.Shutdown(context.Background())
+	gauge := reg.Gauge(obs.MetricServeDegraded, "Sessions held in degraded mode by the SIC-health watchdog.")
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	templateRate := link.Tag.BitRate()
+	var degradedSeqs []int
+	sawDegradedStats := false
+	for i := 0; i < 14; i++ {
+		resp, err := c.Decode("wd", sessionPayload("wd", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Degraded {
+			degradedSeqs = append(degradedSeqs, resp.Seq)
+			if gauge.Value() != 1 {
+				t.Fatalf("frame %d flagged degraded but gauge = %v", i, gauge.Value())
+			}
+			stats, err := c.Stats("wd")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.BitRateBps >= templateRate {
+				t.Fatalf("degraded session still at %v bps (template %v)", stats.BitRateBps, templateRate)
+			}
+			sawDegradedStats = true
+		}
+	}
+	if len(degradedSeqs) == 0 {
+		t.Fatal("watchdog never tripped under severity-0.7 interference")
+	}
+	if !sawDegradedStats {
+		t.Fatal("no degraded stats observed")
+	}
+	// Degradation must start only after WatchdogAfter unhealthy frames.
+	if degradedSeqs[0] < 2 {
+		t.Fatalf("degraded at seq %d, before %d unhealthy frames", degradedSeqs[0], 2)
+	}
+	// The clean tail (frames 6+) must lift degraded mode again.
+	stats, err := c.Stats("wd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gauge.Value() != 0 {
+		t.Fatalf("gauge still %v after recovery window", gauge.Value())
+	}
+	if stats.BitRateBps != templateRate {
+		t.Fatalf("recovered session at %v bps, want template %v restored", stats.BitRateBps, templateRate)
+	}
+	if stats.ConfigSwitches < 2 {
+		t.Fatalf("expected force + restore switches, got %d", stats.ConfigSwitches)
+	}
+
+	// The whole cycle is deterministic: an identical daemon re-serves
+	// the identical degraded window.
+	s2 := startServer(t, Config{
+		Link:                 link,
+		Shards:               4,
+		MaxRetries:           1,
+		AdaptMinSymbolRateHz: 500e3,
+		Timeline:             chaosTimeline(t, "0:0.7,6:0"),
+		WatchdogAfter:        2,
+		WatchdogResidualDBm:  -80,
+		WatchdogRecover:      3,
+	})
+	defer s2.Shutdown(context.Background())
+	c2, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var degradedSeqs2 []int
+	for i := 0; i < 14; i++ {
+		resp, err := c2.Decode("wd", sessionPayload("wd", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Degraded {
+			degradedSeqs2 = append(degradedSeqs2, resp.Seq)
+		}
+	}
+	if len(degradedSeqs) != len(degradedSeqs2) {
+		t.Fatalf("degraded windows differ across runs: %v vs %v", degradedSeqs, degradedSeqs2)
+	}
+	for i := range degradedSeqs {
+		if degradedSeqs[i] != degradedSeqs2[i] {
+			t.Fatalf("degraded windows differ across runs: %v vs %v", degradedSeqs, degradedSeqs2)
+		}
+	}
+}
+
+// TestWatchdogWithControllerUsesCeiling: on an adaptive session the
+// watchdog must force through the controller's ceiling (recorded, and
+// lifted on recovery) rather than bypassing it.
+func TestWatchdogWithControllerUsesCeiling(t *testing.T) {
+	link := core.DefaultLinkConfig(1)
+	link.Seed = 17
+	s := startServer(t, Config{
+		Link:                 link,
+		Shards:               1,
+		MaxRetries:           1,
+		Adapt:                true,
+		AdaptMinSymbolRateHz: 500e3,
+		Timeline:             chaosTimeline(t, "0:0.7,6:0"),
+		WatchdogAfter:        2,
+		WatchdogResidualDBm:  -80,
+		WatchdogRecover:      3,
+	})
+	defer s.Shutdown(context.Background())
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sawDegraded := false
+	for i := 0; i < 14; i++ {
+		resp, err := c.Decode("wd", sessionPayload("wd", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawDegraded = sawDegraded || resp.Degraded
+	}
+	if !sawDegraded {
+		t.Fatal("adaptive session never entered degraded mode")
+	}
+	stats, err := c.Stats("wd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ceiling pinned the session at the robust bottom rung while
+	// degraded; after recovery the ladder is open again but the
+	// controller climbs back on its own schedule — the rate must simply
+	// be a valid rung at or below the template.
+	if stats.BitRateBps <= 0 || stats.BitRateBps > link.Tag.BitRate() {
+		t.Fatalf("adaptive degraded session at %v bps", stats.BitRateBps)
+	}
+	if stats.ConfigSwitches == 0 {
+		t.Fatal("no switches recorded through controller ceiling path")
+	}
+}
+
+// TestLegacyStatsBytesUnchanged pins the wire-compat satellite: with
+// every robustness feature off, the stats JSON contains none of the
+// new omitempty fields, so pre-existing consumers see byte-identical
+// output.
+func TestLegacyStatsBytesUnchanged(t *testing.T) {
+	link := core.DefaultLinkConfig(1)
+	link.Seed = 19
+	s := startServer(t, Config{Link: link, Shards: 1})
+	defer s.Shutdown(context.Background())
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Decode("legacy", sessionPayload("legacy", 0)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.do(&Request{Op: OpStats, Session: "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"backoffs", "backoff_sec", "config_switches", "bit_rate_bps", "degraded"} {
+		if strings.Contains(string(blob), field) {
+			t.Fatalf("legacy stats leak new field %q: %s", field, blob)
+		}
+	}
+}

@@ -2,51 +2,336 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
+
+// Client-side resilience errors. ErrConnBroken wraps the underlying
+// transport failure (errors.Is still matches io.EOF etc. through it);
+// it means the request may or may not have executed server-side, so a
+// caller that retries gets at-least-once semantics — fine for decode
+// jobs, whose per-session results are deterministic and idempotent to
+// re-derive, but worth knowing. ErrBreakerOpen is a client-local fast
+// failure: the session's circuit breaker is open and no bytes were
+// sent. ErrClientClosed reports use after Close.
+var (
+	ErrConnBroken   = errors.New("serve: connection broken")
+	ErrBreakerOpen  = errors.New("serve: circuit breaker open")
+	ErrClientClosed = errors.New("serve: client closed")
+)
+
+// ClientConfig tunes the self-healing client. The zero value
+// reproduces the original fragile client: no I/O deadlines, no
+// reconnection, no circuit breaking.
+type ClientConfig struct {
+	// Addr is the daemon address (required for DialClient).
+	Addr string
+	// IOTimeout bounds each frame write and each frame read. 0 means no
+	// deadline (a hung server hangs the call).
+	IOTimeout time.Duration
+	// MaxRedials is how many reconnect attempts one call may spend after
+	// its connection breaks. 0 disables reconnection: a broken
+	// connection fails the call with ErrConnBroken and stays broken.
+	MaxRedials int
+	// RedialBase / RedialMax shape the exponential redial backoff:
+	// attempt k waits jitter(RedialBase·2^(k−1)) capped at RedialMax.
+	// Defaults 50ms / 2s when zero.
+	RedialBase time.Duration
+	RedialMax  time.Duration
+	// JitterSeed seeds the deterministic jitter stream (each delay is
+	// drawn uniformly from [d/2, d]). Two clients with the same seed
+	// back off identically — the chaos harness relies on this.
+	JitterSeed int64
+	// BreakerThreshold opens a session's circuit after that many
+	// consecutive hard failures (transport breaks or CodeError
+	// responses; typed backpressure does not count — the server is
+	// healthy, just busy). 0 disables circuit breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// allowing one half-open probe. Default 1s when zero.
+	BreakerCooldown time.Duration
+}
+
+func (c ClientConfig) redialBase() time.Duration {
+	if c.RedialBase > 0 {
+		return c.RedialBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (c ClientConfig) redialMax() time.Duration {
+	if c.RedialMax > 0 {
+		return c.RedialMax
+	}
+	return 2 * time.Second
+}
+
+func (c ClientConfig) cooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return time.Second
+}
+
+// ClientHealth is a snapshot of the client's self-healing activity.
+type ClientHealth struct {
+	// Dials counts successful connection establishments (including the
+	// first); Redials the successful re-establishments among them.
+	Dials, Redials int
+	// BrokenConns counts connections torn down after an I/O failure.
+	BrokenConns int
+	// BreakerOpens counts closed→open transitions across all sessions;
+	// BreakerFastFails counts calls rejected locally by an open circuit.
+	BreakerOpens, BreakerFastFails int
+	// OpenBreakers is the number of sessions currently open or half-open.
+	OpenBreakers int
+}
+
+// newJitter builds the deterministic backoff-jitter stream.
+func newJitter(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// breaker is one session's circuit. States: closed (normal), open
+// (fast-fail until cooldown elapses), half-open (one probe in flight).
+type breaker struct {
+	fails    int // consecutive hard failures while closed
+	open     bool
+	openedAt time.Time
+	probing  bool // half-open probe admitted, awaiting verdict
+}
 
 // Client is a connection to a reader daemon. Calls are synchronous
 // (one request in flight per client, matching the server's
 // per-connection ordering that keeps a session's decode stream
 // deterministic); open one client per concurrent session. Safe for
 // concurrent use — calls serialize on an internal lock.
+//
+// With a non-zero ClientConfig the client self-heals: every frame
+// write and read carries a deadline, a broken connection is redialed
+// with seeded-jitter exponential backoff, and a per-session circuit
+// breaker sheds calls to sessions that keep failing hard instead of
+// hammering a struggling daemon.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu     sync.Mutex
+	cfg    ClientConfig
+	conn   net.Conn // nil when broken
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	closed bool
+
+	jitter   *rand.Rand          // seeded; guarded by mu
+	breakers map[string]*breaker // per session id
+	health   ClientHealth
+
+	// Injectable for deterministic tests; real clock/sleep otherwise.
+	now   func() time.Time
+	sleep func(time.Duration)
+	dial  func(addr string) (net.Conn, error)
 }
 
-// Dial connects to a daemon at addr.
+// Dial connects to a daemon at addr with the zero (legacy, fragile)
+// configuration. Use DialClient for the self-healing behavior.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialClient(ClientConfig{Addr: addr})
+}
+
+// DialClient connects with an explicit configuration.
+func DialClient(cfg ClientConfig) (*Client, error) {
+	c := &Client{
+		cfg:      cfg,
+		jitter:   newJitter(cfg.JitterSeed),
+		breakers: make(map[string]*breaker),
+		now:      time.Now,
+		sleep:    time.Sleep,
+		dial:     func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+	}
+	if err := c.connect(); err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-	}, nil
+	return c, nil
 }
 
-// do runs one request/response round trip.
-func (c *Client) do(req *Request) (*Response, error) {
+// connect establishes the connection. Caller holds mu (or the client
+// is not yet shared).
+func (c *Client) connect() error {
+	conn, err := c.dial(c.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.health.Dials++
+	return nil
+}
+
+// breakConnLocked tears down a connection the client believes is bad.
+func (c *Client) breakConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br, c.bw = nil, nil
+		c.health.BrokenConns++
+	}
+}
+
+// BreakConn forcibly severs the underlying connection (the chaos
+// harness's connection-kill fault). The client is not closed: the next
+// call heals through the redial path.
+func (c *Client) BreakConn() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.breakConnLocked()
+}
+
+// Health returns a snapshot of the client's self-healing counters.
+func (c *Client) Health() ClientHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health
+	for _, b := range c.breakers {
+		if b.open {
+			h.OpenBreakers++
+		}
+	}
+	return h
+}
+
+// redialDelay returns the backoff before redial attempt k ≥ 1:
+// exponential in k, capped, with deterministic jitter drawn from the
+// seeded stream (uniform in [d/2, d], so backoff never degenerates to
+// zero but two clients with the same seed still agree).
+func (c *Client) redialDelay(attempt int) time.Duration {
+	d := c.cfg.redialBase() << uint(attempt-1)
+	if max := c.cfg.redialMax(); d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(c.jitter.Int63n(int64(half)+1))
+}
+
+// breakerAllow gates a call on the session's circuit. nil session ids
+// (ping) and a zero threshold bypass breaking entirely.
+func (c *Client) breakerAllow(session string) error {
+	if c.cfg.BreakerThreshold <= 0 || session == "" {
+		return nil
+	}
+	b := c.breakers[session]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[session] = b
+	}
+	if !b.open {
+		return nil
+	}
+	if c.now().Sub(b.openedAt) < c.cfg.cooldown() || b.probing {
+		c.health.BreakerFastFails++
+		return fmt.Errorf("%w: session %q cooling down", ErrBreakerOpen, session)
+	}
+	b.probing = true // half-open: admit exactly this probe
+	return nil
+}
+
+// breakerRecord feeds a call's verdict back into the session's
+// circuit. Hard failures are transport breaks and CodeError responses;
+// typed backpressure and bad requests are the server answering
+// healthily and count as successes here.
+func (c *Client) breakerRecord(session string, hardFail bool) {
+	if c.cfg.BreakerThreshold <= 0 || session == "" {
+		return
+	}
+	b := c.breakers[session]
+	if b == nil {
+		return
+	}
+	switch {
+	case !hardFail:
+		b.fails, b.open, b.probing = 0, false, false
+	case b.open:
+		// Failed half-open probe (or racing failure): restart cooldown.
+		b.openedAt, b.probing = c.now(), false
+	default:
+		b.fails++
+		if b.fails >= c.cfg.BreakerThreshold {
+			b.open, b.openedAt, b.probing = true, c.now(), false
+			c.health.BreakerOpens++
+		}
+	}
+}
+
+// exchange runs one framed round trip on the current connection,
+// applying write and read deadlines. Caller holds mu.
+func (c *Client) exchange(req *Request) (*Response, error) {
+	if c.cfg.IOTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout)); err != nil {
+			return nil, err
+		}
+	}
 	if err := WriteFrame(c.bw, req); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
+	if c.cfg.IOTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.cfg.IOTimeout)); err != nil {
+			return nil, err
+		}
+	}
 	var resp Response
 	if err := ReadFrame(c.br, &resp); err != nil {
 		return nil, fmt.Errorf("serve: read response: %w", err)
 	}
 	return &resp, nil
+}
+
+// do runs one request/response round trip, healing a broken connection
+// within the redial budget. A transport failure surfaces as
+// ErrConnBroken (joined with the underlying error); because the
+// request may have executed before the connection died, retries across
+// ErrConnBroken are at-least-once.
+func (c *Client) do(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	if err := c.breakerAllow(req.Session); err != nil {
+		return nil, err
+	}
+	resp, err := c.doLocked(req)
+	c.breakerRecord(req.Session, err != nil || resp.Code == CodeError)
+	return resp, err
+}
+
+// doLocked is do without the breaker wrapping. Caller holds mu.
+func (c *Client) doLocked(req *Request) (*Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRedials; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.redialDelay(attempt))
+		}
+		if c.conn == nil {
+			if c.cfg.MaxRedials == 0 {
+				return nil, errors.Join(ErrConnBroken, errors.New("serve: reconnection disabled"))
+			}
+			if err := c.connect(); err != nil {
+				lastErr = err
+				continue
+			}
+			c.health.Redials++
+		}
+		resp, err := c.exchange(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		c.breakConnLocked()
+	}
+	return nil, errors.Join(ErrConnBroken, lastErr)
 }
 
 // Decode submits one application frame for the session and returns the
@@ -96,5 +381,18 @@ func (c *Client) Ping() error {
 	return resp.Err()
 }
 
-// Close drops the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close drops the connection permanently; the client will not redial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.br, c.bw = nil, nil, nil
+	return err
+}

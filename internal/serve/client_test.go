@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// dialClient dials the test server with cfg, replacing the sleep hook
+// so redial backoff never wastes wall clock in tests.
+func dialClient(t *testing.T, addr string, cfg ClientConfig) (*Client, *[]time.Duration) {
+	t.Helper()
+	cfg.Addr = addr
+	c, err := DialClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	return c, &slept
+}
+
+func TestClientReconnectsAfterBrokenConn(t *testing.T) {
+	s := startServer(t, Config{Shards: 1})
+	c, slept := dialClient(t, s.Addr(), ClientConfig{
+		MaxRedials: 3,
+		RedialBase: time.Millisecond,
+		IOTimeout:  5 * time.Second,
+	})
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	c.BreakConn()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after break: %v", err)
+	}
+	h := c.Health()
+	if h.BrokenConns != 1 || h.Redials != 1 || h.Dials != 2 {
+		t.Fatalf("health = %+v, want 1 break / 1 redial / 2 dials", h)
+	}
+	// The reconnect happened on the first (unslept) attempt: the healthy
+	// path never backs off.
+	if len(*slept) != 0 {
+		t.Fatalf("healthy reconnect slept %v", *slept)
+	}
+	// And the healed connection still serves real work.
+	if _, err := c.Decode("heal", sessionPayload("heal", 0)); err != nil {
+		t.Fatalf("decode after heal: %v", err)
+	}
+}
+
+func TestLegacyDialStaysBroken(t *testing.T) {
+	s := startServer(t, Config{Shards: 1})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dials := 1
+	c.dial = func(addr string) (net.Conn, error) {
+		dials++
+		return net.Dial("tcp", addr)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	c.BreakConn()
+	if err := c.Ping(); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("legacy client healed itself: %v", err)
+	}
+	if dials != 1 {
+		t.Fatalf("legacy client redialed (%d dials)", dials)
+	}
+}
+
+func TestClientReadDeadline(t *testing.T) {
+	// A blackhole accepts the connection and the request bytes but
+	// never answers; only the read deadline gets the call back.
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c, _ := dialClient(t, ln.Addr().String(), ClientConfig{
+		IOTimeout:  30 * time.Millisecond,
+		MaxRedials: 1,
+		RedialBase: time.Millisecond,
+	})
+	start := time.Now()
+	err = c.Ping()
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("err = %v, want ErrConnBroken", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("underlying cause not a timeout: %v", err)
+	}
+	// Two attempts × 30ms deadline, with generous slack: the deadline,
+	// not a hang, ended the call.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the call: %v", elapsed)
+	}
+	if h := c.Health(); h.BrokenConns != 2 {
+		t.Fatalf("health = %+v, want both attempts torn down", h)
+	}
+}
+
+func TestRedialBackoffDeterministicJitter(t *testing.T) {
+	refuse := errors.New("refused")
+	run := func(seed int64) []time.Duration {
+		c := &Client{
+			cfg: ClientConfig{
+				MaxRedials: 5,
+				RedialBase: 10 * time.Millisecond,
+				RedialMax:  50 * time.Millisecond,
+				JitterSeed: seed,
+			},
+			now:  time.Now,
+			dial: func(string) (net.Conn, error) { return nil, refuse },
+		}
+		c.jitter = newJitter(seed)
+		var slept []time.Duration
+		c.sleep = func(d time.Duration) { slept = append(slept, d) }
+		if err := c.Ping(); !errors.Is(err, ErrConnBroken) {
+			t.Fatalf("unreachable server: %v", err)
+		}
+		return slept
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different backoff:\n%v\n%v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("%d delays, want 5", len(a))
+	}
+	// Jittered truncated exponential: attempt k draws from
+	// [min(10·2^(k−1),50)/2, min(10·2^(k−1),50)] ms.
+	for k, d := range a {
+		full := 10 * time.Millisecond << uint(k)
+		if full > 50*time.Millisecond {
+			full = 50 * time.Millisecond
+		}
+		if d < full/2 || d > full {
+			t.Fatalf("delay %d = %v outside [%v, %v]", k+1, d, full/2, full)
+		}
+	}
+	if c := run(8); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	s := startServer(t, Config{Shards: 1})
+	var dials int
+	refuse := false
+	clock := time.Unix(1000, 0)
+	c, _ := dialClient(t, s.Addr(), ClientConfig{
+		MaxRedials:       1,
+		RedialBase:       time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+	})
+	c.now = func() time.Time { return clock }
+	realDial := c.dial
+	c.dial = func(addr string) (net.Conn, error) {
+		if refuse {
+			return nil, errors.New("refused")
+		}
+		dials++
+		return realDial(addr)
+	}
+
+	// Healthy baseline.
+	if _, err := c.Decode("s1", sessionPayload("s1", 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two consecutive hard failures open s1's circuit.
+	refuse = true
+	c.BreakConn()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Decode("s1", sessionPayload("s1", 1)); !errors.Is(err, ErrConnBroken) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	dialsAtOpen := dials
+	if _, err := c.Decode("s1", sessionPayload("s1", 2)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker did not open: %v", err)
+	}
+	if dials != dialsAtOpen {
+		t.Fatal("open breaker still touched the network")
+	}
+	h := c.Health()
+	if h.BreakerOpens != 1 || h.BreakerFastFails != 1 || h.OpenBreakers != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+
+	// A failed half-open probe re-opens and restarts the cooldown.
+	clock = clock.Add(11 * time.Second)
+	if _, err := c.Decode("s1", sessionPayload("s1", 2)); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("probe: %v", err)
+	}
+	if _, err := c.Decode("s1", sessionPayload("s1", 2)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("failed probe did not re-open: %v", err)
+	}
+
+	// After the server heals, the next probe closes the circuit for good.
+	refuse = false
+	clock = clock.Add(11 * time.Second)
+	if _, err := c.Decode("s1", sessionPayload("s1", 1)); err != nil {
+		t.Fatalf("healing probe: %v", err)
+	}
+	if _, err := c.Decode("s1", sessionPayload("s1", 2)); err != nil {
+		t.Fatalf("closed circuit rejected work: %v", err)
+	}
+	if h := c.Health(); h.OpenBreakers != 0 {
+		t.Fatalf("circuit still open after recovery: %+v", h)
+	}
+}
+
+func TestCircuitBreakerIsPerSession(t *testing.T) {
+	s := startServer(t, Config{Shards: 1})
+	refuse := false
+	c, _ := dialClient(t, s.Addr(), ClientConfig{
+		MaxRedials:       1,
+		RedialBase:       time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+	})
+	realDial := c.dial
+	c.dial = func(addr string) (net.Conn, error) {
+		if refuse {
+			return nil, errors.New("refused")
+		}
+		return realDial(addr)
+	}
+	refuse = true
+	c.BreakConn()
+	if _, err := c.Decode("bad", sessionPayload("bad", 0)); !errors.Is(err, ErrConnBroken) {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode("bad", sessionPayload("bad", 0)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("bad session's breaker not open")
+	}
+	// Another session on the same client is unaffected once the
+	// transport heals.
+	refuse = false
+	if _, err := c.Decode("good", sessionPayload("good", 0)); err != nil {
+		t.Fatalf("good session caught bad session's breaker: %v", err)
+	}
+	// Typed backpressure is a healthy answer: it must not trip a
+	// breaker. Ping (no session) bypasses breaking entirely.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	s := startServer(t, Config{Shards: 1})
+	c, _ := dialClient(t, s.Addr(), ClientConfig{MaxRedials: 3, RedialBase: time.Millisecond})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("closed client answered: %v", err)
+	}
+}

@@ -112,6 +112,11 @@ type Response struct {
 	ACKsDropped int `json:"acks_dropped,omitempty"`
 	// SNRdB is the last attempt's measured post-MRC symbol SNR.
 	SNRdB float64 `json:"snr_db,omitempty"`
+	// Degraded reports that the SIC-health watchdog currently holds
+	// this session in degraded mode (forced-robust configuration).
+	// Absent unless the watchdog is enabled and tripped — legacy
+	// response streams are byte-identical.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// Stats is the session summary (OpStats).
 	Stats *SessionStats `json:"stats,omitempty"`
@@ -126,6 +131,16 @@ type SessionStats struct {
 	AirtimeSec      float64 `json:"airtime_sec"`
 	ACKsDropped     int     `json:"acks_dropped"`
 	NoWakes         int     `json:"no_wakes"`
+	// Robustness-era additions, all omitempty: a server running without
+	// backoff, adaptation, or watchdog emits byte-identical stats.
+	Backoffs       int     `json:"backoffs,omitempty"`
+	BackoffSec     float64 `json:"backoff_sec,omitempty"`
+	ConfigSwitches int     `json:"config_switches,omitempty"`
+	// BitRateBps is the session's current tag bit rate. Reported only
+	// when the serving configuration can change it (adaptation or
+	// watchdog enabled); otherwise it is the static template rate the
+	// client already knows.
+	BitRateBps float64 `json:"bit_rate_bps,omitempty"`
 }
 
 // Err maps a response to its typed error: nil for OK responses, the

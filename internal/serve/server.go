@@ -12,9 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"backfi/internal/adapt"
 	"backfi/internal/core"
+	"backfi/internal/fault"
 	"backfi/internal/obs"
 	"backfi/internal/parallel"
+	"backfi/internal/tag"
 )
 
 // Config assembles one reader daemon.
@@ -56,6 +59,40 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: how long Shutdown waits
 	// for admitted jobs to finish before giving up. 0 defaults to 10s.
 	DrainTimeout time.Duration
+	// Adapt attaches a closed-loop rate controller (internal/adapt) to
+	// every session: per-packet diagnostics walk the standard
+	// configuration ladder with hysteresis instead of holding the
+	// template rate. Off, the daemon serves exactly as before —
+	// byte-identical response streams.
+	Adapt bool
+	// AdaptTuning overrides controller thresholds; zero-valued fields
+	// take the adapt package defaults.
+	AdaptTuning adapt.Config
+	// AdaptMinSymbolRateHz restricts the ladder (and the watchdog's
+	// robust fallback) to symbol rates at or above it — the slowest
+	// rungs cost real decode CPU per frame. 0 keeps all 36 rungs.
+	AdaptMinSymbolRateHz float64
+	// Timeline scripts fault-profile switches against each session's
+	// own frame index: step k applies just before the session's
+	// Frame-th decode. Frame indexing (not wall clock) keeps scripted
+	// chaos deterministic across shard and worker counts. Nil disables.
+	Timeline *fault.Timeline
+	// WatchdogAfter enables the SIC-health watchdog: a session whose
+	// post-cancellation residual exceeds WatchdogResidualDBm for that
+	// many consecutive decoded frames is flipped into degraded mode —
+	// forced onto the most robust ladder rung (via the controller's
+	// ceiling when adapting, directly otherwise) and flagged Degraded
+	// on every response until it recovers. 0 disables the watchdog.
+	WatchdogAfter int
+	// WatchdogResidualDBm is the unhealthy-residual threshold. A
+	// healthy canceller sits near the thermal floor (≈ −90 dBm); a
+	// residual tens of dB above it means self-interference is leaking
+	// past SIC and every decode is at risk.
+	WatchdogResidualDBm float64
+	// WatchdogRecover is the consecutive healthy frames required to
+	// lift degraded mode (hysteresis against flapping). 0 defaults
+	// to 8.
+	WatchdogRecover int
 	// Obs receives serving metrics (queue depth, admission outcomes,
 	// per-stage latency, batch sizes, session/connection gauges) and is
 	// propagated into every session link. Nil disables instrumentation.
@@ -81,6 +118,15 @@ func (c *Config) Validate() error {
 	}
 	if c.JobTimeout < 0 || c.DrainTimeout < 0 {
 		return fmt.Errorf("serve: negative timeout")
+	}
+	if c.AdaptMinSymbolRateHz < 0 {
+		return fmt.Errorf("serve: negative adaptation rate floor %v", c.AdaptMinSymbolRateHz)
+	}
+	if c.WatchdogAfter < 0 || c.WatchdogRecover < 0 {
+		return fmt.Errorf("serve: negative watchdog threshold")
+	}
+	if err := c.AdaptTuning.Defaults().Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -108,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.WatchdogRecover == 0 {
+		c.WatchdogRecover = 8
+	}
 	return c
 }
 
@@ -131,6 +180,17 @@ func (j *job) respond(r Response) { j.resp <- r }
 type sessionState struct {
 	sess *core.Session
 	seq  int
+	// timelineCur is the session's cursor into the scripted fault
+	// timeline (frame-indexed, so it advances identically under any
+	// shard/worker count).
+	timelineCur int
+	// hot / cool count consecutive unhealthy / healthy decoded frames
+	// for the SIC watchdog; degraded is the current mode. savedTag
+	// remembers the configuration to restore on recovery when the
+	// session has no controller to carry a ceiling.
+	hot, cool int
+	degraded  bool
+	savedTag  tag.Config
 }
 
 // shard owns an id-partition of the session space: a bounded job
@@ -244,15 +304,79 @@ func (sh *shard) ensureSession(id string) error {
 	if _, ok := sh.sessions[id]; ok {
 		return nil
 	}
-	cfg := sh.srv.cfg.Link
-	cfg.Seed += sessionSeed(id)
-	sess, err := core.NewSession(cfg, sh.srv.cfg.CoherenceRho, sh.srv.cfg.MaxRetries)
+	sess, err := sh.srv.newSession(sessionSeed(id))
 	if err != nil {
 		return fmt.Errorf("serve: open session %q: %w", id, err)
 	}
 	sh.sessions[id] = &sessionState{sess: sess}
 	sh.srv.m.sessions.Add(1)
 	return nil
+}
+
+// newSession clones the template at a seed offset, adaptive or fixed
+// per the serving configuration.
+func (s *Server) newSession(seedOffset int64) (*core.Session, error) {
+	cfg := s.cfg.Link
+	cfg.Seed += seedOffset
+	if s.cfg.Adapt {
+		return core.NewAdaptiveSession(cfg, s.cfg.CoherenceRho, s.cfg.MaxRetries, s.cfg.AdaptTuning, s.cfg.AdaptMinSymbolRateHz)
+	}
+	return core.NewSession(cfg, s.cfg.CoherenceRho, s.cfg.MaxRetries)
+}
+
+// sessionLadder is the configuration ladder every session of this
+// daemon walks (or would walk): the standard set at the template's
+// preamble/id, above the configured rate floor, in adapt order.
+func sessionLadder(cfg Config) []tag.Config {
+	all := core.StandardConfigs(cfg.Link.Tag.PreambleChips, cfg.Link.Tag.ID)
+	kept := all[:0]
+	for _, c := range all {
+		if c.SymbolRateHz >= cfg.AdaptMinSymbolRateHz {
+			kept = append(kept, c)
+		}
+	}
+	return adapt.Ladder(kept)
+}
+
+// setDegraded flips a session's watchdog mode and forces (or lifts)
+// the robust configuration. With a controller the forcing goes through
+// SetCeiling so it lands in the switch trace; without one the previous
+// configuration is saved and restored directly.
+func (sh *shard) setDegraded(st *sessionState, on bool) {
+	m := &sh.srv.m
+	st.degraded = on
+	st.hot, st.cool = 0, 0
+	if on {
+		m.degraded.Add(1)
+		m.degradeEnter.Inc()
+	} else {
+		m.degraded.Add(-1)
+		m.degradeExit.Inc()
+	}
+	apply := func(c tag.Config) {
+		if c == st.sess.Link().Tag.Cfg {
+			return
+		}
+		if err := st.sess.SetTagConfig(c); err == nil {
+			st.sess.Stats.ConfigSwitches++
+		}
+	}
+	if ctrl := st.sess.Controller; ctrl != nil {
+		target := sh.srv.ladderTop
+		if on {
+			target = 0
+		}
+		if next, changed := ctrl.SetCeiling(target); changed {
+			apply(next)
+		}
+		return
+	}
+	if on {
+		st.savedTag = st.sess.Link().Tag.Cfg
+		apply(sh.srv.robust)
+		return
+	}
+	apply(st.savedTag)
 }
 
 // serveJob answers one job against its session. Panics are isolated to
@@ -275,10 +399,11 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 		j.respond(Response{Code: CodeDeadline, Error: ErrDeadline.Error(), Session: j.session})
 		return
 	}
+	cfg := &sh.srv.cfg
 	switch j.op {
 	case OpStats:
 		s := st.sess.Stats
-		j.respond(Response{OK: true, Code: CodeOK, Session: j.session, Seq: st.seq, Stats: &SessionStats{
+		ws := &SessionStats{
 			FramesOffered:   s.FramesOffered,
 			FramesDelivered: s.FramesDelivered,
 			PacketsSent:     s.PacketsSent,
@@ -286,8 +411,28 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			AirtimeSec:      s.AirtimeSec,
 			ACKsDropped:     s.ACKsDropped,
 			NoWakes:         s.NoWakes,
-		}})
+			Backoffs:        s.Backoffs,
+			BackoffSec:      s.BackoffSec,
+			ConfigSwitches:  s.ConfigSwitches,
+		}
+		if cfg.Adapt || cfg.WatchdogAfter > 0 {
+			ws.BitRateBps = st.sess.Link().Tag.Cfg.BitRate()
+		}
+		j.respond(Response{OK: true, Code: CodeOK, Session: j.session, Seq: st.seq, Degraded: st.degraded, Stats: ws})
 	case OpDecode:
+		// Scripted chaos: cross any timeline steps due at this frame
+		// index before the exchange. The index is the session's own
+		// offered-frame count, so the script lands on the same frames
+		// under any shard or worker count.
+		if cur, p, switched := cfg.Timeline.Advance(st.timelineCur, st.sess.Stats.FramesOffered); switched {
+			st.timelineCur = cur
+			if err := st.sess.SetFaultProfile(p); err != nil {
+				m.jobsError.Inc()
+				j.respond(Response{Code: CodeError, Error: err.Error(), Session: j.session})
+				return
+			}
+			m.faultSwitch.Inc()
+		}
 		sp := m.stageDecode.Start()
 		before := st.sess.Stats
 		res, delivered, err := st.sess.Send(j.payload)
@@ -297,7 +442,27 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			j.respond(Response{Code: CodeError, Error: err.Error(), Session: j.session})
 			return
 		}
+		// SIC-health watchdog: a residual stuck above the threshold
+		// means the canceller is leaking and every decode at the current
+		// rate is suspect — force the robust rung until it clears.
+		// All-no-wake exchanges (res == nil) carry no residual
+		// measurement and leave the watchdog state untouched.
+		if cfg.WatchdogAfter > 0 && res != nil {
+			if res.SICResidualDBm > cfg.WatchdogResidualDBm {
+				st.hot, st.cool = st.hot+1, 0
+			} else {
+				st.cool, st.hot = st.cool+1, 0
+			}
+			if !st.degraded && st.hot >= cfg.WatchdogAfter {
+				sh.setDegraded(st, true)
+			} else if st.degraded && st.cool >= cfg.WatchdogRecover {
+				sh.setDegraded(st, false)
+			}
+		}
 		after := st.sess.Stats
+		if d := after.ConfigSwitches - before.ConfigSwitches; d > 0 {
+			m.cfgSwitch.Add(int64(d))
+		}
 		st.seq++
 		m.jobsDone.Inc()
 		resp := Response{
@@ -309,6 +474,7 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			Attempts:    after.PacketsSent - before.PacketsSent,
 			NoWakes:     after.NoWakes - before.NoWakes,
 			ACKsDropped: after.ACKsDropped - before.ACKsDropped,
+			Degraded:    st.degraded,
 		}
 		if res != nil {
 			resp.PayloadOK = res.PayloadOK
@@ -343,6 +509,11 @@ type serverMetrics struct {
 	sessions     *obs.Gauge
 	conns        *obs.Counter
 	connPanics   *obs.Counter
+	degraded     *obs.Gauge
+	degradeEnter *obs.Counter
+	degradeExit  *obs.Counter
+	faultSwitch  *obs.Counter
+	cfgSwitch    *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
@@ -369,6 +540,11 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		sessions:     r.Gauge(obs.MetricServeSessions, "Live reader sessions."),
 		conns:        r.Counter(obs.MetricServeConns, "Accepted TCP connections."),
 		connPanics:   r.Counter(obs.MetricServeConnPanics, "Connection handlers recovered from a panic."),
+		degraded:     r.Gauge(obs.MetricServeDegraded, "Sessions held in degraded mode by the SIC-health watchdog."),
+		degradeEnter: r.Counter(obs.MetricServeDegradedTrans, "Degraded-mode transitions.", "dir", "enter"),
+		degradeExit:  r.Counter(obs.MetricServeDegradedTrans, "Degraded-mode transitions.", "dir", "exit"),
+		faultSwitch:  r.Counter(obs.MetricServeFaultSwitches, "Scripted fault-profile switches applied to sessions."),
+		cfgSwitch:    r.Counter(obs.MetricServeConfigSwitches, "Rate-controller ladder moves applied to sessions."),
 	}
 }
 
@@ -387,6 +563,12 @@ type Server struct {
 	draining atomic.Bool
 	shutdown sync.Once
 
+	// robust is the most robust rung of the template's configuration
+	// ladder — the watchdog's degraded-mode target — and ladderTop the
+	// ceiling index that re-opens the full ladder on recovery.
+	robust    tag.Config
+	ladderTop int
+
 	m serverMetrics
 }
 
@@ -400,15 +582,24 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Link.Obs == nil {
 		cfg.Link.Obs = cfg.Obs
 	}
-	// Realize the template once so configuration errors surface at
-	// construction, not on the first decode of some future session.
-	if _, err := core.NewSession(cfg.Link, cfg.CoherenceRho, cfg.MaxRetries); err != nil {
-		return nil, fmt.Errorf("serve: link template: %w", err)
-	}
 	s := &Server{
 		cfg:   cfg,
 		conns: map[net.Conn]struct{}{},
 		m:     newServerMetrics(cfg.Obs),
+	}
+	// The ladder is a pure function of the template's preamble/id, so
+	// every session shares it; resolve the degraded-mode target once.
+	ladder := sessionLadder(cfg)
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("serve: adaptation rate floor %v Hz leaves an empty ladder", cfg.AdaptMinSymbolRateHz)
+	}
+	s.robust = ladder[0]
+	s.ladderTop = len(ladder) - 1
+	// Realize the template once so configuration errors (link and
+	// controller alike) surface at construction, not on the first
+	// decode of some future session.
+	if _, err := s.newSession(0); err != nil {
+		return nil, fmt.Errorf("serve: link template: %w", err)
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
