@@ -1,13 +1,18 @@
 // Command backfi-loadgen drives a reader daemon with a closed-loop
 // workload — one connection per session, each offering frames
 // back-to-back — and reports offered vs. delivered throughput and tail
-// latency. With -out it merges a "serving" entry into a benchmark
-// results file (e.g. BENCH_results.json), preserving whatever other
-// sections the file already holds.
+// latency. Latency is accounted in microseconds internally (the binary
+// protocol's sub-10ms tails are invisible at millisecond grain); the
+// summary reports both `_us` and the legacy `_ms` keys. With -out it
+// merges the summary under -out-key (default "serving") into a
+// benchmark results file (e.g. BENCH_results.json), preserving
+// whatever other sections the file already holds.
 //
 // Example (self-contained, no external daemon):
 //
 //	backfi-loadgen -selfserve -sessions 8 -frames 100 -out BENCH_results.json
+//	backfi-loadgen -selfserve -proto binary -session-cache -fast \
+//	    -out-key serving_binary -out BENCH_results.json
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 
 	"backfi/internal/core"
 	"backfi/internal/fault"
+	"backfi/internal/fec"
 	"backfi/internal/serve"
+	"backfi/internal/tag"
 )
 
 func main() {
@@ -33,6 +40,7 @@ func main() {
 
 	addr := flag.String("addr", "", "daemon address to load (empty with -selfserve)")
 	selfserve := flag.Bool("selfserve", false, "spawn an in-process daemon on an ephemeral loopback port instead of dialing -addr")
+	proto := flag.String("proto", "json", "wire protocol: json (legacy frames) or binary (zero-copy framing, DESIGN.md §5g)")
 	sessions := flag.Int("sessions", 8, "concurrent sessions (one connection each)")
 	frames := flag.Int("frames", 100, "frames offered per session")
 	payload := flag.Int("bytes", 24, "payload bytes per frame")
@@ -44,16 +52,29 @@ func main() {
 	retries := flag.Int("retries", 2, "per-frame ARQ budget (-selfserve only)")
 	seed := flag.Int64("seed", 1, "daemon base seed (-selfserve only)")
 	impair := flag.Float64("impair", 0, "RF impairment severity in [0,1] (-selfserve only)")
+	sessionCache := flag.Bool("session-cache", false, "enable the per-session link cache on the self-served daemon (DESIGN.md §5g; -selfserve only)")
+	fastTag := flag.Bool("fast", false, "serve the fast tag configuration (16-PSK, rate 2/3, 2.5 Msym/s) instead of the default (-selfserve only)")
 	adapt := flag.Bool("adapt", false, "closed-loop rate adaptation on the self-served daemon (DESIGN.md §5f, -selfserve only)")
 	minSymRate := flag.Float64("min-symrate", 0, "with -adapt, restrict the ladder to symbol rates ≥ this (-selfserve only)")
 	timeline := flag.String("timeline", "", "scripted fault timeline frame:severity[,...] on the self-served daemon (overrides -impair; -selfserve only)")
-	out := flag.String("out", "", "merge the run's summary under a \"serving\" key in this JSON file")
+	compare := flag.Bool("compare-protos", false, "run the workload once per protocol on fresh identical daemons (best of two runs each) and exit non-zero unless binary goodput ≥ JSON goodput (-selfserve only)")
+	out := flag.String("out", "", "merge the run's summary into this JSON file")
+	outKey := flag.String("out-key", "serving", "top-level key the summary merges under with -out")
 	flag.Parse()
 
-	target := *addr
-	if *selfserve {
+	switch *proto {
+	case "json", "binary":
+	default:
+		log.Fatalf("proto: unknown protocol %q (want json or binary)", *proto)
+	}
+
+	newServer := func() *serve.Server {
 		link := core.DefaultLinkConfig(*distance)
 		link.Seed = *seed
+		if *fastTag {
+			link.Tag = tag.Config{Mod: tag.PSK16, Coding: fec.Rate23, SymbolRateHz: 2.5e6,
+				PreambleChips: tag.DefaultPreambleChips, ID: link.Tag.ID}
+		}
 		if *impair < 0 || *impair > 1 {
 			log.Fatalf("impair: severity %v outside [0,1]", *impair)
 		}
@@ -80,6 +101,7 @@ func main() {
 			Shards:       *shards,
 			QueueDepth:   *queue,
 			BatchMax:     *batch,
+			SessionCache: *sessionCache,
 
 			Adapt:                *adapt,
 			AdaptMinSymbolRateHz: *minSymRate,
@@ -91,23 +113,42 @@ func main() {
 		if err := srv.Start(); err != nil {
 			log.Fatal(err)
 		}
+		return srv
+	}
+
+	if *compare {
+		if !*selfserve {
+			log.Fatal("compare-protos requires -selfserve (fresh identical daemons per run)")
+		}
+		compareProtos(newServer, *sessions, *frames, *payload)
+		return
+	}
+
+	target := *addr
+	if *selfserve {
+		srv := newServer()
 		defer srv.Shutdown(context.Background())
 		target = srv.Addr()
-		log.Printf("self-serving on %s (shards=%d)", target, *shards)
+		log.Printf("self-serving on %s (shards=%d proto=%s)", target, *shards, *proto)
 	}
 	if target == "" {
 		log.Fatal("need -addr or -selfserve")
 	}
 
-	sum, err := run(target, *sessions, *frames, *payload)
+	sum, err := run(target, *proto, *sessions, *frames, *payload)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sum["sessions"] = *sessions
 	sum["frames_per_session"] = *frames
 	sum["payload_bytes"] = *payload
+	sum["proto"] = *proto
 	if *selfserve {
 		sum["shards"] = *shards
+		sum["session_cache"] = *sessionCache
+		if *fastTag {
+			sum["fast_tag"] = true
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -116,21 +157,49 @@ func main() {
 		log.Fatal(err)
 	}
 	if *out != "" {
-		if err := mergeOut(*out, sum); err != nil {
+		if err := mergeOut(*out, *outKey, sum); err != nil {
 			log.Fatalf("out: %v", err)
 		}
-		log.Printf("merged serving entry into %s", *out)
+		log.Printf("merged %s entry into %s", *outKey, *out)
 	}
 }
 
+// compareProtos is the CI protocol gate: the same workload against
+// fresh, identically-configured daemons — so both protocols decode the
+// exact same session streams — once per protocol, best goodput of two
+// runs each (absorbing scheduler noise), asserting the binary framing
+// never serves slower than JSON.
+func compareProtos(newServer func() *serve.Server, sessions, frames, payload int) {
+	best := map[string]float64{}
+	for _, proto := range []string{"json", "binary"} {
+		for attempt := 0; attempt < 2; attempt++ {
+			srv := newServer()
+			sum, err := run(srv.Addr(), proto, sessions, frames, payload)
+			srv.Shutdown(context.Background())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if g := sum["goodput_bps"].(float64); g > best[proto] {
+				best[proto] = g
+			}
+		}
+		log.Printf("%s: best goodput %.0f bps", proto, best[proto])
+	}
+	if best["binary"] < best["json"] {
+		log.Fatalf("protocol gate FAILED: binary goodput %.0f bps < json %.0f bps", best["binary"], best["json"])
+	}
+	log.Printf("protocol gate OK: binary %.0f bps >= json %.0f bps", best["binary"], best["json"])
+}
+
 // run offers sessions*frames jobs closed-loop and aggregates the
-// outcome into the serving summary.
-func run(addr string, sessions, frames, payloadBytes int) (map[string]any, error) {
+// outcome into the serving summary. Latencies are recorded in
+// microseconds.
+func run(addr, proto string, sessions, frames, payloadBytes int) (map[string]any, error) {
 	type sessionResult struct {
 		delivered int
 		rejected  int
 		failed    int
-		latencies []time.Duration
+		latencyUS []int64
 		err       error
 	}
 	results := make([]sessionResult, sessions)
@@ -141,7 +210,7 @@ func run(addr string, sessions, frames, payloadBytes int) (map[string]any, error
 		go func(s int) {
 			defer wg.Done()
 			r := &results[s]
-			c, err := serve.Dial(addr)
+			c, err := serve.DialClient(serve.ClientConfig{Addr: addr, Proto: proto})
 			if err != nil {
 				r.err = err
 				return
@@ -155,7 +224,7 @@ func run(addr string, sessions, frames, payloadBytes int) (map[string]any, error
 				}
 				t0 := time.Now()
 				resp, err := c.Decode(id, p[:payloadBytes])
-				r.latencies = append(r.latencies, time.Since(t0))
+				r.latencyUS = append(r.latencyUS, time.Since(t0).Microseconds())
 				switch {
 				case err == nil && resp.Delivered:
 					r.delivered++
@@ -171,7 +240,7 @@ func run(addr string, sessions, frames, payloadBytes int) (map[string]any, error
 	wall := time.Since(start).Seconds()
 
 	var delivered, rejected, failed int
-	var lat []time.Duration
+	var lat []int64
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -179,10 +248,11 @@ func run(addr string, sessions, frames, payloadBytes int) (map[string]any, error
 		delivered += r.delivered
 		rejected += r.rejected
 		failed += r.failed
-		lat = append(lat, r.latencies...)
+		lat = append(lat, r.latencyUS...)
 	}
 	offered := sessions * frames
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50, p95, p99 := quantileUS(lat, 0.50), quantileUS(lat, 0.95), quantileUS(lat, 0.99)
 	return map[string]any{
 		"offered_frames":   offered,
 		"delivered_frames": delivered,
@@ -193,26 +263,31 @@ func run(addr string, sessions, frames, payloadBytes int) (map[string]any, error
 		"delivered_fps":    float64(delivered) / wall,
 		"delivery_rate":    float64(delivered) / float64(offered),
 		"goodput_bps":      float64(delivered*payloadBytes*8) / wall,
-		"latency_p50_ms":   quantile(lat, 0.50),
-		"latency_p95_ms":   quantile(lat, 0.95),
-		"latency_p99_ms":   quantile(lat, 0.99),
+		"latency_p50_us":   p50,
+		"latency_p95_us":   p95,
+		"latency_p99_us":   p99,
+		// Millisecond keys kept for continuity with earlier entries.
+		"latency_p50_ms": p50 / 1e3,
+		"latency_p95_ms": p95 / 1e3,
+		"latency_p99_ms": p99 / 1e3,
 	}, nil
 }
 
-// quantile returns the q-th latency quantile in milliseconds
+// quantileUS returns the q-th latency quantile in microseconds
 // (nearest-rank on the sorted sample).
-func quantile(sorted []time.Duration, q float64) float64 {
+func quantileUS(sorted []int64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return float64(sorted[i].Nanoseconds()) / 1e6
+	return float64(sorted[int(q*float64(len(sorted)-1))])
 }
 
-// mergeOut folds the summary into path under "serving", preserving
-// every other top-level key (the file also carries "figures" and
-// "micro" sections written by other tools).
-func mergeOut(path string, sum map[string]any) error {
+// mergeOut folds the summary into path under key, preserving every
+// other top-level key (the file also carries "figures" and "micro"
+// sections written by other tools, and may hold several serving
+// entries — e.g. "serving" for the legacy JSON baseline and
+// "serving_binary" for the binary-protocol run).
+func mergeOut(path, key string, sum map[string]any) error {
 	doc := map[string]any{}
 	if b, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(b, &doc); err != nil {
@@ -221,7 +296,7 @@ func mergeOut(path string, sum map[string]any) error {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	doc["serving"] = sum
+	doc[key] = sum
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

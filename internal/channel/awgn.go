@@ -33,6 +33,17 @@ func (a *AWGN) Add(x []complex128) []complex128 {
 	return out
 }
 
+// AddInPlaceRange adds fresh noise to x[lo:hi] in place, drawing
+// exactly hi−lo complex samples from the source. The windowed serve
+// hot path uses it to pay for noise only over the samples the decoder
+// will read; the draw sequence is deterministic for a fixed sequence
+// of window sizes.
+func (a *AWGN) AddInPlaceRange(x []complex128, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x[i] += complex(a.rng.NormFloat64()*a.sigma, a.rng.NormFloat64()*a.sigma)
+	}
+}
+
 // Samples returns n fresh noise samples.
 func (a *AWGN) Samples(n int) []complex128 {
 	out := make([]complex128, n)

@@ -56,6 +56,19 @@ type LinkConfig struct {
 	// NewLink propagates the registry into the reader and SIC configs
 	// unless those carry their own.
 	Obs *obs.Registry
+	// SessionCache enables the serving hot path (DESIGN.md §5g): the
+	// realized excitation (ideal + distorted copies) is cached across
+	// frames and rebuilt only when the tag configuration or packet
+	// sizing changes, and all per-frame channel/noise/decode work is
+	// windowed to the samples the tag frame actually occupies, with a
+	// per-link reader.Stream reusing SIC and channel-estimate scratch.
+	// Off (the default), RunPacket is bit-identical to the legacy
+	// per-frame pipeline. On, results are deterministic for a fixed
+	// (seed, call sequence) but follow the hot path's own RNG-draw
+	// schedule — a different realization of the same statistics, not a
+	// different receiver. Links with an active fault profile always take
+	// the legacy path, so fault semantics never fork.
+	SessionCache bool
 }
 
 // DefaultLinkConfig returns the paper's standard operating point at the
@@ -167,6 +180,8 @@ type linkMetrics struct {
 	snrExpected    *obs.Histogram
 	snrExpectedMRC *obs.Histogram
 	snrMeasured    *obs.Histogram
+	cacheHit       *obs.Counter
+	cacheMiss      *obs.Counter
 }
 
 func newLinkMetrics(r *obs.Registry) linkMetrics {
@@ -191,6 +206,8 @@ func newLinkMetrics(r *obs.Registry) linkMetrics {
 		snrExpected:    snr("expected"),
 		snrExpectedMRC: snr("expected_mrc"),
 		snrMeasured:    snr("measured"),
+		cacheHit:       r.Counter(obs.MetricLinkCache, "Excitation-cache lookups on the session-cache hot path, by outcome.", "outcome", "hit"),
+		cacheMiss:      r.Counter(obs.MetricLinkCache, "Excitation-cache lookups on the session-cache hot path, by outcome.", "outcome", "miss"),
 	}
 }
 
@@ -205,6 +222,9 @@ type Link struct {
 	inj      *fault.Injector
 	rate     wifi.Rate
 	m        linkMetrics
+	// hot is the session-cache state (hotpath.go); nil until the first
+	// fast-path frame builds it.
+	hot *hotState
 	// faultEpoch counts SetFaultProfile calls; it salts each new
 	// injector's seed so successive profiles draw decorrelated streams.
 	faultEpoch int
@@ -357,6 +377,11 @@ func buildExcitation(rng *rand.Rand, rate wifi.Rate, psduBytes int, txPowerW flo
 // the wake preamble, and enough back-to-back WiFi PPDUs for the
 // payload; the tag wakes and backscatters; the AP decodes.
 func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
+	// The session-cache hot path handles unfaulted links only; an active
+	// injector's per-frame hooks assume the legacy full-capture pipeline.
+	if l.Cfg.SessionCache && l.inj == nil {
+		return l.runPacketHot(payload)
+	}
 	l.m.packets.Inc()
 
 	// Excitation sizing: enough PPDU samples to carry the payload.

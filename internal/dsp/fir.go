@@ -59,6 +59,52 @@ func ConvolveSameInto(dst, x, h []complex128) []complex128 {
 	return dst
 }
 
+// ConvolveRangeInto computes only the output samples [lo, hi) of the
+// "same"-length convolution x⊛h, writing them into dst[lo:hi] (dst is
+// grown to len(x) if needed; samples outside [lo, hi) are left as-is).
+// Each requested sample equals the one ConvolveSameInto would produce,
+// so a caller that only reads a window of the result — the serving hot
+// path cancelling and correlating around the tag frame instead of the
+// whole capture — skips the rest of the waveform entirely. dst must
+// not alias x or h.
+func ConvolveRangeInto(dst, x, h []complex128, lo, hi int) []complex128 {
+	if cap(dst) < len(x) {
+		grown := make([]complex128, len(x))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:len(x)]
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(x) {
+		hi = len(x)
+	}
+	if lo >= hi {
+		return dst
+	}
+	for i := lo; i < hi; i++ {
+		dst[i] = 0
+	}
+	for i, hv := range h {
+		if hv == 0 || i >= hi {
+			continue
+		}
+		// Output sample n ∈ [lo, hi) accumulates x[n-i]·h[i]; n-i ranges
+		// over [max(lo-i,0), hi-i).
+		from := lo - i
+		if from < 0 {
+			from = 0
+		}
+		xs := x[from : hi-i]
+		out := dst[from+i:]
+		for j, xv := range xs {
+			out[j] += xv * hv
+		}
+	}
+	return dst
+}
+
 // FIR is a streaming finite-impulse-response filter with persistent
 // state, so successive Process calls behave like one long convolution.
 type FIR struct {

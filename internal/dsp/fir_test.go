@@ -192,3 +192,73 @@ func TestLowPassFIRValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestConvolveRangeIntoMatchesSame(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	x := make([]complex128, 200)
+	h := make([]complex128, 13)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	for i := range h {
+		h[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	h[4] = 0 // exercise the zero-tap skip
+	full := ConvolveSame(x, h)
+	for _, win := range [][2]int{
+		{0, len(x)},  // full range must match exactly
+		{0, 25},      // prefix including the filter transient
+		{50, 120},    // interior window
+		{190, 200},   // suffix
+		{-5, 210},    // out-of-range bounds are clamped
+		{80, 80},     // empty window computes nothing
+	} {
+		dst := ConvolveRangeInto(nil, x, h, win[0], win[1])
+		lo, hi := max(win[0], 0), min(win[1], len(x))
+		for i := lo; i < hi; i++ {
+			if full[i] != dst[i] {
+				t.Fatalf("window %v sample %d: got %v want %v", win, i, dst[i], full[i])
+			}
+		}
+	}
+}
+
+func TestConvolveRangeIntoPreservesOutside(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5, 6}
+	h := []complex128{1, 1}
+	dst := make([]complex128, len(x))
+	for i := range dst {
+		dst[i] = complex(99, 0)
+	}
+	dst = ConvolveRangeInto(dst, x, h, 2, 4)
+	for i, v := range dst {
+		if i >= 2 && i < 4 {
+			continue
+		}
+		if v != complex(99, 0) {
+			t.Fatalf("sample %d outside window was overwritten: %v", i, v)
+		}
+	}
+	full := ConvolveSame(x, h)
+	if dst[2] != full[2] || dst[3] != full[3] {
+		t.Fatalf("window samples wrong: %v vs %v", dst[2:4], full[2:4])
+	}
+}
+
+func TestConvolveRangeIntoZeroAlloc(t *testing.T) {
+	x := make([]complex128, 512)
+	h := make([]complex128, 32)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%5))
+	}
+	for i := range h {
+		h[i] = complex(1, -1)
+	}
+	dst := make([]complex128, len(x))
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = ConvolveRangeInto(dst, x, h, 100, 400)
+	})
+	if allocs != 0 {
+		t.Fatalf("ConvolveRangeInto with capacity allocates %v per run, want 0", allocs)
+	}
+}

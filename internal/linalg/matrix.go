@@ -110,7 +110,19 @@ func SolveHermitian(a *Matrix, b []complex128, lambda float64) ([]complex128, er
 	for i := 0; i < n; i++ {
 		l.Data[i*n+i] += complex(lambda, 0)
 	}
-	// In-place Cholesky: lower triangle of l becomes L.
+	if err := choleskyInPlace(l); err != nil {
+		return nil, err
+	}
+	x := make([]complex128, n)
+	copy(x, b)
+	choleskySolve(l, x)
+	return x, nil
+}
+
+// choleskyInPlace factors the Hermitian positive-definite matrix in
+// place: on return the lower triangle of l holds L with A = L·Lᴴ.
+func choleskyInPlace(l *Matrix) error {
+	n := l.Rows
 	for j := 0; j < n; j++ {
 		d := real(l.Data[j*n+j])
 		for k := 0; k < j; k++ {
@@ -118,7 +130,7 @@ func SolveHermitian(a *Matrix, b []complex128, lambda float64) ([]complex128, er
 			d -= real(v)*real(v) + imag(v)*imag(v)
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
+			return fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
 		}
 		sq := math.Sqrt(d)
 		l.Data[j*n+j] = complex(sq, 0)
@@ -130,25 +142,28 @@ func SolveHermitian(a *Matrix, b []complex128, lambda float64) ([]complex128, er
 			l.Data[i*n+j] = v / complex(sq, 0)
 		}
 	}
-	// Forward substitution L·y = b.
-	y := make([]complex128, n)
+	return nil
+}
+
+// choleskySolve overwrites v with the solution of L·Lᴴ·x = v given the
+// factor from choleskyInPlace. Forward then back substitution, both in
+// place, so the solve itself allocates nothing.
+func choleskySolve(l *Matrix, v []complex128) {
+	n := l.Rows
 	for i := 0; i < n; i++ {
-		v := b[i]
+		acc := v[i]
 		for k := 0; k < i; k++ {
-			v -= l.Data[i*n+k] * y[k]
+			acc -= l.Data[i*n+k] * v[k]
 		}
-		y[i] = v / l.Data[i*n+i]
+		v[i] = acc / l.Data[i*n+i]
 	}
-	// Back substitution Lᴴ·x = y.
-	x := make([]complex128, n)
 	for i := n - 1; i >= 0; i-- {
-		v := y[i]
+		acc := v[i]
 		for k := i + 1; k < n; k++ {
-			v -= cmplx.Conj(l.Data[k*n+i]) * x[k]
+			acc -= cmplx.Conj(l.Data[k*n+i]) * v[k]
 		}
-		x[i] = v / l.Data[i*n+i]
+		v[i] = acc / l.Data[i*n+i]
 	}
-	return x, nil
 }
 
 // LeastSquares solves min_x ||A·x - b||² via the normal equations

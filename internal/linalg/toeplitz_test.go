@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestToeplitzLSFastMatchesToeplitzLS(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		ntaps, start, stop, n int
+	}{
+		{8, 0, 64, 128},     // window starting at x[0] (zero-padded rows)
+		{16, 40, 200, 256},  // interior window, analog-stage shape
+		{32, 64, 320, 512},  // digital-stage shape over the silent window
+		{3, 5, 9, 16},       // minimal window: stop-start barely >= ntaps
+		{12, 100, 128, 128}, // window ending exactly at len(x)
+	} {
+		x := randVec(r, tc.n)
+		y := randVec(r, tc.n)
+		want, err := ToeplitzLS(x, y, tc.ntaps, tc.start, tc.stop, 1e-9)
+		if err != nil {
+			t.Fatalf("ToeplitzLS %+v: %v", tc, err)
+		}
+		var ws ToeplitzWorkspace
+		got, err := ToeplitzLSFast(&ws, x, y, tc.ntaps, tc.start, tc.stop, 1e-9)
+		if err != nil {
+			t.Fatalf("ToeplitzLSFast %+v: %v", tc, err)
+		}
+		vecApprox(t, got, want, 1e-8)
+	}
+}
+
+func TestToeplitzLSFastWorkspaceReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	var ws ToeplitzWorkspace
+	// Successive calls with different tap counts and data must each
+	// match the reference solver — the workspace carries no state
+	// between problems beyond reusable capacity.
+	for i := 0; i < 5; i++ {
+		ntaps := 4 + 7*i
+		x := randVec(r, 300)
+		y := randVec(r, 300)
+		want, err := ToeplitzLS(x, y, ntaps, 20, 280, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ToeplitzLSFast(&ws, x, y, ntaps, 20, 280, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecApprox(t, got, want, 1e-8)
+	}
+}
+
+func TestToeplitzLSFastRecoversKnownTaps(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	x := randVec(r, 400)
+	h := randVec(r, 10)
+	// y = x ⊛ h with causal "same" semantics.
+	y := make([]complex128, len(x))
+	for k, hv := range h {
+		for n := k; n < len(x); n++ {
+			y[n] += hv * x[n-k]
+		}
+	}
+	var ws ToeplitzWorkspace
+	got, err := ToeplitzLSFast(&ws, x, y, len(h), 50, 350, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecApprox(t, got, h, 1e-9)
+}
+
+func TestToeplitzLSFastErrors(t *testing.T) {
+	var ws ToeplitzWorkspace
+	x := make([]complex128, 32)
+	if _, err := ToeplitzLSFast(&ws, x, x, 0, 0, 32, 0); err == nil {
+		t.Fatal("want error for ntaps=0")
+	}
+	if _, err := ToeplitzLSFast(&ws, x, x, 4, 10, 40, 0); err == nil {
+		t.Fatal("want error for stop past len(x)")
+	}
+	if _, err := ToeplitzLSFast(&ws, x, x, 16, 0, 8, 0); err == nil {
+		t.Fatal("want error for window shorter than taps")
+	}
+}
+
+func TestToeplitzLSFastZeroAllocSteadyState(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	x := randVec(r, 512)
+	y := randVec(r, 512)
+	var ws ToeplitzWorkspace
+	if _, err := ToeplitzLSFast(&ws, x, y, 32, 0, 320, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ToeplitzLSFast(&ws, x, y, 32, 0, 320, 1e-12); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ToeplitzLSFast allocates %v per run, want 0", allocs)
+	}
+}

@@ -99,6 +99,22 @@ const (
 	// applied to serving sessions (adaptation + watchdog forcing).
 	MetricServeFaultSwitches  = "backfi_serve_fault_switches_total"
 	MetricServeConfigSwitches = "backfi_serve_config_switches_total"
+
+	// Wire-protocol metrics (DESIGN.md §5g). MetricServeWireBytes counts
+	// bytes on the wire by direction (label dir = rx | tx) and protocol
+	// (label proto = json | binary); MetricServeFrameCodec is the
+	// per-frame encode/decode latency histogram (label op = encode |
+	// decode, label proto as above); MetricServeConnsProto counts
+	// accepted connections by negotiated protocol (label proto).
+	MetricServeWireBytes  = "backfi_serve_wire_bytes_total"
+	MetricServeFrameCodec = "backfi_serve_frame_codec_seconds"
+	MetricServeConnsProto = "backfi_serve_connections_proto_total"
+
+	// MetricLinkCache counts excitation-cache lookups on the session-
+	// cache serving hot path (label outcome = hit | miss). A healthy
+	// steady-state session hits on every frame; misses flag tag-config
+	// churn forcing excitation rebuilds.
+	MetricLinkCache = "backfi_link_excitation_cache_total"
 )
 
 // HelpStageDuration is shared by every MetricStageDuration registration

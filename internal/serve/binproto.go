@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Binary wire protocol (DESIGN.md §5g). A connection opts in by
+// sending the 4-byte preamble "BFB"+version before its first frame;
+// the server echoes its own preamble back (version negotiation) and
+// the connection switches to binary frames in both directions. JSON
+// frames always start with a 4-byte big-endian length whose high byte
+// is 0x00 (MaxFrameBytes is 1 MiB), so the preamble's first byte 'B'
+// (0x42) is unambiguous and legacy JSON clients keep working
+// byte-identically with no negotiation round trip.
+//
+// Frame layout, both directions:
+//
+//	u32 LE body length | body
+//
+// Request body:
+//
+//	kind (1 byte: 0x01 decode, 0x02 stats, 0x03 ping)
+//	uvarint session length | session bytes
+//	uvarint payload length | payload bytes
+//	uvarint timeout_ms
+//
+// Response body:
+//
+//	kind (1 byte: 0x81)
+//	flags (1 byte: bit0 ok, bit1 delivered, bit2 payload_ok,
+//	       bit3 degraded, bit4 stats present)
+//	code (1 byte: enum below)
+//	uvarint error length | error bytes
+//	uvarint session length | session bytes
+//	uvarint seq | attempts | no_wakes | acks_dropped
+//	f64 LE snr_db
+//	[stats, when bit4:
+//	  uvarint frames_offered | frames_delivered | packets_sent |
+//	          payload_bits | acks_dropped | no_wakes | backoffs |
+//	          config_switches
+//	  f64 LE airtime_sec | backoff_sec | bit_rate_bps]
+//
+// Every integer on the wire is a count (non-negative); the codec
+// rejects anything else at encode time so the decoder never needs
+// signed varints. The decoder only ever slices the frame body it was
+// handed — declared lengths are checked against the remaining bytes
+// before use, so malformed input returns a typed error (wrapping
+// ErrBadRequest) and can neither panic nor over-read.
+const binVersion = 1
+
+// binPreamble is the negotiation preamble: magic "BFB" + version.
+var binPreamble = [4]byte{'B', 'F', 'B', binVersion}
+
+// Body kinds.
+const (
+	binKindDecode = 0x01
+	binKindStats  = 0x02
+	binKindPing   = 0x03
+	binKindResp   = 0x81
+)
+
+// Response flag bits.
+const (
+	binFlagOK        = 1 << 0
+	binFlagDelivered = 1 << 1
+	binFlagPayloadOK = 1 << 2
+	binFlagDegraded  = 1 << 3
+	binFlagStats     = 1 << 4
+)
+
+// Response code enum. The wire carries the byte; the structs keep the
+// JSON string codes so both protocols share one Response type.
+var binCodes = [...]string{CodeOK, CodeQueueFull, CodeDraining, CodeDeadline, CodeBadRequest, CodeError}
+
+func codeToByte(code string) (byte, error) {
+	for i, c := range binCodes {
+		if c == code {
+			return byte(i), nil
+		}
+	}
+	return 0, fmt.Errorf("serve: response code %q has no binary encoding", code)
+}
+
+// Typed decode errors. Everything wraps ErrBadRequest so transports
+// can answer a typed bad_request frame and fuzzing can assert the
+// error contract.
+var (
+	errFrameTruncated = fmt.Errorf("%w: binary frame truncated", ErrBadRequest)
+	errFrameKind      = fmt.Errorf("%w: unknown binary frame kind", ErrBadRequest)
+	errFrameTrailing  = fmt.Errorf("%w: trailing bytes after binary frame", ErrBadRequest)
+	errFrameVarint    = fmt.Errorf("%w: malformed varint", ErrBadRequest)
+	errFrameRange     = fmt.Errorf("%w: varint field out of range", ErrBadRequest)
+)
+
+// Buffer-pool lifecycle: encoders build frames in []byte taken from
+// this pool; the transport writes the frame and returns the buffer.
+// Buffers that grew past maxPooledBuf are dropped instead of pooled so
+// one oversized frame cannot pin memory for the process lifetime.
+const maxPooledBuf = 64 << 10
+
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// framePoolDisabled is a test hook: the determinism suite pins that
+// pooled and unpooled buffers produce byte-identical streams.
+var framePoolDisabled atomic.Bool
+
+func getFrameBuf() *[]byte {
+	if framePoolDisabled.Load() {
+		b := make([]byte, 0, 512)
+		return &b
+	}
+	return framePool.Get().(*[]byte)
+}
+
+func putFrameBuf(b *[]byte) {
+	if framePoolDisabled.Load() || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
+}
+
+// internTable deduplicates the session-id strings a connection keeps
+// sending: the first occurrence allocates, every later frame reuses
+// the same string (map lookup keyed by []byte conversion does not
+// allocate). Bounded so a client cycling ids cannot grow it without
+// limit — past the bound ids still decode, they just allocate.
+const maxInterned = 4096
+
+type internTable struct{ m map[string]string }
+
+func (t *internTable) get(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(t.m) < maxInterned {
+		if t.m == nil {
+			t.m = make(map[string]string)
+		}
+		t.m[s] = s
+	}
+	return s
+}
+
+// appendCount appends a non-negative int as a uvarint.
+func appendCount(dst []byte, v int) ([]byte, error) {
+	if v < 0 {
+		return dst, fmt.Errorf("serve: negative count %d has no binary encoding", v)
+	}
+	return binary.AppendUvarint(dst, uint64(v)), nil
+}
+
+// takeUvarint pops one uvarint bounded to non-negative int range.
+func takeUvarint(b []byte) (int, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		if len(b) == 0 || n == 0 {
+			return 0, b, errFrameTruncated
+		}
+		return 0, b, errFrameVarint
+	}
+	if v > math.MaxInt32 {
+		return 0, b, errFrameRange
+	}
+	return int(v), b[n:], nil
+}
+
+// takeBytes pops one length-prefixed byte field. The returned slice
+// aliases b — callers copy or intern before the frame buffer is
+// reused.
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	if n > len(rest) {
+		return nil, b, errFrameTruncated
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// takeF64 pops one little-endian float64.
+func takeF64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, b, errFrameTruncated
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// appendRequestBinary appends req's binary body to dst. Allocation-
+// free when dst has capacity.
+func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
+	var kind byte
+	switch req.Op {
+	case OpDecode:
+		kind = binKindDecode
+	case OpStats:
+		kind = binKindStats
+	case OpPing:
+		kind = binKindPing
+	default:
+		return dst, fmt.Errorf("serve: op %q has no binary encoding", req.Op)
+	}
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Session)))
+	dst = append(dst, req.Session...)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Payload)))
+	dst = append(dst, req.Payload...)
+	return appendCount(dst, req.TimeoutMs)
+}
+
+// decodeRequestBinary decodes one request body into req, reusing
+// req.Payload's capacity and interning the session id through names.
+// Allocation-free once the session id is interned and the payload
+// buffer has grown to steady state.
+func decodeRequestBinary(body []byte, req *Request, names *internTable) error {
+	if len(body) == 0 {
+		return errFrameTruncated
+	}
+	switch body[0] {
+	case binKindDecode:
+		req.Op = OpDecode
+	case binKindStats:
+		req.Op = OpStats
+	case binKindPing:
+		req.Op = OpPing
+	default:
+		return errFrameKind
+	}
+	rest := body[1:]
+	s, rest, err := takeBytes(rest)
+	if err != nil {
+		return err
+	}
+	req.Session = names.get(s)
+	p, rest, err := takeBytes(rest)
+	if err != nil {
+		return err
+	}
+	req.Payload = append(req.Payload[:0], p...)
+	req.TimeoutMs, rest, err = takeUvarint(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errFrameTrailing
+	}
+	return nil
+}
+
+// appendResponseBinary appends resp's binary body to dst. Allocation-
+// free when dst has capacity.
+func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
+	var flags byte
+	if resp.OK {
+		flags |= binFlagOK
+	}
+	if resp.Delivered {
+		flags |= binFlagDelivered
+	}
+	if resp.PayloadOK {
+		flags |= binFlagPayloadOK
+	}
+	if resp.Degraded {
+		flags |= binFlagDegraded
+	}
+	if resp.Stats != nil {
+		flags |= binFlagStats
+	}
+	code, err := codeToByte(resp.Code)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, binKindResp, flags, code)
+	dst = binary.AppendUvarint(dst, uint64(len(resp.Error)))
+	dst = append(dst, resp.Error...)
+	dst = binary.AppendUvarint(dst, uint64(len(resp.Session)))
+	dst = append(dst, resp.Session...)
+	for _, v := range [...]int{resp.Seq, resp.Attempts, resp.NoWakes, resp.ACKsDropped} {
+		if dst, err = appendCount(dst, v); err != nil {
+			return dst, err
+		}
+	}
+	dst = appendF64(dst, resp.SNRdB)
+	if st := resp.Stats; st != nil {
+		for _, v := range [...]int{st.FramesOffered, st.FramesDelivered, st.PacketsSent,
+			st.PayloadBits, st.ACKsDropped, st.NoWakes, st.Backoffs, st.ConfigSwitches} {
+			if dst, err = appendCount(dst, v); err != nil {
+				return dst, err
+			}
+		}
+		dst = appendF64(dst, st.AirtimeSec)
+		dst = appendF64(dst, st.BackoffSec)
+		dst = appendF64(dst, st.BitRateBps)
+	}
+	return dst, nil
+}
+
+// decodeResponseBinary decodes one response body into resp. When the
+// frame carries stats they land in statsBuf (allocated if nil) and
+// resp.Stats points there; otherwise resp.Stats is nil. Error strings
+// on the happy path are empty and allocate nothing.
+func decodeResponseBinary(body []byte, resp *Response, names *internTable, statsBuf *SessionStats) error {
+	if len(body) < 3 {
+		return errFrameTruncated
+	}
+	if body[0] != binKindResp {
+		return errFrameKind
+	}
+	flags := body[1]
+	if flags&^(binFlagOK|binFlagDelivered|binFlagPayloadOK|binFlagDegraded|binFlagStats) != 0 {
+		// Flag bits this version does not define would be silently
+		// dropped on re-encode; reject them so version skew surfaces as
+		// a typed error instead of data loss.
+		return fmt.Errorf("%w: unknown response flag bits %#x", ErrBadRequest, flags)
+	}
+	if int(body[2]) >= len(binCodes) {
+		return fmt.Errorf("%w: unknown response code byte %d", ErrBadRequest, body[2])
+	}
+	resp.OK = flags&binFlagOK != 0
+	resp.Delivered = flags&binFlagDelivered != 0
+	resp.PayloadOK = flags&binFlagPayloadOK != 0
+	resp.Degraded = flags&binFlagDegraded != 0
+	resp.Code = binCodes[body[2]]
+	rest := body[3:]
+	e, rest, err := takeBytes(rest)
+	if err != nil {
+		return err
+	}
+	resp.Error = string(e) // empty on the happy path: no allocation
+	s, rest, err := takeBytes(rest)
+	if err != nil {
+		return err
+	}
+	resp.Session = names.get(s)
+	for _, p := range [...]*int{&resp.Seq, &resp.Attempts, &resp.NoWakes, &resp.ACKsDropped} {
+		if *p, rest, err = takeUvarint(rest); err != nil {
+			return err
+		}
+	}
+	if resp.SNRdB, rest, err = takeF64(rest); err != nil {
+		return err
+	}
+	resp.Stats = nil
+	if flags&binFlagStats != 0 {
+		if statsBuf == nil {
+			statsBuf = &SessionStats{}
+		}
+		st := statsBuf
+		for _, p := range [...]*int{&st.FramesOffered, &st.FramesDelivered, &st.PacketsSent,
+			&st.PayloadBits, &st.ACKsDropped, &st.NoWakes, &st.Backoffs, &st.ConfigSwitches} {
+			if *p, rest, err = takeUvarint(rest); err != nil {
+				return err
+			}
+		}
+		if st.AirtimeSec, rest, err = takeF64(rest); err != nil {
+			return err
+		}
+		if st.BackoffSec, rest, err = takeF64(rest); err != nil {
+			return err
+		}
+		if st.BitRateBps, rest, err = takeF64(rest); err != nil {
+			return err
+		}
+		resp.Stats = st
+	}
+	if len(rest) != 0 {
+		return errFrameTrailing
+	}
+	return nil
+}
+
+// frameReader reads length-prefixed frame bodies into one reused
+// buffer per connection. The retained buffer is bounded: a frame
+// larger than maxRetainedBuf is read into a one-off allocation that
+// is not kept, so a single huge frame cannot pin its memory for the
+// connection lifetime. Partial TCP reads (down to one byte at a time)
+// are handled by io.ReadFull on the buffered reader.
+const maxRetainedBuf = 64 << 10
+
+type frameReader struct {
+	br  *bufio.Reader
+	le  bool // binary frames are little-endian; JSON legacy big-endian
+	buf []byte
+}
+
+// read returns the next frame body. The slice is valid until the next
+// call.
+func (fr *frameReader) read() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if fr.le {
+		n = binary.LittleEndian.Uint32(hdr[:])
+	} else {
+		n = binary.BigEndian.Uint32(hdr[:])
+	}
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds cap %d", ErrBadRequest, n, MaxFrameBytes)
+	}
+	body := fr.grab(int(n))
+	if _, err := io.ReadFull(fr.br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func (fr *frameReader) grab(n int) []byte {
+	if n <= cap(fr.buf) {
+		return fr.buf[:n]
+	}
+	b := make([]byte, n)
+	if n <= maxRetainedBuf {
+		fr.buf = b
+	}
+	return b
+}
+
+// appendFrameHeader finalizes a frame built with 4 reserved length
+// bytes at the front: buf[0:4] gets the little-endian body length.
+func finishBinaryFrame(buf []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf
+}

@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"backfi/internal/core"
+)
+
+func binRequests() []Request {
+	return []Request{
+		{Op: OpPing},
+		{Op: OpStats, Session: "tag-7"},
+		{Op: OpDecode, Session: "tag-7", Payload: []byte("hello, backscatter")},
+		{Op: OpDecode, Session: "s", Payload: bytes.Repeat([]byte{0xAB}, 300), TimeoutMs: 1500},
+		{Op: OpDecode, Session: "tag-Ω-unicode", Payload: []byte{0}},
+	}
+}
+
+func binResponses() []Response {
+	return []Response{
+		{OK: true, Code: CodeOK},
+		{Code: CodeQueueFull, Error: ErrQueueFull.Error(), Session: "tag-7"},
+		{OK: true, Code: CodeOK, Session: "tag-7", Seq: 42, Delivered: true, PayloadOK: true,
+			Attempts: 3, NoWakes: 1, ACKsDropped: 1, SNRdB: 17.25, Degraded: true},
+		{OK: true, Code: CodeOK, Session: "tag-7", Seq: 9, Stats: &SessionStats{
+			FramesOffered: 9, FramesDelivered: 8, PacketsSent: 11, PayloadBits: 1536,
+			AirtimeSec: 0.0123, ACKsDropped: 1, NoWakes: 2, Backoffs: 1,
+			BackoffSec: 0.5, ConfigSwitches: 3, BitRateBps: 2.5e6,
+		}},
+		{Code: CodeError, Error: "serve: decode panic: boom", Session: "x"},
+	}
+}
+
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	var names internTable
+	for i, want := range binRequests() {
+		body, err := appendRequestBinary(nil, &want)
+		if err != nil {
+			t.Fatalf("req %d: encode: %v", i, err)
+		}
+		var got Request
+		if err := decodeRequestBinary(body, &got, &names); err != nil {
+			t.Fatalf("req %d: decode: %v", i, err)
+		}
+		// The decoder reuses payload capacity, so normalize nil vs empty.
+		if len(want.Payload) == 0 {
+			want.Payload = []byte{}
+		}
+		if got.Op != want.Op || got.Session != want.Session || got.TimeoutMs != want.TimeoutMs ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("req %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	var names internTable
+	for i, want := range binResponses() {
+		body, err := appendResponseBinary(nil, &want)
+		if err != nil {
+			t.Fatalf("resp %d: encode: %v", i, err)
+		}
+		var got Response
+		if err := decodeResponseBinary(body, &got, &names, nil); err != nil {
+			t.Fatalf("resp %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("resp %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestBinaryCodecZeroAlloc pins the tentpole's zero-allocation claim:
+// once buffers have grown and the session id is interned, encoding and
+// decoding one frame in either direction touches the heap zero times.
+func TestBinaryCodecZeroAlloc(t *testing.T) {
+	req := Request{Op: OpDecode, Session: "steady-session", Payload: bytes.Repeat([]byte{7}, 64), TimeoutMs: 250}
+	resp := Response{OK: true, Code: CodeOK, Session: "steady-session", Seq: 12,
+		Delivered: true, PayloadOK: true, Attempts: 1, SNRdB: 21.5}
+	reqBody, err := appendRequestBinary(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody, err := appendResponseBinary(nil, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names internTable
+	var decReq Request
+	var decResp Response
+	// Warm the intern table and the payload buffer.
+	if err := decodeRequestBinary(reqBody, &decReq, &names); err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeResponseBinary(respBody, &decResp, &names, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, 1024)
+	checks := map[string]func(){
+		"encode request":  func() { dst, _ = appendRequestBinary(dst[:0], &req) },
+		"encode response": func() { dst, _ = appendResponseBinary(dst[:0], &resp) },
+		"decode request":  func() { _ = decodeRequestBinary(reqBody, &decReq, &names) },
+		"decode response": func() { _ = decodeResponseBinary(respBody, &decResp, &names, nil) },
+	}
+	for name, fn := range checks {
+		if n := testing.AllocsPerRun(200, fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+}
+
+// TestBinaryDecodeMalformed feeds every truncation of valid frames
+// plus assorted corruption to both decoders: the error must always be
+// typed (ErrBadRequest) and the call must never panic.
+func TestBinaryDecodeMalformed(t *testing.T) {
+	var names internTable
+	check := func(body []byte) {
+		var req Request
+		if err := decodeRequestBinary(body, &req, &names); err != nil && !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("request decoder returned untyped error %v for % x", err, body)
+		}
+		var resp Response
+		if err := decodeResponseBinary(body, &resp, &names, nil); err != nil && !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("response decoder returned untyped error %v for % x", err, body)
+		}
+	}
+	var whole [][]byte
+	for _, r := range binRequests() {
+		b, _ := appendRequestBinary(nil, &r)
+		whole = append(whole, b)
+	}
+	for _, r := range binResponses() {
+		b, _ := appendResponseBinary(nil, &r)
+		whole = append(whole, b)
+	}
+	for _, b := range whole {
+		for cut := 0; cut < len(b); cut++ {
+			check(b[:cut])
+		}
+		check(append(append([]byte(nil), b...), 0xFF)) // trailing junk
+	}
+	// A truncated frame must error, not decode to a short field.
+	full, _ := appendRequestBinary(nil, &Request{Op: OpDecode, Session: "s", Payload: []byte("abc")})
+	var req Request
+	if err := decodeRequestBinary(full[:len(full)-2], &req, &names); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("truncated frame decoded without typed error: %v", err)
+	}
+	check([]byte{})
+	check([]byte{0x7F})                                              // unknown kind
+	check([]byte{binKindDecode, 0xFF})                               // dangling varint
+	check([]byte{binKindDecode, 0x80, 0x80, 0x80, 0x80})             // unterminated varint
+	check([]byte{binKindDecode, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // length way past body
+	check([]byte{binKindResp, 0x00, 0xEE})                           // unknown response code
+}
+
+func startCacheServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "localhost:0"
+	}
+	if cfg.Link.WiFiMbps == 0 {
+		cfg.Link = core.DefaultLinkConfig(1)
+		cfg.Link.Seed = 7
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// TestBinaryClientEndToEnd drives ping/decode/stats through the
+// negotiated binary protocol against a live server.
+func TestBinaryClientEndToEnd(t *testing.T) {
+	srv := startCacheServer(t, Config{SessionCache: true})
+	c, err := DialClient(ClientConfig{Addr: srv.Addr(), Proto: "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := c.Decode("bin-e2e", []byte("binary end to end frame!"))
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if resp.Seq != i+1 {
+			t.Fatalf("decode %d: seq %d", i, resp.Seq)
+		}
+	}
+	st, err := c.Stats("bin-e2e")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.FramesOffered != 3 {
+		t.Fatalf("stats offered %d, want 3", st.FramesOffered)
+	}
+}
+
+// TestBinaryVersionSkew pins the negotiation contract: a client
+// announcing an unknown version gets the server's preamble echoed (so
+// it can report the skew) and then a closed connection.
+func TestBinaryVersionSkew(t *testing.T) {
+	srv := startCacheServer(t, Config{})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'B', 'F', 'B', binVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var ack [4]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		t.Fatalf("reading version ack: %v", err)
+	}
+	if ack != binPreamble {
+		t.Fatalf("ack % x, want server preamble % x", ack, binPreamble)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(ack[:1]); err != io.EOF {
+		t.Fatalf("connection stayed open after version skew (read err %v)", err)
+	}
+}
+
+// TestOneByteAtATimePeer pins the read-buffer policy against the most
+// fragmented peer possible: every wire byte in its own TCP write, for
+// both protocols. io.ReadFull over the buffered reader must reassemble
+// frames regardless of segmentation.
+func TestOneByteAtATimePeer(t *testing.T) {
+	srv := startCacheServer(t, Config{})
+	trickle := func(conn net.Conn, b []byte) {
+		t.Helper()
+		for i := range b {
+			if _, err := conn.Write(b[i : i+1]); err != nil {
+				t.Fatalf("trickle write: %v", err)
+			}
+		}
+	}
+	t.Run("json", func(t *testing.T) {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		var frame bytes.Buffer
+		if err := WriteFrame(&frame, Request{Op: OpPing}); err != nil {
+			t.Fatal(err)
+		}
+		trickle(conn, frame.Bytes())
+		var resp Response
+		if err := ReadFrame(bufioReader(conn), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK {
+			t.Fatalf("ping not OK: %+v", resp)
+		}
+	})
+	t.Run("binary", func(t *testing.T) {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		body, err := appendRequestBinary([]byte{0, 0, 0, 0}, &Request{Op: OpPing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire := append(append([]byte{}, binPreamble[:]...), finishBinaryFrame(body)...)
+		trickle(conn, wire)
+		br := bufioReader(conn)
+		var ack [4]byte
+		if _, err := io.ReadFull(br, ack[:]); err != nil || ack != binPreamble {
+			t.Fatalf("handshake ack % x err %v", ack, err)
+		}
+		fr := &frameReader{br: br, le: true}
+		rb, err := fr.read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		var names internTable
+		if err := decodeResponseBinary(rb, &resp, &names, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK {
+			t.Fatalf("ping not OK: %+v", resp)
+		}
+	})
+}
+
+// TestFrameReaderBoundedRetention pins the buffer-reuse policy: small
+// frames share one buffer, a jumbo frame's buffer is not retained.
+func TestFrameReaderBoundedRetention(t *testing.T) {
+	var wire bytes.Buffer
+	big := bytes.Repeat([]byte{1}, maxRetainedBuf+1)
+	small := []byte("small frame")
+	for _, body := range [][]byte{small, big, small} {
+		var hdr [4]byte
+		le32(hdr[:], uint32(len(body)))
+		wire.Write(hdr[:])
+		wire.Write(body)
+	}
+	fr := &frameReader{br: bufioReader(&wire), le: true}
+	if _, err := fr.read(); err != nil {
+		t.Fatal(err)
+	}
+	capAfterSmall := cap(fr.buf)
+	if _, err := fr.read(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(fr.buf) != capAfterSmall {
+		t.Fatalf("jumbo frame was retained: cap %d", cap(fr.buf))
+	}
+	b, err := fr.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, small) {
+		t.Fatalf("frame after jumbo corrupted: %q", b)
+	}
+}
+
+// responseStream collects one session's decode responses as canonical
+// JSON bytes — the §5g determinism currency.
+func responseStream(t *testing.T, addr, proto, session string, frames int) []byte {
+	t.Helper()
+	c, err := DialClient(ClientConfig{Addr: addr, Proto: proto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out bytes.Buffer
+	for i := 0; i < frames; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 24)
+		resp, err := c.Decode(session, payload)
+		if err != nil {
+			t.Fatalf("%s frame %d: %v", proto, i, err)
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// TestProtocolDeterminism pins the tentpole's contract: the decode
+// stream of a session is byte-identical across JSON vs binary
+// protocol, 1 vs 8 shards, batch bound 1 vs 16, and pooled vs
+// unpooled frame buffers, with the session cache on.
+func TestProtocolDeterminism(t *testing.T) {
+	stream := func(shards, batch int, proto string, pooled bool) []byte {
+		framePoolDisabled.Store(!pooled)
+		defer framePoolDisabled.Store(false)
+		srv := startCacheServer(t, Config{Shards: shards, BatchMax: batch, SessionCache: true})
+		var out []byte
+		for _, sess := range []string{"det-a", "det-b"} {
+			out = append(out, responseStream(t, srv.Addr(), proto, sess, 6)...)
+		}
+		return out
+	}
+	ref := stream(4, 16, "json", true)
+	for _, tc := range []struct {
+		name          string
+		shards, batch int
+		proto         string
+		pooled        bool
+	}{
+		{"binary", 4, 16, "binary", true},
+		{"shards=1", 1, 16, "binary", true},
+		{"shards=8", 8, 16, "binary", true},
+		{"batch=1", 4, 1, "binary", true},
+		{"unpooled", 4, 16, "binary", false},
+	} {
+		if got := stream(tc.shards, tc.batch, tc.proto, tc.pooled); !bytes.Equal(got, ref) {
+			t.Errorf("%s: response stream diverged from JSON/shards=4/batch=16/pooled reference", tc.name)
+		}
+	}
+}
+
+func bufioReader(r io.Reader) *bufio.Reader { return bufio.NewReader(r) }
+
+func le32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}

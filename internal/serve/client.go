@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -54,6 +55,12 @@ type ClientConfig struct {
 	// BreakerCooldown is how long an open circuit rejects calls before
 	// allowing one half-open probe. Default 1s when zero.
 	BreakerCooldown time.Duration
+	// Proto selects the wire protocol: "" or "json" speaks the legacy
+	// length-prefixed JSON frames; "binary" negotiates the zero-copy
+	// binary framing (DESIGN.md §5g) on every (re)connect. The two
+	// protocols carry the same Request/Response contents — a session's
+	// decode stream is byte-identical under either.
+	Proto string
 }
 
 func (c ClientConfig) redialBase() time.Duration {
@@ -122,6 +129,14 @@ type Client struct {
 	bw     *bufio.Writer
 	closed bool
 
+	// Binary-protocol state: the frame reader with its bounded reused
+	// body buffer, the reused encode buffer, and the session intern
+	// table. All nil/zero on JSON connections.
+	binary bool
+	fr     *frameReader
+	wbuf   []byte
+	names  internTable
+
 	jitter   *rand.Rand          // seeded; guarded by mu
 	breakers map[string]*breaker // per session id
 	health   ClientHealth
@@ -140,8 +155,14 @@ func Dial(addr string) (*Client, error) {
 
 // DialClient connects with an explicit configuration.
 func DialClient(cfg ClientConfig) (*Client, error) {
+	switch cfg.Proto {
+	case "", "json", "binary":
+	default:
+		return nil, fmt.Errorf("serve: unknown protocol %q (want json or binary)", cfg.Proto)
+	}
 	c := &Client{
 		cfg:      cfg,
+		binary:   cfg.Proto == "binary",
 		jitter:   newJitter(cfg.JitterSeed),
 		breakers: make(map[string]*breaker),
 		now:      time.Now,
@@ -154,8 +175,9 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
-// connect establishes the connection. Caller holds mu (or the client
-// is not yet shared).
+// connect establishes the connection, negotiating the binary protocol
+// when configured (the handshake reruns on every redial). Caller holds
+// mu (or the client is not yet shared).
 func (c *Client) connect() error {
 	conn, err := c.dial(c.cfg.Addr)
 	if err != nil {
@@ -164,7 +186,40 @@ func (c *Client) connect() error {
 	c.conn = conn
 	c.br = bufio.NewReader(conn)
 	c.bw = bufio.NewWriter(conn)
+	if c.binary {
+		if err := c.negotiate(); err != nil {
+			conn.Close()
+			c.conn, c.br, c.bw = nil, nil, nil
+			return err
+		}
+		c.fr = &frameReader{br: c.br, le: true}
+	}
 	c.health.Dials++
+	return nil
+}
+
+// negotiate runs the binary preamble handshake: send ours, read the
+// server's echo, and require version agreement. Caller holds mu.
+func (c *Client) negotiate() error {
+	if c.cfg.IOTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.cfg.IOTimeout)); err != nil {
+			return err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if _, err := c.conn.Write(binPreamble[:]); err != nil {
+		return fmt.Errorf("serve: binary handshake write: %w", err)
+	}
+	var ack [4]byte
+	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+		return fmt.Errorf("serve: binary handshake read: %w", err)
+	}
+	if ack[0] != binPreamble[0] || ack[1] != binPreamble[1] || ack[2] != binPreamble[2] {
+		return errors.New("serve: peer does not speak the binary protocol")
+	}
+	if ack[3] != binVersion {
+		return fmt.Errorf("serve: binary protocol version skew: server v%d, client v%d", ack[3], binVersion)
+	}
 	return nil
 }
 
@@ -173,7 +228,7 @@ func (c *Client) breakConnLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
-		c.br, c.bw = nil, nil
+		c.br, c.bw, c.fr = nil, nil, nil
 		c.health.BrokenConns++
 	}
 }
@@ -270,7 +325,17 @@ func (c *Client) exchange(req *Request) (*Response, error) {
 			return nil, err
 		}
 	}
-	if err := WriteFrame(c.bw, req); err != nil {
+	if c.binary {
+		b := append(c.wbuf[:0], 0, 0, 0, 0)
+		b, err := appendRequestBinary(b, req)
+		if err != nil {
+			return nil, err
+		}
+		c.wbuf = b
+		if _, err := c.bw.Write(finishBinaryFrame(b)); err != nil {
+			return nil, err
+		}
+	} else if err := WriteFrame(c.bw, req); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -282,7 +347,15 @@ func (c *Client) exchange(req *Request) (*Response, error) {
 		}
 	}
 	var resp Response
-	if err := ReadFrame(c.br, &resp); err != nil {
+	if c.binary {
+		body, err := c.fr.read()
+		if err != nil {
+			return nil, fmt.Errorf("serve: read response: %w", err)
+		}
+		if err := decodeResponseBinary(body, &resp, &c.names, nil); err != nil {
+			return nil, fmt.Errorf("serve: read response: %w", err)
+		}
+	} else if err := ReadFrame(c.br, &resp); err != nil {
 		return nil, fmt.Errorf("serve: read response: %w", err)
 	}
 	return &resp, nil

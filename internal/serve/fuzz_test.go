@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary frame bodies at both binary
+// decoders. The contract under fuzzing: never panic, never over-read
+// (the decoders only slice the body they are handed; declared lengths
+// are bounds-checked first), and every failure is typed — errors.Is
+// ErrBadRequest — so transports can always answer a typed bad_request
+// frame. Valid frames must survive a re-encode round trip.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: valid requests and responses, their truncations, and
+	// version-skewed variants (wrong kind byte, future flag bits).
+	for _, r := range binRequests() {
+		b, err := appendRequestBinary(nil, &r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+		skew := append([]byte{}, b...)
+		skew[0] = 0x7F
+		f.Add(skew)
+	}
+	for _, r := range binResponses() {
+		b, err := appendResponseBinary(nil, &r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+		if len(b) > 1 {
+			skew := append([]byte{}, b...)
+			skew[1] |= 0xE0 // flag bits a future version might define
+			f.Add(skew)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{binKindDecode, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{binKindDecode, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var names internTable
+		var req Request
+		if err := decodeRequestBinary(body, &req, &names); err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("request decode: untyped error %v", err)
+			}
+		} else {
+			// Accepted frames must re-encode to a frame that decodes to
+			// the same values (the wire allows non-canonical varints, so
+			// byte equality is not required — a value fixed point is).
+			re, err := appendRequestBinary(nil, &req)
+			if err != nil {
+				t.Fatalf("re-encode of accepted request failed: %v", err)
+			}
+			var again Request
+			if err := decodeRequestBinary(re, &again, &names); err != nil {
+				t.Fatalf("re-encoded request did not decode: %v", err)
+			}
+			if again.Op != req.Op || again.Session != req.Session ||
+				again.TimeoutMs != req.TimeoutMs || !bytes.Equal(again.Payload, req.Payload) {
+				t.Fatalf("request round trip not a fixed point:\n %+v\n %+v", req, again)
+			}
+		}
+		var resp Response
+		if err := decodeResponseBinary(body, &resp, &names, nil); err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("response decode: untyped error %v", err)
+			}
+		} else {
+			re, err := appendResponseBinary(nil, &resp)
+			if err != nil {
+				t.Fatalf("re-encode of accepted response failed: %v", err)
+			}
+			var again Response
+			if err := decodeResponseBinary(re, &again, &names, nil); err != nil {
+				t.Fatalf("re-encoded response did not decode: %v", err)
+			}
+			rs, as := resp, again
+			rst, ast := rs.Stats, as.Stats
+			rs.Stats, as.Stats = nil, nil
+			sameStats := (rst == nil) == (ast == nil) && (rst == nil || *rst == *ast ||
+				(isNaNStats(rst) && isNaNStats(ast)))
+			if rs != as && !(isNaNResp(&rs) && isNaNResp(&as) && eqRespIgnoringSNR(&rs, &as)) {
+				t.Fatalf("response round trip not a fixed point:\n %+v\n %+v", resp, again)
+			}
+			if !sameStats {
+				t.Fatalf("response stats round trip not a fixed point:\n %+v\n %+v", rst, ast)
+			}
+		}
+	})
+}
+
+// NaN never compares equal to itself, so frames carrying NaN floats
+// (legal on the wire) need a structural comparison.
+func isNaNResp(r *Response) bool { return r.SNRdB != r.SNRdB }
+
+func eqRespIgnoringSNR(a, b *Response) bool {
+	x, y := *a, *b
+	x.SNRdB, y.SNRdB = 0, 0
+	return x == y
+}
+
+func isNaNStats(s *SessionStats) bool {
+	return s.AirtimeSec != s.AirtimeSec || s.BackoffSec != s.BackoffSec || s.BitRateBps != s.BitRateBps
+}

@@ -3,9 +3,12 @@ package serve
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -93,6 +96,16 @@ type Config struct {
 	// lift degraded mode (hysteresis against flapping). 0 defaults
 	// to 8.
 	WatchdogRecover int
+	// SessionCache turns on the per-session link cache
+	// (core.LinkConfig.SessionCache) for every session the daemon
+	// opens: the realized excitation and decoder scratch are reused
+	// across a session's frames instead of rebuilt per job, which is
+	// what lets batched jobs of one session share an excitation packet
+	// inside a shard's parallel pass. Off by default — the cached path
+	// is deterministic but draws the link RNG on a different schedule,
+	// so enabling it changes a session's realized decode stream (see
+	// DESIGN.md §5g).
+	SessionCache bool
 	// Obs receives serving metrics (queue depth, admission outcomes,
 	// per-stage latency, batch sizes, session/connection gauges) and is
 	// propagated into every session link. Nil disables instrumentation.
@@ -318,6 +331,9 @@ func (sh *shard) ensureSession(id string) error {
 func (s *Server) newSession(seedOffset int64) (*core.Session, error) {
 	cfg := s.cfg.Link
 	cfg.Seed += seedOffset
+	if s.cfg.SessionCache {
+		cfg.SessionCache = true
+	}
 	if s.cfg.Adapt {
 		return core.NewAdaptiveSession(cfg, s.cfg.CoherenceRho, s.cfg.MaxRetries, s.cfg.AdaptTuning, s.cfg.AdaptMinSymbolRateHz)
 	}
@@ -514,6 +530,13 @@ type serverMetrics struct {
 	degradeExit  *obs.Counter
 	faultSwitch  *obs.Counter
 	cfgSwitch    *obs.Counter
+
+	// Wire-protocol instruments, one per negotiated protocol.
+	connsJSON, connsBin    *obs.Counter
+	wireRxJSON, wireTxJSON *obs.Counter
+	wireRxBin, wireTxBin   *obs.Counter
+	encJSON, decJSON       *obs.Histogram
+	encBin, decBin         *obs.Histogram
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
@@ -525,6 +548,12 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 	}
 	stage := func(name string) *obs.Histogram {
 		return r.Histogram(obs.MetricServeJobStage, "Per-stage serving latency.", obs.DurationBuckets, "stage", name)
+	}
+	wire := func(dir, proto string) *obs.Counter {
+		return r.Counter(obs.MetricServeWireBytes, "Bytes on the serve wire, by direction and protocol.", "dir", dir, "proto", proto)
+	}
+	codec := func(op, proto string) *obs.Histogram {
+		return r.Histogram(obs.MetricServeFrameCodec, "Per-frame encode/decode latency by protocol.", obs.DurationBuckets, "op", op, "proto", proto)
 	}
 	return serverMetrics{
 		jobsAdmitted: outcome("admitted"),
@@ -545,6 +574,17 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		degradeExit:  r.Counter(obs.MetricServeDegradedTrans, "Degraded-mode transitions.", "dir", "exit"),
 		faultSwitch:  r.Counter(obs.MetricServeFaultSwitches, "Scripted fault-profile switches applied to sessions."),
 		cfgSwitch:    r.Counter(obs.MetricServeConfigSwitches, "Rate-controller ladder moves applied to sessions."),
+
+		connsJSON:  r.Counter(obs.MetricServeConnsProto, "Accepted connections by negotiated protocol.", "proto", "json"),
+		connsBin:   r.Counter(obs.MetricServeConnsProto, "Accepted connections by negotiated protocol.", "proto", "binary"),
+		wireRxJSON: wire("rx", "json"),
+		wireTxJSON: wire("tx", "json"),
+		wireRxBin:  wire("rx", "binary"),
+		wireTxBin:  wire("tx", "binary"),
+		encJSON:    codec("encode", "json"),
+		decJSON:    codec("decode", "json"),
+		encBin:     codec("encode", "binary"),
+		decBin:     codec("decode", "binary"),
 	}
 }
 
@@ -661,6 +701,11 @@ func (s *Server) acceptLoop() {
 // breaking the determinism contract; concurrency comes from many
 // connections. A panic anywhere in the handler is isolated to this
 // connection.
+//
+// The first byte picks the protocol: 'B' (0x42) opens the binary
+// negotiation preamble, anything else — in practice 0x00, the high
+// byte of a JSON frame's big-endian length — serves the legacy JSON
+// stream byte-identically.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWg.Done()
 	defer func() {
@@ -674,9 +719,27 @@ func (s *Server) handleConn(c net.Conn) {
 	}()
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == binPreamble[0] {
+		s.serveBinary(br, bw)
+		return
+	}
+	s.serveJSON(br, bw)
+}
+
+// serveJSON is the legacy request loop, unchanged on the wire: the
+// only structural difference from the original handler is that frame
+// bodies land in one bounded reused buffer per connection instead of
+// a fresh allocation per frame.
+func (s *Server) serveJSON(br *bufio.Reader, bw *bufio.Writer) {
+	s.m.connsJSON.Inc()
+	fr := &frameReader{br: br}
 	for {
-		var req Request
-		if err := ReadFrame(br, &req); err != nil {
+		body, err := fr.read()
+		if err != nil {
 			// A malformed-but-framed request gets a typed answer before
 			// the connection drops; transport errors (EOF) just close.
 			if errors.Is(err, ErrBadRequest) {
@@ -685,13 +748,113 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 			return
 		}
+		s.m.wireRxJSON.Add(int64(len(body)) + 4)
+		var req Request
+		t0 := time.Now()
+		uerr := json.Unmarshal(body, &req)
+		s.m.decJSON.Observe(time.Since(t0).Seconds())
+		if uerr != nil {
+			_ = WriteFrame(bw, Response{Code: CodeBadRequest, Error: fmt.Sprintf("%v: %v", ErrBadRequest, uerr)})
+			_ = bw.Flush()
+			return
+		}
 		resp := s.dispatch(&req)
-		if err := WriteFrame(bw, resp); err != nil {
+		t0 = time.Now()
+		wb, err := json.Marshal(resp)
+		s.m.encJSON.Observe(time.Since(t0).Seconds())
+		if err != nil || len(wb) > MaxFrameBytes {
+			return
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(wb)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := bw.Write(wb); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		s.m.wireTxJSON.Add(int64(len(wb)) + 4)
+	}
+}
+
+// serveBinary validates the negotiation preamble, echoes the server's
+// own (the version handshake), and serves binary frames. The request
+// struct, its payload buffer, the frame read buffer, and the session
+// intern table are all reused across the connection's frames: steady
+// state decodes and encodes without heap allocation. Payload aliasing
+// is safe because dispatch blocks until the job answered — the next
+// frame is not read while a job still references the buffer.
+func (s *Server) serveBinary(br *bufio.Reader, bw *bufio.Writer) {
+	var pre [4]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return
+	}
+	if pre[0] != binPreamble[0] || pre[1] != binPreamble[1] || pre[2] != binPreamble[2] {
+		return
+	}
+	// Echo our preamble whether or not the versions match: the client
+	// reads it and decides. On skew we close after the echo — the
+	// client surfaces a version error rather than a framing one.
+	if _, err := bw.Write(binPreamble[:]); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	if pre[3] != binVersion {
+		return
+	}
+	s.m.connsBin.Inc()
+	fr := &frameReader{br: br, le: true}
+	var names internTable
+	var req Request
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	fail := func(err error) {
+		b := append((*buf)[:0], 0, 0, 0, 0)
+		b, eerr := appendResponseBinary(b, &Response{Code: CodeBadRequest, Error: err.Error()})
+		if eerr != nil {
+			return
+		}
+		*buf = b
+		_, _ = bw.Write(finishBinaryFrame(b))
+		_ = bw.Flush()
+	}
+	for {
+		body, err := fr.read()
+		if err != nil {
+			if errors.Is(err, ErrBadRequest) {
+				fail(err)
+			}
+			return
+		}
+		s.m.wireRxBin.Add(int64(len(body)) + 4)
+		t0 := time.Now()
+		derr := decodeRequestBinary(body, &req, &names)
+		s.m.decBin.Observe(time.Since(t0).Seconds())
+		if derr != nil {
+			fail(derr)
+			return
+		}
+		resp := s.dispatch(&req)
+		b := append((*buf)[:0], 0, 0, 0, 0)
+		t0 = time.Now()
+		b, eerr := appendResponseBinary(b, &resp)
+		s.m.encBin.Observe(time.Since(t0).Seconds())
+		if eerr != nil {
+			return
+		}
+		*buf = b
+		if _, err := bw.Write(finishBinaryFrame(b)); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		s.m.wireTxBin.Add(int64(len(b)))
 	}
 }
 

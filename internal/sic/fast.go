@@ -1,0 +1,158 @@
+package sic
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"backfi/internal/dsp"
+	"backfi/internal/linalg"
+)
+
+// Reusable is the serving hot path's canceller: one instance per
+// session that is retrained every frame (the AR(1) channel decorrelates
+// too fast for stale taps to survive a step) but reuses every buffer —
+// tap vectors, normal-equation workspaces, reconstruction scratch — so
+// steady-state retraining allocates nothing. It also works over sample
+// windows: training reads only the silent window and CancelRange
+// reconstructs interference only where the decoder will look, instead
+// of over the whole capture.
+//
+// Numerics: Retrain solves the same ridge normal equations as Train
+// via linalg.ToeplitzLSFast, which sums the Gram in a different order —
+// results are deterministic but not bit-identical to Train. The fast
+// serve path owns its determinism contract end to end (see DESIGN.md
+// §5g), so that is the intended trade.
+//
+// Not safe for concurrent use; the reader daemon keys one per session,
+// and sessions are serialized per shard.
+type Reusable struct {
+	cfg     Config
+	analog  []complex128
+	digital []complex128
+	report  Report
+
+	wsA, wsD linalg.ToeplitzWorkspace
+	work     []complex128 // y minus analog reconstruction (window only)
+	scratch  []complex128 // convolution reconstruction buffer
+	scratch2 []complex128 // second stage reconstruction buffer
+}
+
+// NewReusable validates cfg and returns an untrained reusable
+// canceller. Call Retrain before CancelRange.
+func NewReusable(cfg Config) (*Reusable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reusable{
+		cfg:     cfg,
+		analog:  make([]complex128, cfg.AnalogTaps),
+		digital: make([]complex128, cfg.DigitalTaps),
+	}, nil
+}
+
+// Retrain re-estimates both cancellation stages from the silent window
+// [start, stop) of y, exactly as Train does but into the receiver's
+// preallocated state. xTap/xIdeal are the PA-output and ideal transmit
+// copies; only their samples up to stop are read.
+func (c *Reusable) Retrain(xTap, xIdeal, y []complex128, start, stop int) error {
+	cfg := c.cfg
+	if stop-start < cfg.DigitalTaps*2 {
+		return fmt.Errorf("sic: training window of %d samples too short for %d taps", stop-start, cfg.DigitalTaps)
+	}
+	c.report.BeforeDBm = dsp.DBm(dsp.Power(y[start:stop]))
+
+	work := y
+	if cfg.AnalogTaps > 0 {
+		hA, err := linalg.ToeplitzLSFast(&c.wsA, xTap, y, cfg.AnalogTaps, start, stop, cfg.Lambda)
+		if err != nil {
+			return fmt.Errorf("sic: analog estimate: %w", err)
+		}
+		quantizeTapsInto(c.analog, hA, cfg.AnalogMagBits, cfg.AnalogPhaseBits)
+		c.scratch = dsp.ConvolveRangeInto(c.scratch, xTap, c.analog, start, stop)
+		if cap(c.work) < len(y) {
+			c.work = make([]complex128, len(y))
+		}
+		c.work = c.work[:len(y)]
+		for n := start; n < stop; n++ {
+			c.work[n] = y[n] - c.scratch[n]
+		}
+		work = c.work
+		c.report.AfterAnalogDBm = dsp.DBm(dsp.Power(work[start:stop]))
+	} else {
+		c.report.AfterAnalogDBm = c.report.BeforeDBm
+	}
+
+	hD, err := linalg.ToeplitzLSFast(&c.wsD, xIdeal, work, cfg.DigitalTaps, start, stop, cfg.Lambda)
+	if err != nil {
+		return fmt.Errorf("sic: digital estimate: %w", err)
+	}
+	copy(c.digital, hD)
+	c.scratch2 = dsp.ConvolveRangeInto(c.scratch2, xIdeal, c.digital, start, stop)
+	var pw float64
+	for n := start; n < stop; n++ {
+		r := work[n] - c.scratch2[n]
+		pw += real(r)*real(r) + imag(r)*imag(r)
+	}
+	c.report.AfterDBm = dsp.DBm(pw / float64(stop-start))
+	c.report.CancellationDB = c.report.BeforeDBm - c.report.AfterDBm
+	return nil
+}
+
+// CancelRange writes y minus the reconstructed self-interference over
+// samples [lo, hi) into dst (grown to len(y) if needed; samples outside
+// the window are left as-is) and returns dst. The reconstruction uses
+// the taps from the latest Retrain.
+func (c *Reusable) CancelRange(dst, xTap, xIdeal, y []complex128, lo, hi int) []complex128 {
+	if cap(dst) < len(y) {
+		dst = make([]complex128, len(y))
+	}
+	dst = dst[:len(y)]
+	lo = max(lo, 0)
+	hi = min(hi, len(y))
+	if lo >= hi {
+		return dst
+	}
+	c.scratch2 = dsp.ConvolveRangeInto(c.scratch2, xIdeal, c.digital, lo, hi)
+	if c.cfg.AnalogTaps > 0 {
+		c.scratch = dsp.ConvolveRangeInto(c.scratch, xTap, c.analog, lo, hi)
+		for n := lo; n < hi; n++ {
+			dst[n] = y[n] - c.scratch[n] - c.scratch2[n]
+		}
+		return dst
+	}
+	for n := lo; n < hi; n++ {
+		dst[n] = y[n] - c.scratch2[n]
+	}
+	return dst
+}
+
+// Report returns the training-window power summary of the last Retrain.
+func (c *Reusable) Report() Report { return c.report }
+
+// quantizeTapsInto is quantizeTaps writing into a caller-owned slice
+// (len(dst) == len(taps)) so the hot path's per-frame analog
+// requantization allocates nothing.
+func quantizeTapsInto(dst, taps []complex128, magBits, phaseBits int) {
+	maxMag := 0.0
+	for _, t := range taps {
+		if m := cmplx.Abs(t); m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	magSteps := float64(int(1) << uint(magBits))
+	phaseSteps := float64(int(1) << uint(phaseBits))
+	for i, t := range taps {
+		m := cmplx.Abs(t)
+		ph := cmplx.Phase(t)
+		qm := math.Round(m/maxMag*magSteps) / magSteps * maxMag
+		qp := math.Round(ph/(2*math.Pi)*phaseSteps) / phaseSteps * 2 * math.Pi
+		dst[i] = cmplx.Rect(qm, qp)
+	}
+}
