@@ -310,3 +310,58 @@ func NewAdaptiveSession(cfg LinkConfig, coherenceRho float64, maxRetries int, ac
 
 // DialReaderClient connects with the self-healing configuration.
 func DialReaderClient(cfg ReaderClientConfig) (*ReaderClient, error) { return serve.DialClient(cfg) }
+
+// Observability, continued (DESIGN.md §5h): per-frame distributed
+// tracing with deterministic head sampling, a black-box flight recorder
+// for rare serving events, and rolling-window SLO burn-rate tracking.
+// All three follow the registry's contract — pure observers, nil-safe,
+// and free when disabled.
+type (
+	// Tracer samples frames into a bounded in-memory span ring;
+	// exported traces open in chrome://tracing or Perfetto.
+	Tracer = obs.Tracer
+	// TracerConfig sets the sampling seed, rate, and ring capacity.
+	TracerConfig = obs.TracerConfig
+	// TraceCtx is one frame's sampling decision, threaded through the
+	// serve and decode stages. The zero value records nothing.
+	TraceCtx = obs.TraceCtx
+	// TraceEvent is one recorded span.
+	TraceEvent = obs.TraceEvent
+	// FlightRecorder keeps the last N structured serving events and can
+	// auto-dump them to a file when an anomaly is recorded.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one recorded flight event.
+	FlightEvent = obs.FlightEvent
+	// SLOTracker evaluates delivery-rate and p99-latency objectives
+	// over a rolling window and reports burn rates against them.
+	SLOTracker = obs.SLO
+	// SLOTrackerConfig sets the window and objectives (zero-valued
+	// fields take package defaults).
+	SLOTrackerConfig = obs.SLOConfig
+	// SLOSnapshot is one point-in-time SLO evaluation.
+	SLOSnapshot = obs.SLOSnapshot
+	// OpsServeOpts assembles the ops HTTP surface: metrics, trace and
+	// flight-recorder dumps, health and readiness.
+	OpsServeOpts = obs.ServeOpts
+)
+
+// NewTracer builds a span tracer; set it on ReaderConfig.Tracer and
+// ReaderClientConfig.Tracer (a client and daemon sharing seed and rate
+// derive identical per-frame trace ids).
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// NewFlightRecorder builds a flight recorder holding the last capacity
+// events (0 = default).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
+// NewSLOTracker builds a rolling-window SLO evaluator; set it on
+// ReaderConfig.SLO.
+func NewSLOTracker(cfg SLOTrackerConfig) *SLOTracker { return obs.NewSLO(cfg) }
+
+// ServeOps exposes the full ops surface on addr: everything
+// ServeMetrics serves, plus /debug/trace, /debug/flightrecorder,
+// /healthz and /readyz. It returns the running server and the bound
+// address.
+func ServeOps(addr string, o OpsServeOpts) (*http.Server, string, error) {
+	return obs.ServeOps(addr, o)
+}

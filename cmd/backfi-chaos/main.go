@@ -61,6 +61,8 @@ func main() {
 	minRatio := flag.Float64("min-ratio", 2, "assert adaptive delivery ≥ this multiple of fixed delivery (0 disables)")
 	floor := flag.Float64("floor", 0.45, "assert adaptive delivery rate ≥ this absolute floor (0 disables)")
 	out := flag.String("out", "", "merge the run's summary under a \"chaos\" key in this JSON file")
+	flightOut := flag.String("flight-out", "", "write the flight recorder's event dump to this JSON file (also armed for anomaly auto-dump)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
 	flag.Parse()
 
 	goroutinesStart := runtime.NumGoroutine()
@@ -68,6 +70,18 @@ func main() {
 	tlSpec := *timeline
 	link := core.DefaultLinkConfig(*distance)
 	link.Seed = *seed
+
+	// One tracer and one flight recorder span the whole run — both
+	// daemons and every client — so a watchdog trip on the adaptive
+	// daemon lands next to the connection kills that bracketed it, each
+	// carrying the trace id of the frame that tripped it. Every frame is
+	// traced (SampleEvery 1): chaos runs are short and the point is a
+	// complete black-box record, not a sampled one.
+	tracer := obs.NewTracer(obs.TracerConfig{Seed: *seed, SampleEvery: 1})
+	flight := obs.NewFlightRecorder(0)
+	if *flightOut != "" {
+		flight.SetDumpPath(*flightOut)
+	}
 
 	// One daemon per policy; same template, same scripted faults. Each
 	// parses its own Timeline (the spec is immutable but keeping them
@@ -85,6 +99,8 @@ func main() {
 			Shards:       *shards,
 			Timeline:     tl,
 			Obs:          obs.NewRegistry(),
+			Tracer:       tracer,
+			Flight:       flight,
 		}
 		if adaptive {
 			cfg.Adapt = true
@@ -108,11 +124,11 @@ func main() {
 	log.Printf("fixed daemon on %s, adaptive daemon on %s (distance=%.3gm timeline=%q)",
 		fixedSrv.Addr(), adaptSrv.Addr(), *distance, tlSpec)
 
-	fixed, err := soak(fixedSrv.Addr(), *sessions, *frames, *payload, *killEvery, *seed)
+	fixed, err := soak(fixedSrv.Addr(), *sessions, *frames, *payload, *killEvery, *seed, flight)
 	if err != nil {
 		log.Fatalf("fixed daemon: %v", err)
 	}
-	adaptive, err := soak(adaptSrv.Addr(), *sessions, *frames, *payload, *killEvery, *seed)
+	adaptive, err := soak(adaptSrv.Addr(), *sessions, *frames, *payload, *killEvery, *seed, flight)
 	if err != nil {
 		log.Fatalf("adaptive daemon: %v", err)
 	}
@@ -140,6 +156,7 @@ func main() {
 		ratio = adaptive.DeliveryRate / (1.0 / float64(adaptive.Offered)) // lower bound: fixed delivered < 1 frame
 	}
 
+	traces, spans, droppedSpans := tracer.Stats()
 	sum := map[string]any{
 		"distance_m":         *distance,
 		"timeline":           tlSpec,
@@ -155,6 +172,13 @@ func main() {
 		"floor":              *floor,
 		"goroutines_start":   goroutinesStart,
 		"goroutines_end":     goroutinesEnd,
+		"flight_events":      len(flight.Events()),
+		"watchdog_trips":     flight.Count(obs.FlightWatchdogTrip),
+		"redial_events":      flight.Count(obs.FlightRedial),
+		"conn_broken_events": flight.Count(obs.FlightConnBroken),
+		"traces":             traces,
+		"trace_spans":        spans,
+		"trace_spans_drop":   droppedSpans,
 	}
 
 	var failures []string
@@ -171,7 +195,53 @@ func main() {
 	if goroutinesEnd > goroutinesStart {
 		failures = append(failures, fmt.Sprintf("goroutine leak: %d before, %d after shutdown", goroutinesStart, goroutinesEnd))
 	}
+	// Satellite assertions on the black-box record itself: every scripted
+	// connection kill must leave a conn_broken event AND a healing redial
+	// event, and the adaptive daemon's watchdog trip must carry the trace
+	// id of the frame that tripped it (the flight recorder and tracer are
+	// cross-linked, not independent logs).
+	totalKills := fixed.ConnKills + adaptive.ConnKills
+	if *killEvery > 0 {
+		if n := flight.Count(obs.FlightConnBroken); n < totalKills {
+			failures = append(failures, fmt.Sprintf("flight recorder saw %d conn_broken events for %d connection kills", n, totalKills))
+		}
+		if n := flight.Count(obs.FlightRedial); n < totalKills {
+			failures = append(failures, fmt.Sprintf("flight recorder saw %d redial events for %d connection kills", n, totalKills))
+		}
+	}
+	if *wdAfter > 0 {
+		trippedWithTrace := false
+		for _, ev := range flight.Events() {
+			if ev.Kind == obs.FlightWatchdogTrip && ev.Trace != 0 {
+				trippedWithTrace = true
+				break
+			}
+		}
+		if !trippedWithTrace {
+			failures = append(failures, "no watchdog_trip flight event with a linked trace id (did the interference regime change?)")
+		}
+	}
 	sum["pass"] = len(failures) == 0
+
+	if *flightOut != "" {
+		if err := flight.DumpFile(*flightOut); err != nil {
+			log.Fatalf("flight-out: %v", err)
+		}
+		log.Printf("wrote flight dump %s (%d events)", *flightOut, len(flight.Events()))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		log.Printf("wrote %s (%d traces, %d spans)", *traceOut, traces, spans)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -216,7 +286,7 @@ type soakResult struct {
 
 // soak drives sessions*frames decode jobs through self-healing
 // clients, severing each connection every killEvery frames.
-func soak(addr string, sessions, frames, payloadBytes, killEvery int, seed int64) (*soakResult, error) {
+func soak(addr string, sessions, frames, payloadBytes, killEvery int, seed int64, flight *obs.FlightRecorder) (*soakResult, error) {
 	type sessionOutcome struct {
 		delivered, failed, kills int
 		health                   serve.ClientHealth
@@ -238,6 +308,7 @@ func soak(addr string, sessions, frames, payloadBytes, killEvery int, seed int64
 				RedialBase: 2 * time.Millisecond,
 				RedialMax:  50 * time.Millisecond,
 				JitterSeed: seed + int64(s),
+				Flight:     flight,
 			})
 			if err != nil {
 				r.err = err

@@ -30,6 +30,7 @@ import (
 	"backfi/internal/core"
 	"backfi/internal/fault"
 	"backfi/internal/fec"
+	"backfi/internal/obs"
 	"backfi/internal/serve"
 	"backfi/internal/tag"
 )
@@ -60,12 +61,23 @@ func main() {
 	compare := flag.Bool("compare-protos", false, "run the workload once per protocol on fresh identical daemons (best of two runs each) and exit non-zero unless binary goodput ≥ JSON goodput (-selfserve only)")
 	out := flag.String("out", "", "merge the run's summary into this JSON file")
 	outKey := flag.String("out-key", "serving", "top-level key the summary merges under with -out")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's sampled frames to this file (open in chrome://tracing or Perfetto)")
+	traceSample := flag.Int("trace-sample", 1, "with -trace-out, head-sample 1/N frames per session into the trace")
 	flag.Parse()
 
 	switch *proto {
 	case "json", "binary":
 	default:
 		log.Fatalf("proto: unknown protocol %q (want json or binary)", *proto)
+	}
+
+	// One tracer shared by the clients and the self-served daemon: both
+	// derive the same per-frame trace ids from (seed, session, index), so
+	// the exported trace strings client send, serve stages, and decode
+	// pipeline stages together under one id per frame.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.TracerConfig{Seed: *seed, SampleEvery: *traceSample})
 	}
 
 	newServer := func() *serve.Server {
@@ -106,6 +118,8 @@ func main() {
 			Adapt:                *adapt,
 			AdaptMinSymbolRateHz: *minSymRate,
 			Timeline:             tl,
+
+			Tracer: tracer,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -135,9 +149,23 @@ func main() {
 		log.Fatal("need -addr or -selfserve")
 	}
 
-	sum, err := run(target, *proto, *sessions, *frames, *payload)
+	sum, err := run(target, *proto, *sessions, *frames, *payload, tracer)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		traces, spans, dropped := tracer.Stats()
+		log.Printf("wrote %s (%d traces, %d spans, %d dropped)", *traceOut, traces, spans, dropped)
 	}
 	sum["sessions"] = *sessions
 	sum["frames_per_session"] = *frames
@@ -174,7 +202,7 @@ func compareProtos(newServer func() *serve.Server, sessions, frames, payload int
 	for _, proto := range []string{"json", "binary"} {
 		for attempt := 0; attempt < 2; attempt++ {
 			srv := newServer()
-			sum, err := run(srv.Addr(), proto, sessions, frames, payload)
+			sum, err := run(srv.Addr(), proto, sessions, frames, payload, nil)
 			srv.Shutdown(context.Background())
 			if err != nil {
 				log.Fatal(err)
@@ -194,7 +222,7 @@ func compareProtos(newServer func() *serve.Server, sessions, frames, payload int
 // run offers sessions*frames jobs closed-loop and aggregates the
 // outcome into the serving summary. Latencies are recorded in
 // microseconds.
-func run(addr, proto string, sessions, frames, payloadBytes int) (map[string]any, error) {
+func run(addr, proto string, sessions, frames, payloadBytes int, tracer *obs.Tracer) (map[string]any, error) {
 	type sessionResult struct {
 		delivered int
 		rejected  int
@@ -210,7 +238,7 @@ func run(addr, proto string, sessions, frames, payloadBytes int) (map[string]any
 		go func(s int) {
 			defer wg.Done()
 			r := &results[s]
-			c, err := serve.DialClient(serve.ClientConfig{Addr: addr, Proto: proto})
+			c, err := serve.DialClient(serve.ClientConfig{Addr: addr, Proto: proto, Tracer: tracer})
 			if err != nil {
 				r.err = err
 				return

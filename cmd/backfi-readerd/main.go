@@ -52,7 +52,13 @@ func main() {
 	wdRecover := flag.Int("watchdog-recover", 0, "consecutive healthy frames to lift degraded mode (0 = default 8)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline measured from admission (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for admitted jobs")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ (e.g. localhost:9090)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the ops surface on ADDR: /metrics, /healthz, /readyz, /debug/trace, /debug/flightrecorder, /debug/pprof/ (e.g. localhost:9090)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1/N decode frames into the span ring (0 disables tracing, 1 traces every frame)")
+	traceSeed := flag.Int64("trace-seed", 0, "trace sampling seed; a client with the same seed derives identical ids (0 = the -seed value)")
+	flightOut := flag.String("flight-out", "", "arm the flight recorder's anomaly auto-dump to this JSON file (watchdog trips, panics, SIGTERM)")
+	sloDelivery := flag.Float64("slo-delivery", 0.9, "SLO delivery objective: minimum delivered fraction over the rolling window")
+	sloLatency := flag.Duration("slo-latency", 25*time.Millisecond, "SLO latency objective: p99 per-frame serving latency bound")
+	sloWindow := flag.Duration("slo-window", time.Minute, "SLO rolling evaluation window")
 	flag.Parse()
 
 	link := core.DefaultLinkConfig(*distance)
@@ -79,12 +85,25 @@ func main() {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 		parallel.SetRegistry(reg)
-		_, bound, err := obs.Serve(*metricsAddr, reg)
-		if err != nil {
-			log.Fatalf("metrics-addr: %v", err)
-		}
-		log.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof/", bound, bound)
 	}
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		ts := *traceSeed
+		if ts == 0 {
+			ts = *seed
+		}
+		tracer = obs.NewTracer(obs.TracerConfig{Seed: ts, SampleEvery: *traceSample})
+	}
+	flight := obs.NewFlightRecorder(0)
+	if *flightOut != "" {
+		flight.SetDumpPath(*flightOut)
+	}
+	slo := obs.NewSLO(obs.SLOConfig{
+		Window:              *sloWindow,
+		DeliveryObjective:   *sloDelivery,
+		LatencyObjectiveSec: sloLatency.Seconds(),
+		Obs:                 reg,
+	})
 
 	srv, err := serve.NewServer(serve.Config{
 		Addr:         *addr,
@@ -106,7 +125,10 @@ func main() {
 		WatchdogResidualDBm:  *wdResidual,
 		WatchdogRecover:      *wdRecover,
 
-		Obs: reg,
+		Obs:    reg,
+		Tracer: tracer,
+		Flight: flight,
+		SLO:    slo,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -114,12 +136,26 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)
 	}
+	if *metricsAddr != "" {
+		_, bound, err := obs.ServeOps(*metricsAddr, obs.ServeOpts{
+			Registry: reg,
+			Tracer:   tracer,
+			Flight:   flight,
+			SLO:      slo,
+			Ready:    func() bool { return !srv.Draining() },
+		})
+		if err != nil {
+			log.Fatalf("metrics-addr: %v", err)
+		}
+		log.Printf("ops: http://%s/metrics  health: http://%s/healthz  pprof: http://%s/debug/pprof/", bound, bound, bound)
+	}
 	log.Printf("listening on %s (shards=%d queue=%d batch=%d distance=%.2gm)",
 		srv.Addr(), *shards, *queue, *batch, *distance)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
+	flight.Anomaly(obs.FlightSigterm, "", s.String(), 0)
 	log.Printf("%s: draining (new jobs rejected, admitted jobs finishing)...", s)
 	if err := srv.Shutdown(context.Background()); err != nil {
 		log.Fatalf("drain incomplete: %v", err)

@@ -94,6 +94,7 @@ func main() {
 	interfDBm := flag.Float64("interf-power", -70, "co-channel interference burst power in dBm (with -interf-duty)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on ADDR/metrics and pprof on ADDR/debug/pprof/ while running (e.g. localhost:9090)")
 	manifestOut := flag.String("manifest", "", "write a per-run manifest (config, seed, build info, metric snapshot) to this JSON file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every packet's decode pipeline stages to this file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	tcfg := backfi.TagConfig{
@@ -154,6 +155,10 @@ func main() {
 		}
 		log.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof/", bound, bound)
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.TracerConfig{Seed: *seed, SampleEvery: 1})
+	}
 	var man *obs.Manifest
 	if *manifestOut != "" {
 		man = obs.NewManifest("backfi-sim", map[string]any{
@@ -194,6 +199,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if tracer != nil {
+			link.SetTrace(tracer.Head("sim", p))
+		}
 		res, err := runWith(link, *excitation, link.RandomPayload(*bytes), cfg.Seed)
 		if err != nil {
 			log.Fatal(err)
@@ -214,6 +222,20 @@ func main() {
 			res.RawBER(), res.RawBitErrors, res.RawBits, res.ViterbiCorrectedBits)
 	}
 	fmt.Printf("\n%d/%d packets decoded\n", ok, *packets)
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		traces, spans, _ := tracer.Stats()
+		log.Printf("wrote %s (%d traces, %d spans)", *traceOut, traces, spans)
+	}
 	if man != nil {
 		man.Finish(reg)
 		if err := man.WriteFile(*manifestOut); err != nil {

@@ -39,3 +39,35 @@ func benchRunPacket(b *testing.B, reg *obs.Registry) {
 func BenchmarkRunPacket(b *testing.B) { benchRunPacket(b, nil) }
 
 func BenchmarkRunPacketInstrumented(b *testing.B) { benchRunPacket(b, obs.NewRegistry()) }
+
+// BenchmarkRunPacketNilTracer is the tracing analogue of the
+// nil-registry pair: a tracer is configured but samples (effectively)
+// nothing, so every frame takes the realistic "tracing on, frame not
+// sampled" path — Head() per packet plus a zero TraceCtx through every
+// span site, which must cost only pointer compares (no clock reads).
+// The CI gate holds this within 2% of BenchmarkRunPacket from the same
+// run.
+func BenchmarkRunPacketNilTracer(b *testing.B) {
+	tr := obs.NewTracer(obs.TracerConfig{SampleEvery: 1 << 30})
+	cfg := DefaultLinkConfig(1)
+	payloads := make([][]byte, b.N)
+	links := make([]*Link, b.N)
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Seed = int64(i + 1)
+		link, err := NewLink(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		links[i] = link
+		payloads[i] = link.RandomPayload(24)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links[i].SetTrace(tr.Head("bench", i))
+		if _, err := links[i].RunPacket(payloads[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -81,6 +81,7 @@ func (l *Link) runPacketHot(payload []byte) (*PacketResult, error) {
 		hi = len(x)
 	}
 
+	tspChan := l.trace.Start("channel_sim")
 	spChan := l.m.spanChannelSim.Start()
 
 	// Tag side: forward channel over the window (the wake detector also
@@ -125,12 +126,15 @@ func (l *Link) runPacketHot(payload []byte) (*PacketResult, error) {
 	}
 	l.Scenario.Noise.AddInPlaceRange(h.y, packetStart, hi)
 	spChan.End()
+	tspChan.End()
 
 	// Decode sees the window as the packet: available symbols are
 	// bounded by hi, which covers the frame plus timing slack.
+	tspDec := l.trace.Start("decode_total")
 	spDec := l.m.spanDecode.Start()
 	res, err := h.stream.Decode(x, xAir, h.y, packetStart, hi-packetStart, tcfg)
 	spDec.End()
+	tspDec.End()
 	if err != nil {
 		return nil, err
 	}
@@ -169,9 +173,11 @@ func (l *Link) runPacketHot(payload []byte) (*PacketResult, error) {
 // packet configuration, keeping the stream decoder (and its trained
 // scratch capacity) across rebuilds.
 func (l *Link) rebuildHot(nppdu int) (*hotState, error) {
+	tspExc := l.trace.Start("excitation_build")
 	spExc := l.m.spanExcitation.Start()
 	x, packetStart, err := buildExcitation(l.rng, l.rate, l.Cfg.WiFiPSDUBytes, l.Scenario.TxPowerW(), l.Tag, nppdu)
 	spExc.End()
+	tspExc.End()
 	if err != nil {
 		return nil, err
 	}

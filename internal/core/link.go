@@ -228,6 +228,19 @@ type Link struct {
 	// faultEpoch counts SetFaultProfile calls; it salts each new
 	// injector's seed so successive profiles draw decorrelated streams.
 	faultEpoch int
+	// trace is the per-frame trace context (DESIGN.md §5h); the serving
+	// layer reassigns it before each RunPacket. Zero = tracing off.
+	trace obs.TraceCtx
+}
+
+// SetTrace points the next RunPacket at a per-frame trace context and
+// propagates it down the pipeline (reader stages, SIC training). The
+// zero TraceCtx disables tracing; reassignment is two word copies, so
+// per-frame switching costs nothing. Tracing never feeds back into the
+// computation — the decode byte stream is identical traced or not.
+func (l *Link) SetTrace(t obs.TraceCtx) {
+	l.trace = t
+	l.rdr.SetTrace(t)
 }
 
 // faultSeedSalt decorrelates the injector's RNG stream from the link's
@@ -393,14 +406,17 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 		nppdu = 1
 	}
 
+	tspExc := l.trace.Start("excitation_build")
 	spExc := l.m.spanExcitation.Start()
 	x, packetStart, err := buildExcitation(l.rng, l.rate, l.Cfg.WiFiPSDUBytes, l.Scenario.TxPowerW(), l.Tag, nppdu)
 	spExc.End()
+	tspExc.End()
 	if err != nil {
 		return nil, err
 	}
 	packetLen := len(x) - packetStart
 
+	tspChan := l.trace.Start("channel_sim")
 	spChan := l.m.spanChannelSim.Start()
 
 	// Air: the transmitted waveform carries hardware distortion the
@@ -452,10 +468,13 @@ func (l *Link) RunPacket(payload []byte) (*PacketResult, error) {
 	l.inj.ApplyADC(y)
 	l.inj.TruncateTail(y, packetStart, packetLen)
 	spChan.End()
+	tspChan.End()
 
+	tspDec := l.trace.Start("decode_total")
 	spDec := l.m.spanDecode.Start()
 	res, err := l.rdr.Decode(x, xAir, y, packetStart, packetLen, l.Tag.Cfg)
 	spDec.End()
+	tspDec.End()
 	if err != nil {
 		return nil, err
 	}

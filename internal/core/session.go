@@ -8,6 +8,7 @@ import (
 	"backfi/internal/adapt"
 	"backfi/internal/channel"
 	"backfi/internal/fault"
+	"backfi/internal/obs"
 	"backfi/internal/tag"
 )
 
@@ -170,6 +171,12 @@ func NewAdaptiveSession(cfg LinkConfig, coherenceRho float64, maxRetries int, ac
 
 // Link exposes the underlying link (e.g. for diagnostics).
 func (s *Session) Link() *Link { return s.link }
+
+// SetTrace points the session's next Send at a per-frame trace
+// context (DESIGN.md §5h), propagated through the link into every
+// decode stage. The serving layer reassigns it per job — a zero
+// TraceCtx switches tracing off again.
+func (s *Session) SetTrace(t obs.TraceCtx) { s.link.SetTrace(t) }
 
 // SetTagConfig forces the session's link onto a configuration,
 // bypassing the controller — the serving layer's degraded mode uses it

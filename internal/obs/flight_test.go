@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightConfigSwitch, "s", "", 0)
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// Seqs are global and monotonic; the ring keeps the newest.
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightRedial, "s", "d", 1)
+	f.Anomaly(FlightJobPanic, "s", "d", 1)
+	f.SetDumpPath("/nonexistent/x.json")
+	if evs := f.Events(); evs != nil {
+		t.Fatalf("nil recorder has events: %v", evs)
+	}
+	if n := f.Count(FlightRedial); n != 0 {
+		t.Fatalf("nil recorder count = %d", n)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if err := f.DumpFile(filepath.Join(t.TempDir(), "x.json")); err != nil {
+		t.Fatalf("nil DumpFile: %v", err)
+	}
+}
+
+func TestFlightAnomalyAutoDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	f := NewFlightRecorder(16)
+	f.Record(FlightConfigSwitch, "sess-1", "rung down", 0)
+	// No dump path armed yet: anomaly records but writes nothing.
+	f.Anomaly(FlightWatchdogTrip, "sess-1", "residual high", 0xBEEF)
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("dump written without an armed path: %v", err)
+	}
+	f.SetDumpPath(path)
+	f.Anomaly(FlightConnPanic, "", "boom", 0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("anomaly did not dump: %v", err)
+	}
+	var dump struct {
+		Recorded uint64        `json:"recorded_total"`
+		Dropped  uint64        `json:"dropped"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, raw)
+	}
+	if dump.Recorded != 3 || dump.Dropped != 0 || len(dump.Events) != 3 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Events[1].Kind != FlightWatchdogTrip || dump.Events[1].Trace != 0xBEEF {
+		t.Fatalf("trip event lost its trace link: %+v", dump.Events[1])
+	}
+}
+
+func TestFlightCount(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Record(FlightRedial, "a", "", 0)
+	f.Record(FlightRedial, "b", "", 0)
+	f.Record(FlightBreakerOpen, "a", "", 0)
+	if n := f.Count(FlightRedial); n != 2 {
+		t.Fatalf("Count(redial) = %d, want 2", n)
+	}
+	if n := f.Count(FlightSigterm); n != 0 {
+		t.Fatalf("Count(sigterm) = %d, want 0", n)
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(128)
+	f.SetDumpPath(filepath.Join(t.TempDir(), "dump.json"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f.Record(FlightConfigSwitch, "s", "", 0)
+				if i%10 == 0 {
+					f.Anomaly(FlightWatchdogTrip, "s", "", 0)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, ev := range f.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}

@@ -25,26 +25,90 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
-// Serve starts an HTTP server on addr exposing the registry
-// (/metrics, /metrics.json) plus the runtime profiler under
-// /debug/pprof/. It returns the server and the bound address (useful
-// with ":0") and serves in a background goroutine; callers own the
-// server's shutdown.
-func Serve(addr string, r *Registry) (*http.Server, string, error) {
+// ServeOpts wires the daemon-facing operational surface. Every field
+// is optional: nil components serve empty (but valid) responses, and a
+// nil Ready means always ready.
+type ServeOpts struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Flight   *FlightRecorder
+	SLO      *SLO
+	// Ready gates /readyz — a drain-aware server returns false once
+	// graceful shutdown starts so load balancers stop routing to it
+	// while admitted jobs finish.
+	Ready func() bool
+}
+
+// opsMux builds the handler tree for ServeOps; split out so tests can
+// exercise the endpoints without a listener.
+func opsMux(o ServeOpts) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/metrics.json", r.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		o.SLO.Snapshot() // refresh the SLO gauges before rendering
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		o.SLO.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Registry.Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Tracer.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Flight.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		snap := o.SLO.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		// Liveness always answers 200: a burning SLO is a paging
+		// signal, not a reason for the orchestrator to kill the
+		// process. The body carries the burn rates.
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Ready != nil && !o.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// ServeOps starts an HTTP server on addr exposing the full operational
+// surface: /metrics + /metrics.json, /debug/pprof/, /debug/trace
+// (Chrome trace-event JSON of the span ring), /debug/flightrecorder
+// (the event ring), /healthz (SLO snapshot, always 200), and /readyz
+// (503 while draining). It returns the server and the bound address
+// (useful with ":0") and serves in a background goroutine; callers own
+// the server's shutdown.
+func ServeOps(addr string, o ServeOpts) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: opsMux(o)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
+}
+
+// Serve starts an HTTP server on addr exposing the registry
+// (/metrics, /metrics.json) plus the runtime profiler under
+// /debug/pprof/. It is ServeOps with only a registry, kept for
+// callers that predate the tracing/flight/SLO surface.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	return ServeOps(addr, ServeOpts{Registry: r})
 }

@@ -215,4 +215,15 @@ var (
 	// CountBuckets covers small integer tallies (corrected bits, offsets)
 	// 1..4096 in powers of two; 0 falls in the first (≤1) bucket.
 	CountBuckets = ExpBuckets(1, 2, 13)
+	// LatencyBuckets resolves serve-path latencies on both sides of the
+	// binary-protocol switch: DurationBuckets' half-decade steps were
+	// laid out for the 125 ms JSON regime and put the binary path's
+	// whole 1–10 ms operating range (p99 ≈ 8.3 ms) inside two buckets.
+	// These bounds give sub-millisecond resolution through the tail
+	// that matters while still covering the JSON-era 100 ms+ regime.
+	LatencyBuckets = []float64{
+		50e-6, 100e-6, 200e-6, 500e-6,
+		1e-3, 2e-3, 3e-3, 5e-3, 8e-3, 12e-3, 20e-3, 35e-3,
+		60e-3, 125e-3, 250e-3, 500e-3, 1,
+	}
 )

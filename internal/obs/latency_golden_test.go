@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// The serving latency buckets must resolve the binary-protocol regime:
+// sub-millisecond resolution at the bottom (codec spans run in
+// microseconds), single-millisecond steps through the ~8.3ms decode
+// p99, and the legacy 125ms JSON regime still inside the range. The
+// golden file pins the exact bucket layout as rendered on /metrics —
+// changing LatencyBuckets is a dashboard-breaking change and must show
+// up in review as a golden diff.
+func TestLatencyBucketsGolden(t *testing.T) {
+	if len(LatencyBuckets) < 12 {
+		t.Fatalf("LatencyBuckets has %d bounds — lost sub-ms resolution?", len(LatencyBuckets))
+	}
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] <= LatencyBuckets[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, LatencyBuckets)
+		}
+	}
+	if LatencyBuckets[0] > 100e-6 {
+		t.Fatalf("first bound %v too coarse for codec latencies", LatencyBuckets[0])
+	}
+
+	r := NewRegistry()
+	h := r.Histogram(MetricServeJobStage, "Per-stage serving latency.", LatencyBuckets, "stage", "decode")
+	// One observation per regime of interest: codec (80µs), binary
+	// serving p50 (3.1ms), binary p99 (8.3ms), JSON p99 (125ms).
+	for _, v := range []float64{80e-6, 3.1e-3, 8.3e-3, 125e-3} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "latency_buckets.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Prometheus export drifted from golden file %s\n-- got --\n%s\n-- want --\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -115,7 +115,58 @@ const (
 	// steady-state session hits on every frame; misses flag tag-config
 	// churn forcing excitation rebuilds.
 	MetricLinkCache = "backfi_link_excitation_cache_total"
+
+	// SLO metrics (DESIGN.md §5h). MetricSLOBurnRate is the rolling-
+	// window error-budget burn rate (label slo = delivery | latency;
+	// > 1 means the objective fails if the window persists);
+	// MetricSLODeliveryRate and MetricSLOLatencyP99 are the raw window
+	// quantities behind the burn rates.
+	MetricSLOBurnRate     = "backfi_slo_burn_rate"
+	MetricSLODeliveryRate = "backfi_slo_delivery_rate"
+	MetricSLOLatencyP99   = "backfi_slo_latency_p99_seconds"
 )
+
+// AllMetricNames lists every metric family name declared above, so
+// tests can pin the registry's naming invariants (uniqueness, valid
+// Prometheus identifiers, stable prefix) in one place. Keep in sync
+// when adding names.
+var AllMetricNames = []string{
+	MetricStageDuration,
+	MetricStageFailures,
+	MetricSICResidual,
+	MetricSICCancellation,
+	MetricPreambleCorr,
+	MetricTimingOffset,
+	MetricViterbiCorrected,
+	MetricSNR,
+	MetricRawBER,
+	MetricPackets,
+	MetricPacketsOK,
+	MetricParallelItem,
+	MetricParallelBusy,
+	MetricParallelBatch,
+	MetricParallelWorkers,
+	MetricFigureDuration,
+	MetricFaultsInjected,
+	MetricServeJobs,
+	MetricServeQueueDepth,
+	MetricServeJobStage,
+	MetricServeBatchJobs,
+	MetricServeSessions,
+	MetricServeConns,
+	MetricServeConnPanics,
+	MetricServeDegraded,
+	MetricServeDegradedTrans,
+	MetricServeFaultSwitches,
+	MetricServeConfigSwitches,
+	MetricServeWireBytes,
+	MetricServeFrameCodec,
+	MetricServeConnsProto,
+	MetricLinkCache,
+	MetricSLOBurnRate,
+	MetricSLODeliveryRate,
+	MetricSLOLatencyP99,
+}
 
 // HelpStageDuration is shared by every MetricStageDuration registration
 // so the family help text is identical regardless of which package

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Every declared metric name must be a valid Prometheus identifier
+// under the repository prefix, and the list must hold no duplicates —
+// two constants aliasing one family would silently merge series.
+func TestAllMetricNamesValid(t *testing.T) {
+	ident := regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+	seen := map[string]bool{}
+	for _, name := range AllMetricNames {
+		if !strings.HasPrefix(name, "backfi_") {
+			t.Errorf("%s: missing backfi_ prefix", name)
+		}
+		if !ident.MatchString(name) {
+			t.Errorf("%s: not a valid Prometheus metric name", name)
+		}
+		if seen[name] {
+			t.Errorf("%s: declared twice", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) < 30 {
+		t.Fatalf("AllMetricNames lists %d names — out of sync with names.go?", len(seen))
+	}
+}
+
+// Registration is idempotent: the same (name, labels) always returns
+// the same instrument, so increments from different call sites land on
+// one series.
+func TestDuplicateRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(MetricPackets, "help", "kind", "x")
+	b := r.Counter(MetricPackets, "different help text", "kind", "x")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("shared series value = %d, want 2", got)
+	}
+	// Label order must not matter: the signature is canonicalized.
+	h1 := r.Histogram(MetricServeJobStage, "h", LatencyBuckets, "stage", "s", "op", "o")
+	h2 := r.Histogram(MetricServeJobStage, "h", LatencyBuckets, "op", "o", "stage", "s")
+	if h1 != h2 {
+		t.Fatal("label order changed the series identity")
+	}
+	// Re-registering a family under a different kind is a programmer
+	// error and must fail loudly, not corrupt the family.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("kind mismatch did not panic")
+			}
+		}()
+		r.Gauge(MetricPackets, "help")
+	}()
+}
+
+// Label cardinality is bounded: past MaxSeriesPerFamily distinct label
+// sets, new sets collapse into the shared overflow series instead of
+// growing the registry without bound.
+func TestLabelCardinalityBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < MaxSeriesPerFamily+100; i++ {
+		r.Counter(MetricServeJobs, "h", "outcome", fmt.Sprintf("v%d", i)).Inc()
+	}
+	snap := r.Snapshot()
+	var total, overflow int64
+	nSeries := 0
+	for _, c := range snap.Counters {
+		if c.Name != MetricServeJobs {
+			continue
+		}
+		nSeries++
+		total += c.Value
+		if c.Labels == `{overflow="true"}` {
+			overflow = c.Value
+		}
+	}
+	if nSeries > MaxSeriesPerFamily+1 {
+		t.Fatalf("family grew to %d series, cap is %d(+overflow)", nSeries, MaxSeriesPerFamily)
+	}
+	if overflow != 100 {
+		t.Fatalf("overflow series absorbed %d increments, want 100", overflow)
+	}
+	if total != MaxSeriesPerFamily+100 {
+		t.Fatalf("increments lost at the cardinality cap: %d", total)
+	}
+	// Existing series keep resolving after the cap.
+	if r.Counter(MetricServeJobs, "h", "outcome", "v0").Value() != 1 {
+		t.Fatal("pre-cap series lost after overflow")
+	}
+}
+
+// Concurrent registration of overlapping names/labels must be safe and
+// must still converge on one instrument per series (run with -race).
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter(MetricServeConns, "h", "shard", fmt.Sprintf("%d", i%8)).Inc()
+				r.Gauge(MetricServeSessions, "h").Set(float64(i))
+				r.Histogram(MetricStageDuration, "h", DurationBuckets, "stage", "x").Observe(0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var conns int64
+	for _, c := range snap.Counters {
+		if c.Name == MetricServeConns {
+			conns += c.Value
+		}
+	}
+	if conns != goroutines*perG {
+		t.Fatalf("lost increments under concurrent registration: %d of %d", conns, goroutines*perG)
+	}
+	h, ok := snap.Histogram(MetricStageDuration, `{stage="x"}`)
+	if !ok || h.Count != goroutines*perG {
+		t.Fatalf("histogram count = %d (found=%v), want %d", h.Count, ok, goroutines*perG)
+	}
+}

@@ -115,6 +115,18 @@ func labelSignature(labels []string) string {
 	return b.String()
 }
 
+// MaxSeriesPerFamily bounds label cardinality: once a family holds
+// this many series, further distinct label sets collapse into one
+// shared overflow series (labelled overflow="true") instead of growing
+// the map without bound. Metrics must never be able to exhaust memory
+// because a caller put an unbounded value (session id, error string)
+// in a label.
+const MaxSeriesPerFamily = 512
+
+// overflowSignature is the rendered label block of the shared
+// overflow series.
+const overflowSignature = `{overflow="true"}`
+
 // lookup returns (or creates) the series for (name, labels), verifying
 // the family kind. Registration is idempotent: the same (name, labels)
 // always returns the same instrument.
@@ -142,6 +154,12 @@ func (r *Registry) lookup(k kind, name, help string, bounds []float64, labels []
 	}
 	if inst, ok := f.series[sig]; ok {
 		return inst
+	}
+	if sig != "" && len(f.series) >= MaxSeriesPerFamily {
+		sig = overflowSignature
+		if inst, ok := f.series[sig]; ok {
+			return inst
+		}
 	}
 	var inst any
 	switch k {

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO burn-rate monitoring (DESIGN.md §5h). Two objectives over a
+// rolling window:
+//
+//   - delivery: at least DeliveryObjective of offered frames deliver;
+//   - latency: at least LatencyQuantile of frames finish within
+//     LatencyObjectiveSec (i.e. "p99 < objective").
+//
+// For each, the burn rate is bad-fraction / error-budget: 1.0 means
+// the window is consuming budget exactly as fast as the objective
+// allows, > 1 means the objective fails if the window's behavior
+// persists. Burn rates export as gauges and drive /healthz.
+//
+// The window is a ring of time buckets so old behavior ages out in
+// O(1): each Record lands in the bucket of its epoch, and Snapshot
+// sums only buckets still inside the window. The per-record cost is a
+// short mutex hold — the recording site is the serve job path (~ms
+// cadence), not the per-sample DSP hot path.
+
+// SLOConfig configures an SLO monitor. Zero fields take the defaults
+// documented per field.
+type SLOConfig struct {
+	// Window is the rolling evaluation window (default 60s).
+	Window time.Duration
+	// Buckets is the ring granularity (default 12 — 5s buckets under
+	// the default window).
+	Buckets int
+	// DeliveryObjective is the target delivered fraction in (0,1)
+	// (default 0.9 — ARQ at range loses real frames).
+	DeliveryObjective float64
+	// LatencyObjectiveSec is the per-frame latency threshold (default
+	// 25ms — comfortably above the binary-protocol p99 of ~8.3ms).
+	LatencyObjectiveSec float64
+	// LatencyQuantile is the fraction of frames that must meet the
+	// threshold (default 0.99: "p99 < objective").
+	LatencyQuantile float64
+	// Obs receives the burn-rate/delivery/p99 gauges (nil = none).
+	Obs *Registry
+}
+
+func (c *SLOConfig) withDefaults() {
+	if c.Window <= 0 {
+		c.Window = 60 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 12
+	}
+	if c.DeliveryObjective <= 0 || c.DeliveryObjective >= 1 {
+		c.DeliveryObjective = 0.9
+	}
+	if c.LatencyObjectiveSec <= 0 {
+		c.LatencyObjectiveSec = 25e-3
+	}
+	if c.LatencyQuantile <= 0 || c.LatencyQuantile >= 1 {
+		c.LatencyQuantile = 0.99
+	}
+}
+
+type sloBucket struct {
+	epoch     int64
+	total     int64
+	delivered int64
+	slow      int64
+	// latency histogram over LatencyBuckets bounds (+overflow) for
+	// the window p99 estimate.
+	lat []int64
+}
+
+// SLOSnapshot is one rolling-window evaluation.
+type SLOSnapshot struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Frames        int64   `json:"frames"`
+	Delivered     int64   `json:"delivered"`
+	Slow          int64   `json:"slow"`
+
+	DeliveryRate      float64 `json:"delivery_rate"`
+	DeliveryObjective float64 `json:"delivery_objective"`
+	DeliveryBurn      float64 `json:"delivery_burn_rate"`
+
+	LatencyP99Sec       float64 `json:"latency_p99_seconds"`
+	LatencyObjectiveSec float64 `json:"latency_objective_seconds"`
+	LatencyBurn         float64 `json:"latency_burn_rate"`
+
+	// Healthy is true when neither objective is burning budget faster
+	// than it accrues (both burn rates <= 1).
+	Healthy bool `json:"healthy"`
+}
+
+// SLO is the monitor. Nil-safe: a nil *SLO records nothing and
+// snapshots an empty, healthy window.
+type SLO struct {
+	mu      sync.Mutex
+	cfg     SLOConfig
+	width   time.Duration
+	buckets []sloBucket
+	now     func() time.Time // injectable for tests
+
+	gDeliveryBurn *Gauge
+	gLatencyBurn  *Gauge
+	gDeliveryRate *Gauge
+	gLatencyP99   *Gauge
+}
+
+// NewSLO builds a monitor; see SLOConfig.
+func NewSLO(cfg SLOConfig) *SLO {
+	cfg.withDefaults()
+	s := &SLO{
+		cfg:     cfg,
+		width:   cfg.Window / time.Duration(cfg.Buckets),
+		buckets: make([]sloBucket, cfg.Buckets),
+		now:     time.Now,
+	}
+	for i := range s.buckets {
+		s.buckets[i].epoch = -1
+		s.buckets[i].lat = make([]int64, len(LatencyBuckets)+1)
+	}
+	s.gDeliveryBurn = cfg.Obs.Gauge(MetricSLOBurnRate, "SLO error-budget burn rate over the rolling window (>1 = objective failing).", "slo", "delivery")
+	s.gLatencyBurn = cfg.Obs.Gauge(MetricSLOBurnRate, "SLO error-budget burn rate over the rolling window (>1 = objective failing).", "slo", "latency")
+	s.gDeliveryRate = cfg.Obs.Gauge(MetricSLODeliveryRate, "Delivered fraction of offered frames over the rolling SLO window.")
+	s.gLatencyP99 = cfg.Obs.Gauge(MetricSLOLatencyP99, "Estimated p99 frame latency in seconds over the rolling SLO window.")
+	return s
+}
+
+// Record accounts one offered frame: whether it delivered, and its
+// end-to-end latency in seconds (admission to response).
+func (s *SLO) Record(delivered bool, latencySec float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	b := s.bucketLocked(s.now())
+	b.total++
+	if delivered {
+		b.delivered++
+	}
+	if latencySec > s.cfg.LatencyObjectiveSec {
+		b.slow++
+	}
+	i := 0
+	for i < len(LatencyBuckets) && latencySec > LatencyBuckets[i] {
+		i++
+	}
+	b.lat[i]++
+	s.mu.Unlock()
+}
+
+// bucketLocked returns the live bucket for t, resetting it if its slot
+// still holds an expired epoch.
+func (s *SLO) bucketLocked(t time.Time) *sloBucket {
+	epoch := t.UnixNano() / int64(s.width)
+	b := &s.buckets[epoch%int64(len(s.buckets))]
+	if b.epoch != epoch {
+		b.epoch = epoch
+		b.total, b.delivered, b.slow = 0, 0, 0
+		for i := range b.lat {
+			b.lat[i] = 0
+		}
+	}
+	return b
+}
+
+// Snapshot evaluates the window and refreshes the gauges. An empty
+// window is healthy (burn 0, delivery 1).
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{DeliveryRate: 1, Healthy: true}
+	}
+	s.mu.Lock()
+	epoch := s.now().UnixNano() / int64(s.width)
+	minEpoch := epoch - int64(len(s.buckets)) + 1
+	var total, delivered, slow int64
+	lat := make([]int64, len(LatencyBuckets)+1)
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		if b.epoch < minEpoch || b.epoch > epoch {
+			continue
+		}
+		total += b.total
+		delivered += b.delivered
+		slow += b.slow
+		for j, n := range b.lat {
+			lat[j] += n
+		}
+	}
+	s.mu.Unlock()
+
+	snap := SLOSnapshot{
+		WindowSeconds:       s.cfg.Window.Seconds(),
+		Frames:              total,
+		Delivered:           delivered,
+		Slow:                slow,
+		DeliveryRate:        1,
+		DeliveryObjective:   s.cfg.DeliveryObjective,
+		LatencyObjectiveSec: s.cfg.LatencyObjectiveSec,
+	}
+	if total > 0 {
+		snap.DeliveryRate = float64(delivered) / float64(total)
+		snap.DeliveryBurn = (1 - snap.DeliveryRate) / (1 - s.cfg.DeliveryObjective)
+		snap.LatencyBurn = (float64(slow) / float64(total)) / (1 - s.cfg.LatencyQuantile)
+		snap.LatencyP99Sec = latencyQuantile(lat, s.cfg.LatencyQuantile)
+	}
+	snap.Healthy = snap.DeliveryBurn <= 1 && snap.LatencyBurn <= 1
+
+	s.gDeliveryBurn.Set(snap.DeliveryBurn)
+	s.gLatencyBurn.Set(snap.LatencyBurn)
+	s.gDeliveryRate.Set(snap.DeliveryRate)
+	s.gLatencyP99.Set(snap.LatencyP99Sec)
+	return snap
+}
+
+// latencyQuantile interpolates quantile q from counts bucketed over
+// LatencyBuckets (same linear-within-bucket rule as HistogramSnap).
+func latencyQuantile(counts []int64, q float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = LatencyBuckets[i-1]
+		}
+		hi := lo
+		if i < len(LatencyBuckets) {
+			hi = LatencyBuckets[i]
+		}
+		frac := (rank - float64(prev)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return LatencyBuckets[len(LatencyBuckets)-1]
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// sloAt builds a monitor with an injectable clock starting at t0.
+func sloAt(cfg SLOConfig, t0 time.Time) (*SLO, *time.Time) {
+	s := NewSLO(cfg)
+	now := t0
+	s.now = func() time.Time { return now }
+	return s, &now
+}
+
+func TestSLOEmptyWindowHealthy(t *testing.T) {
+	s, _ := sloAt(SLOConfig{}, time.Unix(1000, 0))
+	snap := s.Snapshot()
+	if !snap.Healthy || snap.DeliveryRate != 1 || snap.DeliveryBurn != 0 || snap.LatencyBurn != 0 {
+		t.Fatalf("empty window not healthy: %+v", snap)
+	}
+	var nilS *SLO
+	nilS.Record(true, 0.001)
+	if snap := nilS.Snapshot(); !snap.Healthy {
+		t.Fatalf("nil SLO unhealthy: %+v", snap)
+	}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	// 90% delivery objective: 80 delivered of 100 burns (1-0.8)/(1-0.9) = 2.
+	s, _ := sloAt(SLOConfig{DeliveryObjective: 0.9, LatencyObjectiveSec: 0.025}, time.Unix(1000, 0))
+	for i := 0; i < 100; i++ {
+		s.Record(i < 80, 0.001)
+	}
+	snap := s.Snapshot()
+	if math.Abs(snap.DeliveryBurn-2) > 1e-9 {
+		t.Fatalf("delivery burn = %v, want 2", snap.DeliveryBurn)
+	}
+	if snap.Healthy {
+		t.Fatal("burning window reported healthy")
+	}
+	if snap.LatencyBurn != 0 {
+		t.Fatalf("latency burn = %v, want 0 (all fast)", snap.LatencyBurn)
+	}
+
+	// Latency: 2 slow frames of 100 under a p99 objective burns
+	// 0.02/0.01 = 2.
+	s2, _ := sloAt(SLOConfig{LatencyObjectiveSec: 0.025, LatencyQuantile: 0.99}, time.Unix(1000, 0))
+	for i := 0; i < 100; i++ {
+		lat := 0.001
+		if i < 2 {
+			lat = 0.1
+		}
+		s2.Record(true, lat)
+	}
+	snap2 := s2.Snapshot()
+	if math.Abs(snap2.LatencyBurn-2) > 1e-9 {
+		t.Fatalf("latency burn = %v, want 2", snap2.LatencyBurn)
+	}
+	if snap2.DeliveryBurn != 0 || snap2.Healthy {
+		t.Fatalf("snapshot = %+v", snap2)
+	}
+	if snap2.LatencyP99Sec <= 0.025 {
+		t.Fatalf("p99 = %v, should exceed the objective with 2%% slow frames", snap2.LatencyP99Sec)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	s, now := sloAt(SLOConfig{Window: 60 * time.Second, Buckets: 12}, time.Unix(1000, 0))
+	for i := 0; i < 50; i++ {
+		s.Record(false, 0.001) // everything failing
+	}
+	if snap := s.Snapshot(); snap.Healthy || snap.Frames != 50 {
+		t.Fatalf("pre-expiry snapshot = %+v", snap)
+	}
+	// Step past the whole window: the bad epoch ages out entirely.
+	*now = now.Add(61 * time.Second)
+	snap := s.Snapshot()
+	if snap.Frames != 0 || !snap.Healthy {
+		t.Fatalf("post-expiry snapshot = %+v", snap)
+	}
+	// New records land in fresh buckets (the ring slot is reset, not
+	// accumulated into the stale epoch).
+	s.Record(true, 0.001)
+	if snap := s.Snapshot(); snap.Frames != 1 || snap.Delivered != 1 {
+		t.Fatalf("post-reset snapshot = %+v", snap)
+	}
+}
+
+func TestSLOGauges(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := sloAt(SLOConfig{Obs: reg, DeliveryObjective: 0.9}, time.Unix(1000, 0))
+	for i := 0; i < 10; i++ {
+		s.Record(i < 8, 0.001)
+	}
+	s.Snapshot()
+	snap := reg.Snapshot()
+	found := false
+	for _, g := range snap.Gauges {
+		if g.Name == MetricSLOBurnRate && g.Labels == `{slo="delivery"}` {
+			found = true
+			if math.Abs(g.Value-2) > 1e-9 {
+				t.Fatalf("burn gauge = %v, want 2", g.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s{slo=\"delivery\"} gauge in %+v", MetricSLOBurnRate, snap.Gauges)
+	}
+}

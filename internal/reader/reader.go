@@ -146,8 +146,20 @@ func newReaderMetrics(r *obs.Registry) readerMetrics {
 
 // Reader decodes BackFi backscatter from an AP's received samples.
 type Reader struct {
-	cfg Config
-	m   readerMetrics
+	cfg   Config
+	m     readerMetrics
+	trace obs.TraceCtx
+}
+
+// SetTrace points subsequent decodes (Decode and Stream.Decode alike)
+// at the per-frame trace context (DESIGN.md §5h): each pipeline stage
+// records a span onto it, including the SIC training sub-stages. The
+// zero value disables tracing; the serving layer reassigns it per
+// frame. Not safe concurrently with a running decode — same contract
+// as the Reader itself.
+func (r *Reader) SetTrace(t obs.TraceCtx) {
+	r.trace = t
+	r.cfg.SIC.Trace = t
 }
 
 // New returns a Reader, rejecting bad configuration with an error
@@ -187,16 +199,20 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 
 	// Stage 1: self-interference cancellation, trained on the silent
 	// window (the tag backscatters nothing there).
+	tspTrain := r.trace.Start("sic_train")
 	spTrain := r.m.spanSICTrain.Start()
 	canc, err := sic.Train(r.cfg.SIC, xTap, x, y, packetStart, packetStart+tag.SilentSamples)
 	spTrain.End()
+	tspTrain.End()
 	if err != nil {
 		r.m.failSICTrain.Inc()
 		return nil, fmt.Errorf("reader: %w", err)
 	}
+	tspCancel := r.trace.Start("sic_cancel")
 	spCancel := r.m.spanSICCancel.Start()
 	clean := canc.Cancel(xTap, x, y)
 	spCancel.End()
+	tspCancel.End()
 
 	// Stage 2: combined-channel estimation from the tag preamble.
 	preStart := packetStart + tag.SilentSamples
@@ -206,9 +222,11 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 		return nil, fmt.Errorf("reader: packet too short for tag preamble")
 	}
 	pn := tag.PreambleSequence(tcfg.ID, tcfg.PreambleChips)
+	tspEst := r.trace.Start("channel_estimate")
 	spEst := r.m.spanChanEst.Start()
 	hfb, err := r.estimateHfb(x, clean, preStart, pn)
 	spEst.End()
+	tspEst.End()
 	if err != nil {
 		r.m.failChanEst.Inc()
 		return nil, err
@@ -223,6 +241,7 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 	// matched filter, re-estimating the channel at each winner until
 	// the grid settles (a badly misaligned first estimate flattens the
 	// metric, so one pass can stop short of the true offset).
+	tspTiming := r.trace.Start("timing_search")
 	spTiming := r.m.spanTiming.Start()
 	offset := 0
 	for pass := 0; pass < 3; pass++ {
@@ -239,6 +258,7 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 		}
 	}
 	spTiming.End()
+	tspTiming.End()
 	if offset != 0 {
 		r.m.timingAdjusted.Inc()
 	}
@@ -249,6 +269,7 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 	r.m.preambleCorr.Observe(preCorr)
 
 	// Stage 3: per-symbol MRC (paper Eq. 7).
+	tspMRC := r.trace.Start("mrc")
 	spMRC := r.m.spanMRC.Start()
 	symStart := preEnd
 	sps := tcfg.SamplesPerSymbol()
@@ -277,14 +298,17 @@ func (r *Reader) Decode(x, xTap, y []complex128, packetStart, packetLen int, tcf
 	}
 
 	spMRC.End()
+	tspMRC.End()
 
 	// Stage 4: demap, Viterbi, deframe. The frame's own length header
 	// tells us where the payload symbols end; symbols after the frame
 	// are the tag's post-frame silence and are discarded by the
 	// length-aware decode.
+	tspVit := r.trace.Start("viterbi")
 	spVit := r.m.spanViterbi.Start()
 	payload, used, corrected, frameOK := r.decodeFrame(ests, tcfg)
 	spVit.End()
+	tspVit.End()
 	if frameOK {
 		r.m.viterbiBits.Observe(float64(corrected))
 	} else {

@@ -29,6 +29,12 @@ import (
 //	uvarint session length | session bytes
 //	uvarint payload length | payload bytes
 //	uvarint timeout_ms
+//	[extension, optional: flags (1 byte: bit0 trace) | u64 LE trace id]
+//
+// The extension block is emitted only when it carries something (a
+// traced request), so untraced requests are byte-identical to the
+// pre-extension wire format; decoders reject unknown extension flag
+// bits.
 //
 // Response body:
 //
@@ -74,6 +80,9 @@ const (
 	binFlagStats     = 1 << 4
 )
 
+// Request extension flag bits (the optional trailing block).
+const binExtTrace = 1 << 0
+
 // Response code enum. The wire carries the byte; the structs keep the
 // JSON string codes so both protocols share one Response type.
 var binCodes = [...]string{CodeOK, CodeQueueFull, CodeDraining, CodeDeadline, CodeBadRequest, CodeError}
@@ -96,6 +105,7 @@ var (
 	errFrameTrailing  = fmt.Errorf("%w: trailing bytes after binary frame", ErrBadRequest)
 	errFrameVarint    = fmt.Errorf("%w: malformed varint", ErrBadRequest)
 	errFrameRange     = fmt.Errorf("%w: varint field out of range", ErrBadRequest)
+	errExtFlags       = fmt.Errorf("%w: unknown request extension flags", ErrBadRequest)
 )
 
 // Buffer-pool lifecycle: encoders build frames in []byte taken from
@@ -220,7 +230,18 @@ func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
 	dst = append(dst, req.Session...)
 	dst = binary.AppendUvarint(dst, uint64(len(req.Payload)))
 	dst = append(dst, req.Payload...)
-	return appendCount(dst, req.TimeoutMs)
+	dst, err := appendCount(dst, req.TimeoutMs)
+	if err != nil {
+		return dst, err
+	}
+	// Optional trailing extension: emitted only for traced requests, so
+	// untraced frames stay byte-identical to pre-trace clients (pinned
+	// by TestBinaryRequestLegacyBytes).
+	if req.Trace != 0 {
+		dst = append(dst, binExtTrace)
+		dst = binary.LittleEndian.AppendUint64(dst, req.Trace)
+	}
+	return dst, nil
 }
 
 // decodeRequestBinary decodes one request body into req, reusing
@@ -256,8 +277,28 @@ func decodeRequestBinary(body []byte, req *Request, names *internTable) error {
 	if err != nil {
 		return err
 	}
+	// Optional trailing extension block. Absent on legacy (and
+	// untraced) frames; when present, the flags byte gates which fixed
+	// fields follow, and unknown flag bits are rejected the same way
+	// unknown response flags are — a future version's frames must not
+	// be silently half-read.
+	req.Trace = 0
 	if len(rest) != 0 {
-		return errFrameTrailing
+		ext := rest[0]
+		rest = rest[1:]
+		if ext&^byte(binExtTrace) != 0 {
+			return errExtFlags
+		}
+		if ext&binExtTrace != 0 {
+			if len(rest) < 8 {
+				return errFrameTruncated
+			}
+			req.Trace = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+		}
+		if len(rest) != 0 {
+			return errFrameTrailing
+		}
 	}
 	return nil
 }

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"backfi/internal/obs"
 )
 
 // Client-side resilience errors. ErrConnBroken wraps the underlying
@@ -61,6 +63,17 @@ type ClientConfig struct {
 	// protocols carry the same Request/Response contents — a session's
 	// decode stream is byte-identical under either.
 	Proto string
+	// Tracer enables client-side trace origination (DESIGN.md §5h):
+	// each decode head-samples on (session id, per-session frame
+	// index) — the same deterministic decision the server would make —
+	// and propagates the sampled id in the request so the server joins
+	// the trace instead of starting its own. Nil disables: requests
+	// carry no trace id and the wire bytes are unchanged.
+	Tracer *obs.Tracer
+	// Flight receives the client's resilience events — broken
+	// connections, successful redials, breaker transitions — so a
+	// post-incident dump shows both sides of the story. Nil disables.
+	Flight *obs.FlightRecorder
 }
 
 func (c ClientConfig) redialBase() time.Duration {
@@ -139,6 +152,7 @@ type Client struct {
 
 	jitter   *rand.Rand          // seeded; guarded by mu
 	breakers map[string]*breaker // per session id
+	frames   map[string]int      // per-session decode index for head sampling
 	health   ClientHealth
 
 	// Injectable for deterministic tests; real clock/sleep otherwise.
@@ -165,6 +179,7 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 		binary:   cfg.Proto == "binary",
 		jitter:   newJitter(cfg.JitterSeed),
 		breakers: make(map[string]*breaker),
+		frames:   make(map[string]int),
 		now:      time.Now,
 		sleep:    time.Sleep,
 		dial:     func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
@@ -230,6 +245,7 @@ func (c *Client) breakConnLocked() {
 		c.conn = nil
 		c.br, c.bw, c.fr = nil, nil, nil
 		c.health.BrokenConns++
+		c.cfg.Flight.Record(obs.FlightConnBroken, "", c.cfg.Addr, 0)
 	}
 }
 
@@ -304,6 +320,9 @@ func (c *Client) breakerRecord(session string, hardFail bool) {
 	}
 	switch {
 	case !hardFail:
+		if b.open {
+			c.cfg.Flight.Record(obs.FlightBreakerClose, session, "half-open probe succeeded", 0)
+		}
 		b.fails, b.open, b.probing = 0, false, false
 	case b.open:
 		// Failed half-open probe (or racing failure): restart cooldown.
@@ -313,6 +332,8 @@ func (c *Client) breakerRecord(session string, hardFail bool) {
 		if b.fails >= c.cfg.BreakerThreshold {
 			b.open, b.openedAt, b.probing = true, c.now(), false
 			c.health.BreakerOpens++
+			c.cfg.Flight.Record(obs.FlightBreakerOpen, session,
+				fmt.Sprintf("%d consecutive hard failures", b.fails), 0)
 		}
 	}
 }
@@ -375,7 +396,21 @@ func (c *Client) do(req *Request) (*Response, error) {
 	if err := c.breakerAllow(req.Session); err != nil {
 		return nil, err
 	}
+	// Head-sample decode frames on (session, per-session index): the
+	// sampled id rides the request so the server's stage spans join the
+	// same trace. The index advances per attempted decode — including
+	// failed calls — so the client's decision sequence is deterministic
+	// for a fixed call order regardless of outcomes.
+	var tctx obs.TraceCtx
+	if c.cfg.Tracer != nil && req.Op == OpDecode {
+		n := c.frames[req.Session]
+		c.frames[req.Session] = n + 1
+		tctx = c.cfg.Tracer.Head(req.Session, n)
+		req.Trace = tctx.ID()
+	}
+	tsp := tctx.Start("client_send")
 	resp, err := c.doLocked(req)
+	tsp.End()
 	c.breakerRecord(req.Session, err != nil || resp.Code == CodeError)
 	return resp, err
 }
@@ -396,6 +431,8 @@ func (c *Client) doLocked(req *Request) (*Response, error) {
 				continue
 			}
 			c.health.Redials++
+			c.cfg.Flight.Record(obs.FlightRedial, req.Session,
+				fmt.Sprintf("reconnected to %s on attempt %d", c.cfg.Addr, attempt), req.Trace)
 		}
 		resp, err := c.exchange(req)
 		if err == nil {

@@ -63,7 +63,8 @@ func FuzzDecodeFrame(f *testing.F) {
 				t.Fatalf("re-encoded request did not decode: %v", err)
 			}
 			if again.Op != req.Op || again.Session != req.Session ||
-				again.TimeoutMs != req.TimeoutMs || !bytes.Equal(again.Payload, req.Payload) {
+				again.TimeoutMs != req.TimeoutMs || again.Trace != req.Trace ||
+				!bytes.Equal(again.Payload, req.Payload) {
 				t.Fatalf("request round trip not a fixed point:\n %+v\n %+v", req, again)
 			}
 		}

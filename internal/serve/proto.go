@@ -84,6 +84,15 @@ type Request struct {
 	// TimeoutMs overrides the server's default per-job deadline,
 	// measured from admission. 0 keeps the server default.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Trace propagates the client's per-frame trace id (DESIGN.md
+	// §5h): when non-zero, the server joins its decode-stage spans to
+	// this id instead of making its own sampling decision. Zero (the
+	// untraced case) keeps the wire bytes identical to pre-trace
+	// clients on both protocols — omitempty here, an optional trailing
+	// extension block in the binary framing. Responses deliberately
+	// carry no trace field: the response stream stays byte-identical
+	// with tracing off, on, or sampled.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // Response is one server reply. It deliberately carries no wall-clock

@@ -110,6 +110,21 @@ type Config struct {
 	// per-stage latency, batch sizes, session/connection gauges) and is
 	// propagated into every session link. Nil disables instrumentation.
 	Obs *obs.Registry
+	// Tracer samples per-frame distributed traces (DESIGN.md §5h). A
+	// request carrying a client trace id joins it; otherwise the server
+	// head-samples deterministically on (session id, frame index). Nil
+	// disables tracing with zero hot-path cost — the per-job TraceCtx
+	// stays zero and no clock is read.
+	Tracer *obs.Tracer
+	// Flight receives black-box flight-recorder events: watchdog trips
+	// and recoveries, scripted fault switches, rate-ladder moves, job
+	// and connection panics. Anomalies (trips, panics) also trigger an
+	// auto-dump when the recorder has a dump path armed. Nil disables.
+	Flight *obs.FlightRecorder
+	// SLO accumulates the rolling delivery-rate / latency burn-rate
+	// windows over every decode job outcome, including typed
+	// rejections. Nil disables.
+	SLO *obs.SLO
 }
 
 // Validate checks the configuration without filling defaults.
@@ -180,6 +195,14 @@ type job struct {
 	payload  []byte
 	enqueued time.Time
 	deadline time.Time // zero = none
+	// tctx is the job's trace context. Dispatch sets it from the
+	// request's propagated id; serveJob may upgrade a zero ctx via head
+	// sampling, and the connection handler reads it back after the
+	// response channel receive (the channel send orders the write).
+	tctx obs.TraceCtx
+	// batchStart is when the job's shard batch began processing,
+	// stamped only when tracing is configured (zero otherwise).
+	batchStart time.Time
 	// resp is buffered (cap 1): serveJob never blocks on a slow or
 	// vanished connection handler.
 	resp chan Response
@@ -279,6 +302,12 @@ func (sh *shard) collect(first *job) []*job {
 func (sh *shard) process(batch []*job) {
 	sh.depthG.Set(float64(sh.depth.Add(-int64(len(batch)))))
 	sh.srv.m.batchJobs.Observe(float64(len(batch)))
+	if sh.srv.cfg.Tracer != nil {
+		now := time.Now()
+		for _, j := range batch {
+			j.batchStart = now
+		}
+	}
 	order := make([]string, 0, len(batch))
 	bySess := make(map[string][]*job, len(batch))
 	for _, j := range batch {
@@ -403,6 +432,8 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 	defer func() {
 		if r := recover(); r != nil {
 			m.jobsPanic.Inc()
+			sh.srv.cfg.Flight.Anomaly(obs.FlightJobPanic, j.session, fmt.Sprint(r), j.tctx.ID())
+			sh.srv.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
 			j.respond(Response{Code: CodeError, Error: fmt.Sprintf("serve: decode panic: %v", r), Session: j.session})
 		}
 	}()
@@ -412,6 +443,9 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 		// state, so a timed-out job never perturbs the session's
 		// deterministic decode stream.
 		m.jobsDeadline.Inc()
+		if j.op == OpDecode {
+			sh.srv.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
+		}
 		j.respond(Response{Code: CodeDeadline, Error: ErrDeadline.Error(), Session: j.session})
 		return
 	}
@@ -436,6 +470,31 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 		}
 		j.respond(Response{OK: true, Code: CodeOK, Session: j.session, Seq: st.seq, Degraded: st.degraded, Stats: ws})
 	case OpDecode:
+		// Resolve the job's trace context: a propagated client id wins;
+		// otherwise head-sample deterministically on (session id, offered
+		// frame index) — the same decision a tracing client at the same
+		// frame would make, so sampled traces line up end to end. With no
+		// tracer configured tctx stays zero and nothing below reads a
+		// clock for tracing.
+		tctx := j.tctx
+		if cfg.Tracer != nil {
+			if !tctx.Enabled() {
+				tctx = cfg.Tracer.Head(j.session, st.sess.Stats.FramesOffered)
+			}
+			j.tctx = tctx
+			if tctx.Enabled() {
+				// The queue-wait and batch stages ended before the sampling
+				// decision existed; record them retroactively.
+				now := time.Now()
+				if !j.batchStart.IsZero() {
+					tctx.Record("queue_wait", j.enqueued, j.batchStart.Sub(j.enqueued))
+					tctx.Record("batch", j.batchStart, now.Sub(j.batchStart))
+				} else {
+					tctx.Record("queue_wait", j.enqueued, now.Sub(j.enqueued))
+				}
+			}
+			st.sess.SetTrace(tctx)
+		}
 		// Scripted chaos: cross any timeline steps due at this frame
 		// index before the exchange. The index is the session's own
 		// offered-frame count, so the script lands on the same frames
@@ -444,17 +503,23 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			st.timelineCur = cur
 			if err := st.sess.SetFaultProfile(p); err != nil {
 				m.jobsError.Inc()
+				sh.srv.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
 				j.respond(Response{Code: CodeError, Error: err.Error(), Session: j.session})
 				return
 			}
 			m.faultSwitch.Inc()
+			sh.srv.cfg.Flight.Record(obs.FlightFaultSwitch, j.session,
+				fmt.Sprintf("timeline step %d at frame %d", st.timelineCur, st.sess.Stats.FramesOffered), tctx.ID())
 		}
+		tsp := tctx.Start("decode")
 		sp := m.stageDecode.Start()
 		before := st.sess.Stats
 		res, delivered, err := st.sess.Send(j.payload)
 		sp.End()
+		tsp.End()
 		if err != nil {
 			m.jobsError.Inc()
+			sh.srv.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
 			j.respond(Response{Code: CodeError, Error: err.Error(), Session: j.session})
 			return
 		}
@@ -471,16 +536,26 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			}
 			if !st.degraded && st.hot >= cfg.WatchdogAfter {
 				sh.setDegraded(st, true)
+				// A watchdog trip is an anomaly: record it with the frame's
+				// trace id (linking the dump to the sampled trace) and
+				// auto-dump the flight ring if a path is armed.
+				sh.srv.cfg.Flight.Anomaly(obs.FlightWatchdogTrip, j.session,
+					fmt.Sprintf("residual %.1f dBm above %.1f dBm for %d frames", res.SICResidualDBm, cfg.WatchdogResidualDBm, cfg.WatchdogAfter), tctx.ID())
 			} else if st.degraded && st.cool >= cfg.WatchdogRecover {
 				sh.setDegraded(st, false)
+				sh.srv.cfg.Flight.Record(obs.FlightWatchdogClear, j.session,
+					fmt.Sprintf("healthy for %d frames", cfg.WatchdogRecover), tctx.ID())
 			}
 		}
 		after := st.sess.Stats
 		if d := after.ConfigSwitches - before.ConfigSwitches; d > 0 {
 			m.cfgSwitch.Add(int64(d))
+			sh.srv.cfg.Flight.Record(obs.FlightConfigSwitch, j.session,
+				fmt.Sprintf("%d ladder moves, now %.0f bps", d, st.sess.Link().Tag.Cfg.BitRate()), tctx.ID())
 		}
 		st.seq++
 		m.jobsDone.Inc()
+		sh.srv.cfg.SLO.Record(delivered, time.Since(j.enqueued).Seconds())
 		resp := Response{
 			OK:          true,
 			Code:        CodeOK,
@@ -547,13 +622,13 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		return r.Counter(obs.MetricServeJobs, "Decode-job admission outcomes.", "outcome", name)
 	}
 	stage := func(name string) *obs.Histogram {
-		return r.Histogram(obs.MetricServeJobStage, "Per-stage serving latency.", obs.DurationBuckets, "stage", name)
+		return r.Histogram(obs.MetricServeJobStage, "Per-stage serving latency.", obs.LatencyBuckets, "stage", name)
 	}
 	wire := func(dir, proto string) *obs.Counter {
 		return r.Counter(obs.MetricServeWireBytes, "Bytes on the serve wire, by direction and protocol.", "dir", dir, "proto", proto)
 	}
 	codec := func(op, proto string) *obs.Histogram {
-		return r.Histogram(obs.MetricServeFrameCodec, "Per-frame encode/decode latency by protocol.", obs.DurationBuckets, "op", op, "proto", proto)
+		return r.Histogram(obs.MetricServeFrameCodec, "Per-frame encode/decode latency by protocol.", obs.LatencyBuckets, "op", op, "proto", proto)
 	}
 	return serverMetrics{
 		jobsAdmitted: outcome("admitted"),
@@ -711,6 +786,7 @@ func (s *Server) handleConn(c net.Conn) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.connPanics.Inc()
+			s.cfg.Flight.Anomaly(obs.FlightConnPanic, "", fmt.Sprint(r), 0)
 		}
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -737,7 +813,12 @@ func (s *Server) handleConn(c net.Conn) {
 func (s *Server) serveJSON(br *bufio.Reader, bw *bufio.Writer) {
 	s.m.connsJSON.Inc()
 	fr := &frameReader{br: br}
+	traced := s.cfg.Tracer != nil
 	for {
+		var readStart time.Time
+		if traced {
+			readStart = time.Now()
+		}
 		body, err := fr.read()
 		if err != nil {
 			// A malformed-but-framed request gets a typed answer before
@@ -758,7 +839,15 @@ func (s *Server) serveJSON(br *bufio.Reader, bw *bufio.Writer) {
 			_ = bw.Flush()
 			return
 		}
-		resp := s.dispatch(&req)
+		var readDur time.Duration
+		if traced {
+			readDur = time.Since(readStart)
+		}
+		resp, tctx := s.dispatchCtx(&req)
+		// The read span predates the sampling decision; record it
+		// retroactively against the job's resolved context.
+		tctx.Record("conn_read", readStart, readDur)
+		wsp := tctx.Start("resp_write")
 		t0 = time.Now()
 		wb, err := json.Marshal(resp)
 		s.m.encJSON.Observe(time.Since(t0).Seconds())
@@ -776,6 +865,7 @@ func (s *Server) serveJSON(br *bufio.Reader, bw *bufio.Writer) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		wsp.End()
 		s.m.wireTxJSON.Add(int64(len(wb)) + 4)
 	}
 }
@@ -823,7 +913,12 @@ func (s *Server) serveBinary(br *bufio.Reader, bw *bufio.Writer) {
 		_, _ = bw.Write(finishBinaryFrame(b))
 		_ = bw.Flush()
 	}
+	traced := s.cfg.Tracer != nil
 	for {
+		var readStart time.Time
+		if traced {
+			readStart = time.Now()
+		}
 		body, err := fr.read()
 		if err != nil {
 			if errors.Is(err, ErrBadRequest) {
@@ -839,7 +934,13 @@ func (s *Server) serveBinary(br *bufio.Reader, bw *bufio.Writer) {
 			fail(derr)
 			return
 		}
-		resp := s.dispatch(&req)
+		var readDur time.Duration
+		if traced {
+			readDur = time.Since(readStart)
+		}
+		resp, tctx := s.dispatchCtx(&req)
+		tctx.Record("conn_read", readStart, readDur)
+		wsp := tctx.Start("resp_write")
 		b := append((*buf)[:0], 0, 0, 0, 0)
 		t0 = time.Now()
 		b, eerr := appendResponseBinary(b, &resp)
@@ -854,6 +955,7 @@ func (s *Server) serveBinary(br *bufio.Reader, bw *bufio.Writer) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		wsp.End()
 		s.m.wireTxBin.Add(int64(len(b)))
 	}
 }
@@ -861,28 +963,42 @@ func (s *Server) serveBinary(br *bufio.Reader, bw *bufio.Writer) {
 // dispatch validates one request, admits it to its session's shard,
 // and waits for the result.
 func (s *Server) dispatch(req *Request) Response {
+	resp, _ := s.dispatchCtx(req)
+	return resp
+}
+
+// dispatchCtx is dispatch plus the job's resolved trace context, read
+// back after the response-channel receive (which orders serveJob's
+// head-sampling write). Connection handlers use it to attach their
+// conn_read / resp_write spans to the same trace.
+func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
+	tctx := s.cfg.Tracer.Join(req.Trace)
 	switch req.Op {
 	case OpPing:
-		return Response{OK: true, Code: CodeOK}
+		return Response{OK: true, Code: CodeOK}, tctx
 	case OpDecode, OpStats:
 	default:
-		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: unknown op %q", req.Op)}
+		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: unknown op %q", req.Op)}, tctx
 	}
 	if req.Session == "" {
-		return Response{Code: CodeBadRequest, Error: "serve: missing session id"}
+		return Response{Code: CodeBadRequest, Error: "serve: missing session id"}, tctx
 	}
 	if req.Op == OpDecode && len(req.Payload) == 0 {
-		return Response{Code: CodeBadRequest, Error: "serve: empty payload", Session: req.Session}
+		return Response{Code: CodeBadRequest, Error: "serve: empty payload", Session: req.Session}, tctx
 	}
 	if s.draining.Load() {
 		s.m.jobsRejDrain.Inc()
-		return Response{Code: CodeDraining, Error: ErrDraining.Error(), Session: req.Session}
+		if req.Op == OpDecode {
+			s.cfg.SLO.Record(false, 0)
+		}
+		return Response{Code: CodeDraining, Error: ErrDraining.Error(), Session: req.Session}, tctx
 	}
 	j := &job{
 		op:       req.Op,
 		session:  req.Session,
 		payload:  req.Payload,
 		enqueued: time.Now(),
+		tctx:     tctx,
 		resp:     make(chan Response, 1),
 	}
 	timeout := s.cfg.JobTimeout
@@ -901,10 +1017,14 @@ func (s *Server) dispatch(req *Request) Response {
 			ctr = s.m.jobsRejDrain
 		}
 		ctr.Inc()
-		return Response{Code: code, Error: err.Error(), Session: req.Session}
+		if req.Op == OpDecode {
+			s.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
+		}
+		return Response{Code: code, Error: err.Error(), Session: req.Session}, tctx
 	}
 	s.m.jobsAdmitted.Inc()
-	return <-j.resp
+	resp := <-j.resp
+	return resp, j.tctx
 }
 
 // shardOf maps a session id onto its shard.
@@ -913,6 +1033,10 @@ func shardOf(id string, shards int) int {
 	h.Write([]byte(id))
 	return int(h.Sum32() % uint32(shards))
 }
+
+// Draining reports whether Shutdown has begun — the readiness signal
+// behind a drain-aware /readyz.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Shutdown drains the daemon gracefully: stop accepting connections,
 // reject new jobs with ErrDraining, let every admitted job finish (or

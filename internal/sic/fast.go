@@ -7,6 +7,7 @@ import (
 
 	"backfi/internal/dsp"
 	"backfi/internal/linalg"
+	"backfi/internal/obs"
 )
 
 // Reusable is the serving hot path's canceller: one instance per
@@ -51,6 +52,11 @@ func NewReusable(cfg Config) (*Reusable, error) {
 	}, nil
 }
 
+// SetTrace points subsequent Retrain calls at the per-frame trace
+// context (DESIGN.md §5h). The zero value disables tracing; the ctx is
+// a 2-word copy, so per-frame reassignment costs nothing.
+func (c *Reusable) SetTrace(t obs.TraceCtx) { c.cfg.Trace = t }
+
 // Retrain re-estimates both cancellation stages from the silent window
 // [start, stop) of y, exactly as Train does but into the receiver's
 // preallocated state. xTap/xIdeal are the PA-output and ideal transmit
@@ -64,6 +70,7 @@ func (c *Reusable) Retrain(xTap, xIdeal, y []complex128, start, stop int) error 
 
 	work := y
 	if cfg.AnalogTaps > 0 {
+		tsp := cfg.Trace.Start("sic_analog_train")
 		hA, err := linalg.ToeplitzLSFast(&c.wsA, xTap, y, cfg.AnalogTaps, start, stop, cfg.Lambda)
 		if err != nil {
 			return fmt.Errorf("sic: analog estimate: %w", err)
@@ -79,10 +86,12 @@ func (c *Reusable) Retrain(xTap, xIdeal, y []complex128, start, stop int) error 
 		}
 		work = c.work
 		c.report.AfterAnalogDBm = dsp.DBm(dsp.Power(work[start:stop]))
+		tsp.End()
 	} else {
 		c.report.AfterAnalogDBm = c.report.BeforeDBm
 	}
 
+	tsp := cfg.Trace.Start("sic_digital_train")
 	hD, err := linalg.ToeplitzLSFast(&c.wsD, xIdeal, work, cfg.DigitalTaps, start, stop, cfg.Lambda)
 	if err != nil {
 		return fmt.Errorf("sic: digital estimate: %w", err)
@@ -96,6 +105,7 @@ func (c *Reusable) Retrain(xTap, xIdeal, y []complex128, start, stop int) error 
 	}
 	c.report.AfterDBm = dsp.DBm(pw / float64(stop-start))
 	c.report.CancellationDB = c.report.BeforeDBm - c.report.AfterDBm
+	tsp.End()
 	return nil
 }
 

@@ -54,6 +54,10 @@ type Config struct {
 	// durations, residual floor, cancellation depth). Nil disables
 	// instrumentation at zero cost.
 	Obs *obs.Registry
+	// Trace is the per-frame trace context of the packet being
+	// decoded (DESIGN.md §5h); the training sub-stages record spans
+	// onto it. The zero value disables tracing at zero cost.
+	Trace obs.TraceCtx
 }
 
 // Validate checks the canceller configuration. The digital stage is
@@ -137,6 +141,7 @@ func Train(cfg Config, xTap, xIdeal, y []complex128, start, stop int) (*Cancelle
 
 	work := y
 	if cfg.AnalogTaps > 0 {
+		tsp := cfg.Trace.Start("sic_analog_train")
 		sp := cfg.Obs.Histogram(obs.MetricStageDuration, obs.HelpStageDuration, obs.DurationBuckets, "stage", "sic_analog_train").Start()
 		hA, err := linalg.ToeplitzLS(xTap, y, cfg.AnalogTaps, start, stop, cfg.Lambda)
 		if err != nil {
@@ -147,10 +152,12 @@ func Train(cfg Config, xTap, xIdeal, y []complex128, start, stop int) (*Cancelle
 		work = dsp.Sub(y, c.scratch)
 		c.report.AfterAnalogDBm = dsp.DBm(dsp.Power(work[start:stop]))
 		sp.End()
+		tsp.End()
 	} else {
 		c.report.AfterAnalogDBm = c.report.BeforeDBm
 	}
 
+	tsp := cfg.Trace.Start("sic_digital_train")
 	sp := cfg.Obs.Histogram(obs.MetricStageDuration, obs.HelpStageDuration, obs.DurationBuckets, "stage", "sic_digital_train").Start()
 	hD, err := linalg.ToeplitzLS(xIdeal, work, cfg.DigitalTaps, start, stop, cfg.Lambda)
 	if err != nil {
@@ -162,6 +169,7 @@ func Train(cfg Config, xTap, xIdeal, y []complex128, start, stop int) (*Cancelle
 	c.report.AfterDBm = dsp.DBm(dsp.Power(resid))
 	c.report.CancellationDB = c.report.BeforeDBm - c.report.AfterDBm
 	sp.End()
+	tsp.End()
 
 	// Canceller health: the residual floor is the paper's Fig. 7
 	// quantity (≈ thermal floor when cancellation works), and the
