@@ -34,6 +34,7 @@ import (
 	"backfi/internal/energy"
 	"backfi/internal/fault"
 	"backfi/internal/fec"
+	"backfi/internal/mac"
 	"backfi/internal/obs"
 	"backfi/internal/serve"
 	"backfi/internal/tag"
@@ -182,6 +183,43 @@ func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session,
 func NewMultiTagLink(cfg LinkConfig, distances []float64) (*MultiTagLink, error) {
 	return core.NewMultiTagLink(cfg, distances)
 }
+
+// Multi-tag MAC and collision-aware serving (DESIGN.md §5i): a
+// deterministic slotted arbiter schedules tag groups, one excitation
+// lights a whole group, and the reader jointly decodes the colliding
+// reflections by successive cancellation.
+type (
+	// TagMACConfig sizes the deterministic slotted arbiter.
+	TagMACConfig = mac.TagMACConfig
+	// TagMAC maps a frame index to the tag group polled in that slot —
+	// a pure function of (seed, frame), so every shard agrees.
+	TagMAC = mac.TagMAC
+	// MultiTagSessionConfig shapes one multi-tag serving session.
+	MultiTagSessionConfig = core.MultiTagSessionConfig
+	// MultiTagSession runs a fixed tag group slot by slot, decoding
+	// every collided member of each excitation jointly.
+	MultiTagSession = core.MultiTagSession
+	// MultiTagStats aggregates a session's slot outcomes.
+	MultiTagStats = core.MultiTagStats
+	// SlotResult is one jointly decoded slot.
+	SlotResult = core.SlotResult
+	// SlotPool shares immutable excitation templates across sessions
+	// (copy-on-write session state).
+	SlotPool = core.SlotPool
+)
+
+// NewTagMAC builds the deterministic slotted arbiter.
+func NewTagMAC(cfg TagMACConfig) (*TagMAC, error) { return mac.NewTagMAC(cfg) }
+
+// NewMultiTagSession realizes a multi-tag deployment: cfg.Tags polled
+// tags (plus an impostor when configured) on a geometric range ladder,
+// all sharing one wake group.
+func NewMultiTagSession(cfg MultiTagSessionConfig) (*MultiTagSession, error) {
+	return core.NewMultiTagSession(cfg)
+}
+
+// NewSlotPool builds an empty excitation-template pool keyed by seed.
+func NewSlotPool(seed int64) *SlotPool { return core.NewSlotPool(seed) }
 
 // Observability (DESIGN.md §5c): a registry set on LinkConfig.Obs
 // collects per-stage durations, SIC/decoder health, and SNR/BER

@@ -13,6 +13,15 @@
 //	backfi-loadgen -selfserve -sessions 8 -frames 100 -out BENCH_results.json
 //	backfi-loadgen -selfserve -proto binary -session-cache -fast \
 //	    -out-key serving_binary -out BENCH_results.json
+//
+// Multi-tag churn mode (-churn, DESIGN.md §5i) walks a heavy-tailed
+// session-id stream: most ids touch the daemon once and idle out, a
+// Zipf tail keeps offering jointly decoded multi-tag slots. The
+// summary then also records session-memory efficiency (sessions per
+// GB of heap growth) and aggregate multi-tag goodput:
+//
+//	backfi-loadgen -selfserve -multitag 2 -churn 100000 -ttl 300ms \
+//	    -max-session-bytes 4096 -out-key serving_multitag -out BENCH_results.json
 package main
 
 import (
@@ -22,9 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"backfi/internal/core"
@@ -58,6 +70,12 @@ func main() {
 	adapt := flag.Bool("adapt", false, "closed-loop rate adaptation on the self-served daemon (DESIGN.md §5f, -selfserve only)")
 	minSymRate := flag.Float64("min-symrate", 0, "with -adapt, restrict the ladder to symbol rates ≥ this (-selfserve only)")
 	timeline := flag.String("timeline", "", "scripted fault timeline frame:severity[,...] on the self-served daemon (overrides -impair; -selfserve only)")
+	mtTags := flag.Int("multitag", 0, "multi-tag group size: offer mdecode slots of this many payloads instead of single-tag frames (0 = off)")
+	mtImpostor := flag.Bool("multitag-impostor", false, "add an unpolled impostor tag to every multi-tag session (-selfserve only)")
+	churn := flag.Int("churn", 0, "churn mode: walk this many distinct session ids with a heavy-tailed slots-per-id profile (0 = legacy fixed-session workload)")
+	churnActive := flag.Float64("churn-active", 0.02, "churn mode: fraction of ids that are active groups offering decode slots; the rest register once and idle out")
+	ttl := flag.Duration("ttl", 0, "self-served daemon session TTL — idle sessions are evicted by per-shard sweeps (-selfserve only; 0 keeps sessions forever)")
+	maxSessBytes := flag.Int64("max-session-bytes", 0, "churn mode gate: fail unless heap growth per churned session id stays at or below this many bytes (0 disables)")
 	compare := flag.Bool("compare-protos", false, "run the workload once per protocol on fresh identical daemons (best of two runs each) and exit non-zero unless binary goodput ≥ JSON goodput (-selfserve only)")
 	out := flag.String("out", "", "merge the run's summary into this JSON file")
 	outKey := flag.String("out-key", "serving", "top-level key the summary merges under with -out")
@@ -114,6 +132,9 @@ func main() {
 			QueueDepth:   *queue,
 			BatchMax:     *batch,
 			SessionCache: *sessionCache,
+			SessionTTL:   *ttl,
+
+			MultiTagImpostor: *mtImpostor,
 
 			Adapt:                *adapt,
 			AdaptMinSymbolRateHz: *minSymRate,
@@ -139,17 +160,35 @@ func main() {
 	}
 
 	target := *addr
+	var selfsrv *serve.Server
 	if *selfserve {
-		srv := newServer()
-		defer srv.Shutdown(context.Background())
-		target = srv.Addr()
+		selfsrv = newServer()
+		defer selfsrv.Shutdown(context.Background())
+		target = selfsrv.Addr()
 		log.Printf("self-serving on %s (shards=%d proto=%s)", target, *shards, *proto)
 	}
 	if target == "" {
 		log.Fatal("need -addr or -selfserve")
 	}
 
-	sum, err := run(target, *proto, *sessions, *frames, *payload, tracer)
+	var sum map[string]any
+	var err error
+	if *churn > 0 {
+		var srv *serve.Server
+		if *selfserve {
+			srv = selfsrv
+		}
+		sum, err = runChurn(target, *proto, *sessions, *churn, *mtTags, *frames, *payload, *seed, *churnActive, srv)
+		if err == nil && *maxSessBytes > 0 {
+			if bps := sum["bytes_per_session"].(float64); bps > float64(*maxSessBytes) {
+				log.Fatalf("session-memory gate FAILED: %.0f heap bytes per churned session > %d budget", bps, *maxSessBytes)
+			}
+			log.Printf("session-memory gate OK: %.0f heap bytes per churned session <= %d budget",
+				sum["bytes_per_session"].(float64), *maxSessBytes)
+		}
+	} else {
+		sum, err = run(target, *proto, *sessions, *frames, *payload, tracer)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,6 +210,12 @@ func main() {
 	sum["frames_per_session"] = *frames
 	sum["payload_bytes"] = *payload
 	sum["proto"] = *proto
+	if *churn > 0 {
+		sum["multitag_group"] = *mtTags
+		sum["multitag_impostor"] = *mtImpostor
+		sum["churn_active_fraction"] = *churnActive
+		sum["session_ttl_ms"] = ttl.Milliseconds()
+	}
 	if *selfserve {
 		sum["shards"] = *shards
 		sum["session_cache"] = *sessionCache
@@ -299,6 +344,195 @@ func run(addr, proto string, sessions, frames, payloadBytes int, tracer *obs.Tra
 		"latency_p95_ms": p95 / 1e3,
 		"latency_p99_ms": p99 / 1e3,
 	}, nil
+}
+
+// runChurn is the §5i memory-and-goodput profile: churnN distinct
+// session ids stream through the daemon on `workers` connections. How
+// much work each id brings follows a heavy-tailed (Zipf) draw seeded
+// by (seed, id) — the realistic shape for a reader fleet, where most
+// tags report rarely and a few groups poll continuously. An id with no
+// tail work touches the daemon once (a stats probe realizes and then
+// abandons its session); an id in the tail offers jointly decoded
+// multi-tag slots of `tags` payloads (plain decodes when tags == 0).
+// Besides throughput, the summary records the memory story the session
+// TTL is for: heap growth per churned id and sessions per GB.
+func runChurn(addr, proto string, workers, churnN, tags, slotsMax, payloadBytes int, seed int64, activeF float64, srv *serve.Server) (map[string]any, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if slotsMax < 1 {
+		slotsMax = 1
+	}
+	runtime.GC()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	type workerResult struct {
+		probes    int
+		slots     int
+		offered   int // tag-frames offered in slots
+		delivered int // tag-frames delivered
+		rejected  int
+		failed    int
+		latencyUS []int64
+		err       error
+	}
+	results := make([]workerResult, workers)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			c, err := serve.DialClient(serve.ClientConfig{Addr: addr, Proto: proto})
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer c.Close()
+			for {
+				idx := next.Add(1) - 1
+				if idx >= int64(churnN) {
+					return
+				}
+				id := fmt.Sprintf("churn-%07d", idx)
+				// Heavy-tailed work per id, a pure function of (seed, id):
+				// an activeF-fraction of ids form active groups whose slot
+				// count is Zipf-distributed up to slotsMax; everyone else
+				// registers once and idles out.
+				rng := rand.New(rand.NewSource(seed + 0x9e3779b9*idx))
+				slots := 0
+				if rng.Float64() < activeF {
+					slots = 1
+					if slotsMax > 1 {
+						slots += int(rand.NewZipf(rng, 1.5, 1, uint64(slotsMax-1)).Uint64())
+					}
+				}
+				if slots == 0 {
+					// The common case: the id registers (its session is
+					// realized server-side) and never returns — the state the
+					// TTL sweep exists to reclaim.
+					r.probes++
+					if _, err := c.Stats(id); err != nil {
+						r.failed++
+					}
+					continue
+				}
+				for i := 0; i < slots; i++ {
+					var delivered, frames int
+					var err error
+					t0 := time.Now()
+					if tags > 0 {
+						pay := make([][]byte, tags)
+						for k := range pay {
+							p := []byte(fmt.Sprintf("%s/%04d/%d/", id, i, k))
+							for len(p) < payloadBytes {
+								p = append(p, byte(i))
+							}
+							pay[k] = p[:payloadBytes]
+						}
+						var resp *serve.Response
+						resp, err = c.MultiDecode(id, pay)
+						frames = tags
+						if err == nil {
+							for _, tr := range resp.Tags {
+								if tr.Delivered {
+									delivered++
+								}
+							}
+						}
+					} else {
+						p := []byte(fmt.Sprintf("%s/%04d/", id, i))
+						for len(p) < payloadBytes {
+							p = append(p, byte(i))
+						}
+						var resp *serve.Response
+						resp, err = c.Decode(id, p[:payloadBytes])
+						frames = 1
+						if err == nil && resp.Delivered {
+							delivered = 1
+						}
+					}
+					r.latencyUS = append(r.latencyUS, time.Since(t0).Microseconds())
+					r.slots++
+					r.offered += frames
+					r.delivered += delivered
+					switch {
+					case err == nil:
+					case errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrDraining) || errors.Is(err, serve.ErrDeadline):
+						r.rejected++
+					default:
+						r.failed++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	var probes, slots, offered, delivered, rejected, failed int
+	var lat []int64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		probes += r.probes
+		slots += r.slots
+		offered += r.offered
+		delivered += r.delivered
+		rejected += r.rejected
+		failed += r.failed
+		lat = append(lat, r.latencyUS...)
+	}
+
+	runtime.GC()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	heapGrowth := float64(0)
+	if msAfter.HeapAlloc > msBefore.HeapAlloc {
+		heapGrowth = float64(msAfter.HeapAlloc - msBefore.HeapAlloc)
+	}
+	bytesPerSession := heapGrowth / float64(churnN)
+	sessionsPerGB := 0.0
+	if heapGrowth > 0 {
+		sessionsPerGB = float64(churnN) / heapGrowth * (1 << 30)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sum := map[string]any{
+		"churn_sessions":       churnN,
+		"stats_probes":         probes,
+		"slots_offered":        slots,
+		"tag_frames_offered":   offered,
+		"tag_frames_delivered": delivered,
+		"rejected_ops":         rejected,
+		"failed_ops":           failed,
+		"wall_seconds":         wall,
+		"delivery_rate":        rate(delivered, offered),
+		"goodput_bps":          float64(delivered*payloadBytes*8) / wall,
+		"heap_growth_bytes":    heapGrowth,
+		"bytes_per_session":    bytesPerSession,
+		"sessions_per_gb":      sessionsPerGB,
+		"latency_p50_us":       quantileUS(lat, 0.50),
+		"latency_p95_us":       quantileUS(lat, 0.95),
+		"latency_p99_us":       quantileUS(lat, 0.99),
+	}
+	if srv != nil {
+		sum["live_sessions_end"] = srv.Sessions()
+		sum["evictions"] = srv.Evictions()
+	}
+	return sum, nil
+}
+
+// rate is a zero-guarded ratio.
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 // quantileUS returns the q-th latency quantile in microseconds

@@ -51,6 +51,9 @@ func main() {
 	wdResidual := flag.Float64("watchdog-residual", -80, "SIC residual threshold in dBm above which a frame counts unhealthy")
 	wdRecover := flag.Int("watchdog-recover", 0, "consecutive healthy frames to lift degraded mode (0 = default 8)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline measured from admission (0 = none)")
+	sessionTTL := flag.Duration("session-ttl", 0, "evict sessions idle longer than this; each shard sweeps its own map (0 keeps sessions forever)")
+	mtImpostor := flag.Bool("multitag-impostor", false, "add an unpolled impostor tag to every multi-tag session (adversarial collisions, DESIGN.md §5i)")
+	mtMax := flag.Int("multitag-max", 0, "max payloads per mdecode group (0 = default 8)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for admitted jobs")
 	metricsAddr := flag.String("metrics-addr", "", "serve the ops surface on ADDR: /metrics, /healthz, /readyz, /debug/trace, /debug/flightrecorder, /debug/pprof/ (e.g. localhost:9090)")
 	traceSample := flag.Int("trace-sample", 0, "head-sample 1/N decode frames into the span ring (0 disables tracing, 1 traces every frame)")
@@ -117,6 +120,10 @@ func main() {
 		SessionCache: *sessionCache,
 		JobTimeout:   *jobTimeout,
 		DrainTimeout: *drainTimeout,
+		SessionTTL:   *sessionTTL,
+
+		MultiTagImpostor: *mtImpostor,
+		MultiTagMax:      *mtMax,
 
 		Adapt:                *adapt,
 		AdaptMinSymbolRateHz: *minSymRate,

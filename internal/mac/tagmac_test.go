@@ -1,0 +1,112 @@
+package mac
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTagMACDeterministicAndPure(t *testing.T) {
+	m, err := NewTagMAC(TagMACConfig{Tags: 17, GroupSize: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewTagMAC(TagMACConfig{Tags: 17, GroupSize: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same frame must agree across instances and across call order:
+	// compute frames backwards on one arbiter, forwards on the other.
+	const frames = 40
+	fwd := make([][]int, frames)
+	for f := 0; f < frames; f++ {
+		fwd[f] = m.Slot(f)
+	}
+	for f := frames - 1; f >= 0; f-- {
+		if got := m2.Slot(f); !reflect.DeepEqual(got, fwd[f]) {
+			t.Fatalf("frame %d: %v vs %v (order-dependent arbitration)", f, got, fwd[f])
+		}
+	}
+	// Different seeds must disagree somewhere.
+	m3, _ := NewTagMAC(TagMACConfig{Tags: 17, GroupSize: 3, Seed: 43})
+	same := true
+	for f := 0; f < frames; f++ {
+		if !reflect.DeepEqual(m3.Slot(f), fwd[f]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed does not influence arbitration")
+	}
+}
+
+func TestTagMACRoundCoversPopulation(t *testing.T) {
+	for _, tc := range []struct{ tags, group int }{{1, 1}, {8, 2}, {17, 3}, {5, 8}} {
+		m, err := NewTagMAC(TagMACConfig{Tags: tc.tags, GroupSize: tc.group, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spr := m.SlotsPerRound()
+		for round := 0; round < 3; round++ {
+			seen := map[int]int{}
+			for s := 0; s < spr; s++ {
+				for _, id := range m.Slot(round*spr + s) {
+					seen[id]++
+				}
+			}
+			if len(seen) != tc.tags {
+				t.Fatalf("tags=%d group=%d round %d covered %d tags", tc.tags, tc.group, round, len(seen))
+			}
+			for id, n := range seen {
+				if n != 1 {
+					t.Fatalf("tags=%d group=%d round %d polled tag %d %d times", tc.tags, tc.group, round, id, n)
+				}
+				if id < 0 || id >= tc.tags {
+					t.Fatalf("tag id %d out of range", id)
+				}
+			}
+		}
+	}
+}
+
+func TestTagMACGroupSize(t *testing.T) {
+	m, _ := NewTagMAC(TagMACConfig{Tags: 10, GroupSize: 4, Seed: 1})
+	if spr := m.SlotsPerRound(); spr != 3 {
+		t.Fatalf("SlotsPerRound = %d, want 3", spr)
+	}
+	// Last slot of a round holds the remainder.
+	sizes := map[int]int{}
+	for s := 0; s < 3; s++ {
+		sizes[len(m.Slot(s))]++
+	}
+	if sizes[4] != 2 || sizes[2] != 1 {
+		t.Fatalf("slot sizes %v, want two of 4 and one of 2", sizes)
+	}
+	if g := m.Slot(-1); g != nil {
+		t.Fatalf("negative frame returned %v", g)
+	}
+}
+
+func TestTagMACSplit(t *testing.T) {
+	halves := Split([]int{3, 1, 4, 1, 5})
+	if len(halves) != 2 || len(halves[0]) != 2 || len(halves[1]) != 3 {
+		t.Fatalf("split = %v", halves)
+	}
+	// Splitting must not alias the input.
+	halves[0][0] = 99
+	if got := []int{3, 1, 4, 1, 5}[0]; got != 3 {
+		t.Fatal("split aliases input")
+	}
+	if Split([]int{7}) != nil || Split(nil) != nil {
+		t.Fatal("singleton/empty split should bottom out")
+	}
+}
+
+func TestTagMACValidate(t *testing.T) {
+	if _, err := NewTagMAC(TagMACConfig{Tags: 0, GroupSize: 1}); err == nil {
+		t.Fatal("expected error for empty population")
+	}
+	if _, err := NewTagMAC(TagMACConfig{Tags: 4, GroupSize: 0}); err == nil {
+		t.Fatal("expected error for zero group")
+	}
+}

@@ -36,6 +36,7 @@ const (
 	FlightConnPanic     = "conn_panic"
 	FlightJobPanic      = "job_panic"
 	FlightSigterm       = "sigterm"
+	FlightSessionEvict  = "session_evict"
 )
 
 // FlightEvent is one recorded event. Seq is a global record counter

@@ -87,6 +87,10 @@ const (
 	MetricServeSessions   = "backfi_serve_sessions"
 	MetricServeConns      = "backfi_serve_connections_total"
 	MetricServeConnPanics = "backfi_serve_conn_panics_total"
+	// MetricServeEvictions counts idle sessions reclaimed by the
+	// per-shard TTL sweep (DESIGN.md §5i) — the decrement side of the
+	// MetricServeSessions gauge under churn.
+	MetricServeEvictions = "backfi_serve_session_evictions_total"
 	// MetricServeDegraded gauges sessions the SIC-health watchdog is
 	// currently holding in degraded mode (forced-robust configuration);
 	// MetricServeDegradedTrans counts mode transitions (label dir =
@@ -153,6 +157,7 @@ var AllMetricNames = []string{
 	MetricServeJobStage,
 	MetricServeBatchJobs,
 	MetricServeSessions,
+	MetricServeEvictions,
 	MetricServeConns,
 	MetricServeConnPanics,
 	MetricServeDegraded,

@@ -25,9 +25,11 @@ import (
 //
 // Request body:
 //
-//	kind (1 byte: 0x01 decode, 0x02 stats, 0x03 ping)
+//	kind (1 byte: 0x01 decode, 0x02 stats, 0x03 ping, 0x04 mdecode)
 //	uvarint session length | session bytes
-//	uvarint payload length | payload bytes
+//	uvarint payload length | payload bytes          (0x01/0x02/0x03)
+//	  — or, for 0x04 —
+//	uvarint payload count | per payload: uvarint length | bytes
 //	uvarint timeout_ms
 //	[extension, optional: flags (1 byte: bit0 trace) | u64 LE trace id]
 //
@@ -40,7 +42,7 @@ import (
 //
 //	kind (1 byte: 0x81)
 //	flags (1 byte: bit0 ok, bit1 delivered, bit2 payload_ok,
-//	       bit3 degraded, bit4 stats present)
+//	       bit3 degraded, bit4 stats present, bit5 tags present)
 //	code (1 byte: enum below)
 //	uvarint error length | error bytes
 //	uvarint session length | session bytes
@@ -51,6 +53,9 @@ import (
 //	          payload_bits | acks_dropped | no_wakes | backoffs |
 //	          config_switches
 //	  f64 LE airtime_sec | backoff_sec | bit_rate_bps]
+//	[tags, when bit5:
+//	  uvarint count | per tag: flags (1 byte: bit0 delivered,
+//	  bit1 payload_ok, bit2 woke) | f64 LE snr_db]
 //
 // Every integer on the wire is a count (non-negative); the codec
 // rejects anything else at encode time so the decoder never needs
@@ -65,10 +70,11 @@ var binPreamble = [4]byte{'B', 'F', 'B', binVersion}
 
 // Body kinds.
 const (
-	binKindDecode = 0x01
-	binKindStats  = 0x02
-	binKindPing   = 0x03
-	binKindResp   = 0x81
+	binKindDecode      = 0x01
+	binKindStats       = 0x02
+	binKindPing        = 0x03
+	binKindMultiDecode = 0x04
+	binKindResp        = 0x81
 )
 
 // Response flag bits.
@@ -78,6 +84,14 @@ const (
 	binFlagPayloadOK = 1 << 2
 	binFlagDegraded  = 1 << 3
 	binFlagStats     = 1 << 4
+	binFlagTags      = 1 << 5
+)
+
+// Per-tag flag bits inside the response tags block.
+const (
+	binTagDelivered = 1 << 0
+	binTagPayloadOK = 1 << 1
+	binTagWoke      = 1 << 2
 )
 
 // Request extension flag bits (the optional trailing block).
@@ -222,14 +236,24 @@ func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
 		kind = binKindStats
 	case OpPing:
 		kind = binKindPing
+	case OpMultiDecode:
+		kind = binKindMultiDecode
 	default:
 		return dst, fmt.Errorf("serve: op %q has no binary encoding", req.Op)
 	}
 	dst = append(dst, kind)
 	dst = binary.AppendUvarint(dst, uint64(len(req.Session)))
 	dst = append(dst, req.Session...)
-	dst = binary.AppendUvarint(dst, uint64(len(req.Payload)))
-	dst = append(dst, req.Payload...)
+	if kind == binKindMultiDecode {
+		dst = binary.AppendUvarint(dst, uint64(len(req.Payloads)))
+		for _, p := range req.Payloads {
+			dst = binary.AppendUvarint(dst, uint64(len(p)))
+			dst = append(dst, p...)
+		}
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(req.Payload)))
+		dst = append(dst, req.Payload...)
+	}
 	dst, err := appendCount(dst, req.TimeoutMs)
 	if err != nil {
 		return dst, err
@@ -259,6 +283,8 @@ func decodeRequestBinary(body []byte, req *Request, names *internTable) error {
 		req.Op = OpStats
 	case binKindPing:
 		req.Op = OpPing
+	case binKindMultiDecode:
+		req.Op = OpMultiDecode
 	default:
 		return errFrameKind
 	}
@@ -268,11 +294,37 @@ func decodeRequestBinary(body []byte, req *Request, names *internTable) error {
 		return err
 	}
 	req.Session = names.get(s)
-	p, rest, err := takeBytes(rest)
-	if err != nil {
-		return err
+	// Both payload shapes reset the other: the Request struct is reused
+	// across a connection's frames, and a stale Payloads from an earlier
+	// mdecode must not leak into a plain decode (and vice versa).
+	if body[0] == binKindMultiDecode {
+		req.Payload = req.Payload[:0]
+		var n int
+		if n, rest, err = takeUvarint(rest); err != nil {
+			return err
+		}
+		if n > len(rest) { // each payload takes >= 1 byte of frame
+			return errFrameTruncated
+		}
+		if cap(req.Payloads) < n {
+			req.Payloads = make([][]byte, n)
+		}
+		req.Payloads = req.Payloads[:n]
+		for i := 0; i < n; i++ {
+			var p []byte
+			if p, rest, err = takeBytes(rest); err != nil {
+				return err
+			}
+			req.Payloads[i] = append(req.Payloads[i][:0], p...)
+		}
+	} else {
+		req.Payloads = req.Payloads[:0]
+		var p []byte
+		if p, rest, err = takeBytes(rest); err != nil {
+			return err
+		}
+		req.Payload = append(req.Payload[:0], p...)
 	}
-	req.Payload = append(req.Payload[:0], p...)
 	req.TimeoutMs, rest, err = takeUvarint(rest)
 	if err != nil {
 		return err
@@ -322,6 +374,9 @@ func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
 	if resp.Stats != nil {
 		flags |= binFlagStats
 	}
+	if len(resp.Tags) > 0 {
+		flags |= binFlagTags
+	}
 	code, err := codeToByte(resp.Code)
 	if err != nil {
 		return dst, err
@@ -348,6 +403,23 @@ func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
 		dst = appendF64(dst, st.BackoffSec)
 		dst = appendF64(dst, st.BitRateBps)
 	}
+	if len(resp.Tags) > 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Tags)))
+		for _, t := range resp.Tags {
+			var tf byte
+			if t.Delivered {
+				tf |= binTagDelivered
+			}
+			if t.PayloadOK {
+				tf |= binTagPayloadOK
+			}
+			if t.Woke {
+				tf |= binTagWoke
+			}
+			dst = append(dst, tf)
+			dst = appendF64(dst, t.SNRdB)
+		}
+	}
 	return dst, nil
 }
 
@@ -363,7 +435,7 @@ func decodeResponseBinary(body []byte, resp *Response, names *internTable, stats
 		return errFrameKind
 	}
 	flags := body[1]
-	if flags&^(binFlagOK|binFlagDelivered|binFlagPayloadOK|binFlagDegraded|binFlagStats) != 0 {
+	if flags&^(binFlagOK|binFlagDelivered|binFlagPayloadOK|binFlagDegraded|binFlagStats|binFlagTags) != 0 {
 		// Flag bits this version does not define would be silently
 		// dropped on re-encode; reject them so version skew surfaces as
 		// a typed error instead of data loss.
@@ -418,6 +490,31 @@ func decodeResponseBinary(body []byte, resp *Response, names *internTable, stats
 			return err
 		}
 		resp.Stats = st
+	}
+	resp.Tags = nil
+	if flags&binFlagTags != 0 {
+		var n int
+		if n, rest, err = takeUvarint(rest); err != nil {
+			return err
+		}
+		if n > len(rest)/9 { // each tag takes exactly 9 bytes
+			return errFrameTruncated
+		}
+		resp.Tags = make([]TagResult, n)
+		for i := range resp.Tags {
+			tf := rest[0]
+			rest = rest[1:]
+			if tf&^byte(binTagDelivered|binTagPayloadOK|binTagWoke) != 0 {
+				return fmt.Errorf("%w: unknown tag flag bits %#x", ErrBadRequest, tf)
+			}
+			t := &resp.Tags[i]
+			t.Delivered = tf&binTagDelivered != 0
+			t.PayloadOK = tf&binTagPayloadOK != 0
+			t.Woke = tf&binTagWoke != 0
+			if t.SNRdB, rest, err = takeF64(rest); err != nil {
+				return err
+			}
+		}
 	}
 	if len(rest) != 0 {
 		return errFrameTrailing

@@ -22,6 +22,9 @@ func binRequests() []Request {
 		{Op: OpDecode, Session: "tag-7", Payload: []byte("hello, backscatter")},
 		{Op: OpDecode, Session: "s", Payload: bytes.Repeat([]byte{0xAB}, 300), TimeoutMs: 1500},
 		{Op: OpDecode, Session: "tag-Ω-unicode", Payload: []byte{0}},
+		{Op: OpMultiDecode, Session: "group-3", Payloads: [][]byte{
+			[]byte("reading-a"), []byte("reading-b"), []byte("reading-c"),
+		}, TimeoutMs: 900},
 	}
 }
 
@@ -37,6 +40,11 @@ func binResponses() []Response {
 			BackoffSec: 0.5, ConfigSwitches: 3, BitRateBps: 2.5e6,
 		}},
 		{Code: CodeError, Error: "serve: decode panic: boom", Session: "x"},
+		{OK: true, Code: CodeOK, Session: "group-3", Seq: 4, Delivered: true, Attempts: 1, Tags: []TagResult{
+			{Delivered: true, PayloadOK: true, Woke: true, SNRdB: 14.5},
+			{Delivered: true, PayloadOK: true, Woke: true, SNRdB: 8.25},
+			{Woke: true, SNRdB: -1.5},
+		}},
 	}
 }
 
@@ -56,7 +64,7 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 			want.Payload = []byte{}
 		}
 		if got.Op != want.Op || got.Session != want.Session || got.TimeoutMs != want.TimeoutMs ||
-			!bytes.Equal(got.Payload, want.Payload) {
+			!bytes.Equal(got.Payload, want.Payload) || !samePayloads(got.Payloads, want.Payloads) {
 			t.Fatalf("req %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
 		}
 	}

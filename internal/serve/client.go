@@ -466,6 +466,18 @@ func (c *Client) DecodeTimeout(session string, payload []byte, timeoutMs int) (*
 	return resp, resp.Err()
 }
 
+// MultiDecode offers one payload per tag of the session's multi-tag
+// group and runs a jointly decoded slot. The first MultiDecode on a
+// session fixes its group size; later calls must match it. Per-tag
+// outcomes come back in Response.Tags, aligned with payloads.
+func (c *Client) MultiDecode(session string, payloads [][]byte) (*Response, error) {
+	resp, err := c.do(&Request{Op: OpMultiDecode, Session: session, Payloads: payloads})
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
 // Stats returns the session's accumulated statistics, ordered after
 // every decode the session has answered.
 func (c *Client) Stats(session string) (*SessionStats, error) {

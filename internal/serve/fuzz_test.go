@@ -64,7 +64,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if again.Op != req.Op || again.Session != req.Session ||
 				again.TimeoutMs != req.TimeoutMs || again.Trace != req.Trace ||
-				!bytes.Equal(again.Payload, req.Payload) {
+				!bytes.Equal(again.Payload, req.Payload) || !samePayloads(again.Payloads, req.Payloads) {
 				t.Fatalf("request round trip not a fixed point:\n %+v\n %+v", req, again)
 			}
 		}
@@ -84,10 +84,9 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			rs, as := resp, again
 			rst, ast := rs.Stats, as.Stats
-			rs.Stats, as.Stats = nil, nil
 			sameStats := (rst == nil) == (ast == nil) && (rst == nil || *rst == *ast ||
 				(isNaNStats(rst) && isNaNStats(ast)))
-			if rs != as && !(isNaNResp(&rs) && isNaNResp(&as) && eqRespIgnoringSNR(&rs, &as)) {
+			if !eqResp(&rs, &as) {
 				t.Fatalf("response round trip not a fixed point:\n %+v\n %+v", resp, again)
 			}
 			if !sameStats {
@@ -97,15 +96,41 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
-// NaN never compares equal to itself, so frames carrying NaN floats
-// (legal on the wire) need a structural comparison.
-func isNaNResp(r *Response) bool { return r.SNRdB != r.SNRdB }
-
-func eqRespIgnoringSNR(a, b *Response) bool {
-	x, y := *a, *b
-	x.SNRdB, y.SNRdB = 0, 0
-	return x == y
+func samePayloads(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
 }
+
+// eqResp compares everything but Stats field-by-field. NaN never
+// compares equal to itself, but NaN floats are legal on the wire, so
+// floats compare NaN==NaN here.
+func eqResp(a, b *Response) bool {
+	if a.OK != b.OK || a.Code != b.Code || a.Error != b.Error ||
+		a.Session != b.Session || a.Seq != b.Seq ||
+		a.Delivered != b.Delivered || a.PayloadOK != b.PayloadOK ||
+		a.Attempts != b.Attempts || a.NoWakes != b.NoWakes ||
+		a.ACKsDropped != b.ACKsDropped || a.Degraded != b.Degraded ||
+		!eqF64(a.SNRdB, b.SNRdB) || len(a.Tags) != len(b.Tags) {
+		return false
+	}
+	for i := range a.Tags {
+		x, y := a.Tags[i], b.Tags[i]
+		if x.Delivered != y.Delivered || x.PayloadOK != y.PayloadOK ||
+			x.Woke != y.Woke || !eqF64(x.SNRdB, y.SNRdB) {
+			return false
+		}
+	}
+	return true
+}
+
+func eqF64(a, b float64) bool { return a == b || (a != a && b != b) }
 
 func isNaNStats(s *SessionStats) bool {
 	return s.AirtimeSec != s.AirtimeSec || s.BackoffSec != s.BackoffSec || s.BitRateBps != s.BitRateBps

@@ -38,6 +38,12 @@ const (
 	// runs the full ARQ exchange on that session's link and reports the
 	// outcome.
 	OpDecode = "decode"
+	// OpMultiDecode submits one payload per member of a session's
+	// multi-tag group: the daemon lights the whole group with one
+	// excitation and jointly decodes the colliding reflections
+	// (DESIGN.md §5i). The group size is fixed by the session's first
+	// mdecode (len(payloads)); later jobs must match it.
+	OpMultiDecode = "mdecode"
 	// OpStats returns a session's accumulated SessionStats. It routes
 	// through the session's shard queue like a decode, so it observes a
 	// consistent snapshot ordered against the session's decodes.
@@ -81,6 +87,10 @@ type Request struct {
 	Session string `json:"session,omitempty"`
 	// Payload is the application frame to deliver (OpDecode).
 	Payload []byte `json:"payload,omitempty"`
+	// Payloads carries one frame per multi-tag group member
+	// (OpMultiDecode): Payloads[k] is what polled tag k backscatters
+	// into the shared slot.
+	Payloads [][]byte `json:"payloads,omitempty"`
 	// TimeoutMs overrides the server's default per-job deadline,
 	// measured from admission. 0 keeps the server default.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -129,6 +139,25 @@ type Response struct {
 
 	// Stats is the session summary (OpStats).
 	Stats *SessionStats `json:"stats,omitempty"`
+
+	// Tags holds per-tag outcomes of a multi-tag slot (OpMultiDecode),
+	// aligned with the request's Payloads. Absent on every other op, so
+	// single-tag response streams are byte-identical to legacy servers.
+	Tags []TagResult `json:"tags,omitempty"`
+}
+
+// TagResult is one group member's outcome within a jointly decoded
+// slot.
+type TagResult struct {
+	// Delivered reports the member's payload round-tripped; PayloadOK
+	// mirrors it for multi-tag slots (no per-member ARQ).
+	Delivered bool `json:"delivered"`
+	PayloadOK bool `json:"payload_ok"`
+	// Woke reports the tag's wake-detector outcome for this slot.
+	Woke bool `json:"woke"`
+	// SNRdB is the member's post-MRC symbol SNR after the layers above
+	// it were cancelled.
+	SNRdB float64 `json:"snr_db"`
 }
 
 // SessionStats mirrors core.SessionStats on the wire.

@@ -242,7 +242,7 @@ func TestDeadlineExceededBeforeSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	sh := s.shards[0]
-	if err := sh.ensureSession("x"); err != nil {
+	if err := sh.ensureSession("x", []*job{{op: OpDecode}}); err != nil {
 		t.Fatal(err)
 	}
 	before := sh.sessions["x"].sess.Stats
@@ -281,7 +281,7 @@ func TestJobPanicIsolated(t *testing.T) {
 		t.Fatalf("code = %q, want %q after a panic", resp.Code, CodeError)
 	}
 	// The shard survives: a real job on the same shard still works.
-	if err := sh.ensureSession("ghost"); err != nil {
+	if err := sh.ensureSession("ghost", []*job{{op: OpDecode}}); err != nil {
 		t.Fatal(err)
 	}
 	j2 := &job{op: OpStats, session: "ghost", enqueued: time.Now(), resp: make(chan Response, 1)}

@@ -125,6 +125,20 @@ type Config struct {
 	// windows over every decode job outcome, including typed
 	// rejections. Nil disables.
 	SLO *obs.SLO
+	// SessionTTL reclaims sessions idle longer than this: each shard's
+	// worker goroutine sweeps its own map between batches (single-writer
+	// maps, no locking), decrements the session gauge, and records a
+	// flight event per eviction. A re-used id after eviction reopens the
+	// same deterministic stream from frame zero — the seed is a pure
+	// function of the id. 0 disables eviction (sessions live forever,
+	// the pre-§5i behavior).
+	SessionTTL time.Duration
+	// MultiTagImpostor adds an unpolled impostor tag to every multi-tag
+	// session the daemon opens (see core.MultiTagSessionConfig.Impostor).
+	MultiTagImpostor bool
+	// MultiTagMax bounds the payload-group size an mdecode request may
+	// carry. 0 defaults to 8.
+	MultiTagMax int
 }
 
 // Validate checks the configuration without filling defaults.
@@ -152,6 +166,12 @@ func (c *Config) Validate() error {
 	}
 	if c.WatchdogAfter < 0 || c.WatchdogRecover < 0 {
 		return fmt.Errorf("serve: negative watchdog threshold")
+	}
+	if c.SessionTTL < 0 {
+		return fmt.Errorf("serve: negative session TTL %v", c.SessionTTL)
+	}
+	if c.MultiTagMax < 0 {
+		return fmt.Errorf("serve: negative multi-tag bound %d", c.MultiTagMax)
 	}
 	if err := c.AdaptTuning.Defaults().Validate(); err != nil {
 		return err
@@ -185,14 +205,19 @@ func (c Config) withDefaults() Config {
 	if c.WatchdogRecover == 0 {
 		c.WatchdogRecover = 8
 	}
+	if c.MultiTagMax == 0 {
+		c.MultiTagMax = 8
+	}
 	return c
 }
 
 // job is one admitted request on its way through a shard.
 type job struct {
-	op       string
-	session  string
-	payload  []byte
+	op      string
+	session string
+	payload []byte
+	// payloads is the mdecode payload group (nil on every other op).
+	payloads [][]byte
 	enqueued time.Time
 	deadline time.Time // zero = none
 	// tctx is the job's trace context. Dispatch sets it from the
@@ -212,10 +237,20 @@ func (j *job) respond(r Response) { j.resp <- r }
 
 // sessionState is one live session plus its decode sequence counter.
 // Only its owning shard touches it, and within one batch only the
-// goroutine assigned to its session id, so no lock is needed.
+// goroutine assigned to its session id, so no lock is needed. Both
+// session shapes are realized lazily — an id that only ever decodes
+// multi-tag slots never pays for a single-tag link, and vice versa —
+// which is what keeps 100k+ churned ids affordable.
 type sessionState struct {
 	sess *core.Session
-	seq  int
+	// multi is the id's multi-tag session, realized by its first
+	// mdecode; that first request fixes the group size for the id's
+	// lifetime.
+	multi *core.MultiTagSession
+	// lastUsed is the batch timestamp of the id's most recent job,
+	// stamped on the shard worker goroutine (only when eviction is on).
+	lastUsed time.Time
+	seq      int
 	// timelineCur is the session's cursor into the scripted fault
 	// timeline (frame-indexed, so it advances identically under any
 	// shard/worker count).
@@ -243,6 +278,10 @@ type shard struct {
 	depth    atomic.Int64
 	depthG   *obs.Gauge
 	sessions map[string]*sessionState
+	// nsessions / nevicted mirror len(sessions) and the eviction count
+	// for readers outside the worker goroutine (Server.Sessions).
+	nsessions atomic.Int64
+	nevicted  atomic.Int64
 }
 
 // enqueue admits a job or rejects it with a typed error. It never
@@ -264,15 +303,54 @@ func (sh *shard) enqueue(j *job) error {
 
 // run is the shard worker: block for one job, opportunistically drain
 // up to BatchMax-1 more, and process the batch. Exits when the queue
-// is closed and empty (drain complete).
+// is closed and empty (drain complete). With a session TTL configured
+// the same goroutine also sweeps its map between batches — eviction is
+// a third single-writer touch point, never a lock.
 func (sh *shard) run() {
 	defer sh.srv.shardWg.Done()
-	for {
-		j, ok := <-sh.q
-		if !ok {
-			return
+	var tickC <-chan time.Time
+	if ttl := sh.srv.cfg.SessionTTL; ttl > 0 {
+		period := ttl / 2
+		if period < time.Millisecond {
+			period = time.Millisecond
 		}
-		sh.process(sh.collect(j))
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case j, ok := <-sh.q:
+			if !ok {
+				return
+			}
+			sh.process(sh.collect(j))
+		case now := <-tickC:
+			sh.evict(now)
+		}
+	}
+}
+
+// evict reclaims every session idle past the TTL. Runs on the worker
+// goroutine only.
+func (sh *shard) evict(now time.Time) {
+	ttl := sh.srv.cfg.SessionTTL
+	m := &sh.srv.m
+	for id, st := range sh.sessions {
+		idle := now.Sub(st.lastUsed)
+		if idle < ttl {
+			continue
+		}
+		if st.degraded {
+			m.degraded.Add(-1)
+		}
+		delete(sh.sessions, id)
+		sh.nsessions.Add(-1)
+		sh.nevicted.Add(1)
+		m.sessions.Add(-1)
+		m.evictions.Inc()
+		sh.srv.cfg.Flight.Record(obs.FlightSessionEvict, id,
+			fmt.Sprintf("idle %v past ttl %v", idle.Round(time.Millisecond), ttl), 0)
 	}
 }
 
@@ -317,7 +395,7 @@ func (sh *shard) process(batch []*job) {
 		bySess[j.session] = append(bySess[j.session], j)
 	}
 	for _, id := range order {
-		if err := sh.ensureSession(id); err != nil {
+		if err := sh.ensureSession(id, bySess[id]); err != nil {
 			for _, j := range bySess[id] {
 				sh.srv.m.jobsError.Inc()
 				j.respond(Response{Code: CodeError, Error: err.Error(), Session: id})
@@ -331,6 +409,12 @@ func (sh *shard) process(batch []*job) {
 			live = append(live, id)
 		}
 	}
+	if sh.srv.cfg.SessionTTL > 0 {
+		now := time.Now()
+		for _, id := range live {
+			sh.sessions[id].lastUsed = now
+		}
+	}
 	parallel.ForEach(len(live), sh.srv.cfg.BatchWorkers, func(i int) {
 		st := sh.sessions[live[i]]
 		for _, j := range bySess[live[i]] {
@@ -339,19 +423,47 @@ func (sh *shard) process(batch []*job) {
 	})
 }
 
-// ensureSession realizes the session for id if it does not exist yet.
-// The seed derives from the id alone (plus the template seed), so the
-// same id opens the same session stream under any shard count.
-func (sh *shard) ensureSession(id string) error {
-	if _, ok := sh.sessions[id]; ok {
-		return nil
+// ensureSession realizes whatever session shapes this batch's jobs
+// need for id. The seed derives from the id alone (plus the template
+// seed), so the same id opens the same session stream under any shard
+// count. A stats job realizes nothing by itself when a multi-tag
+// session already exists — it reports on what is there — but on a
+// fresh id it opens the single-tag session, preserving the legacy
+// zero-stats answer.
+func (sh *shard) ensureSession(id string, jobs []*job) error {
+	st, ok := sh.sessions[id]
+	if !ok {
+		st = &sessionState{}
 	}
-	sess, err := sh.srv.newSession(sessionSeed(id))
-	if err != nil {
-		return fmt.Errorf("serve: open session %q: %w", id, err)
+	for _, j := range jobs {
+		switch {
+		case j.op == OpMultiDecode:
+			if st.multi != nil {
+				continue
+			}
+			m, err := sh.srv.newMultiSession(sessionSeed(id), len(j.payloads))
+			if err != nil {
+				return fmt.Errorf("serve: open multi-tag session %q: %w", id, err)
+			}
+			st.multi = m
+		case j.op == OpStats && st.multi != nil:
+			// Report on the multi-tag session; no realization.
+		default:
+			if st.sess != nil {
+				continue
+			}
+			sess, err := sh.srv.newSession(sessionSeed(id))
+			if err != nil {
+				return fmt.Errorf("serve: open session %q: %w", id, err)
+			}
+			st.sess = sess
+		}
 	}
-	sh.sessions[id] = &sessionState{sess: sess}
-	sh.srv.m.sessions.Add(1)
+	if !ok {
+		sh.sessions[id] = st
+		sh.nsessions.Add(1)
+		sh.srv.m.sessions.Add(1)
+	}
 	return nil
 }
 
@@ -367,6 +479,23 @@ func (s *Server) newSession(seedOffset int64) (*core.Session, error) {
 		return core.NewAdaptiveSession(cfg, s.cfg.CoherenceRho, s.cfg.MaxRetries, s.cfg.AdaptTuning, s.cfg.AdaptMinSymbolRateHz)
 	}
 	return core.NewSession(cfg, s.cfg.CoherenceRho, s.cfg.MaxRetries)
+}
+
+// newMultiSession clones the template into a tags-wide multi-tag
+// session at a seed offset. Every multi-tag session shares the
+// server's slot pool: the excitation templates are a pure function of
+// (pool seed, slot shape), so sharing keeps outcomes identical while
+// 100k sessions retain one template set instead of 100k private
+// buffers (copy-on-write session state, DESIGN.md §5i).
+func (s *Server) newMultiSession(seedOffset int64, tags int) (*core.MultiTagSession, error) {
+	cfg := s.cfg.Link
+	cfg.Seed += seedOffset
+	return core.NewMultiTagSession(core.MultiTagSessionConfig{
+		Link:     cfg,
+		Tags:     tags,
+		Impostor: s.cfg.MultiTagImpostor,
+		Pool:     s.pool,
+	})
 }
 
 // sessionLadder is the configuration ladder every session of this
@@ -443,7 +572,7 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 		// state, so a timed-out job never perturbs the session's
 		// deterministic decode stream.
 		m.jobsDeadline.Inc()
-		if j.op == OpDecode {
+		if j.op == OpDecode || j.op == OpMultiDecode {
 			sh.srv.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
 		}
 		j.respond(Response{Code: CodeDeadline, Error: ErrDeadline.Error(), Session: j.session})
@@ -452,6 +581,20 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 	cfg := &sh.srv.cfg
 	switch j.op {
 	case OpStats:
+		if st.sess == nil && st.multi != nil {
+			// Multi-tag-only session: synthesize the legacy stats shape
+			// from slot outcomes. A tag-frame is a frame; a slot is one
+			// packet (one excitation).
+			ms := st.multi.Stats
+			j.respond(Response{OK: true, Code: CodeOK, Session: j.session, Seq: st.seq, Stats: &SessionStats{
+				FramesOffered:   ms.TagsPolled,
+				FramesDelivered: ms.TagsDelivered,
+				PacketsSent:     ms.SlotsOffered,
+				PayloadBits:     ms.PayloadBits,
+				AirtimeSec:      ms.AirtimeSec,
+			}})
+			return
+		}
 		s := st.sess.Stats
 		ws := &SessionStats{
 			FramesOffered:   s.FramesOffered,
@@ -572,6 +715,63 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			resp.SNRdB = res.MeasuredSNRdB
 		}
 		j.respond(resp)
+	case OpMultiDecode:
+		if got, want := len(j.payloads), st.multi.Tags(); got != want {
+			j.respond(Response{Code: CodeBadRequest, Session: j.session,
+				Error: fmt.Sprintf("serve: slot carries %d payloads; session group size was fixed at %d by its first mdecode", got, want)})
+			return
+		}
+		tctx := j.tctx
+		if cfg.Tracer != nil {
+			if !tctx.Enabled() {
+				tctx = cfg.Tracer.Head(j.session, st.multi.Stats.SlotsOffered)
+			}
+			j.tctx = tctx
+			if tctx.Enabled() {
+				now := time.Now()
+				if !j.batchStart.IsZero() {
+					tctx.Record("queue_wait", j.enqueued, j.batchStart.Sub(j.enqueued))
+					tctx.Record("batch", j.batchStart, now.Sub(j.batchStart))
+				} else {
+					tctx.Record("queue_wait", j.enqueued, now.Sub(j.enqueued))
+				}
+			}
+			st.multi.SetTrace(tctx)
+		}
+		tsp := tctx.Start("decode")
+		sp := m.stageDecode.Start()
+		res, err := st.multi.SendSlot(j.payloads)
+		sp.End()
+		tsp.End()
+		if err != nil {
+			m.jobsError.Inc()
+			sh.srv.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
+			j.respond(Response{Code: CodeError, Error: err.Error(), Session: j.session})
+			return
+		}
+		st.seq++
+		m.jobsDone.Inc()
+		delivered := res.Delivered == len(j.payloads)
+		sh.srv.cfg.SLO.Record(delivered, time.Since(j.enqueued).Seconds())
+		resp := Response{
+			OK:        true,
+			Code:      CodeOK,
+			Session:   j.session,
+			Seq:       st.seq,
+			Delivered: delivered,
+			Attempts:  1,
+			Tags:      make([]TagResult, len(res.Results)),
+		}
+		for k, pr := range res.Results {
+			t := &resp.Tags[k]
+			t.Woke = res.Woke[k]
+			if pr != nil {
+				t.Delivered = pr.Delivered
+				t.PayloadOK = pr.PayloadOK
+				t.SNRdB = pr.MeasuredSNRdB
+			}
+		}
+		j.respond(resp)
 	default:
 		j.respond(Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: unknown op %q", j.op), Session: j.session})
 	}
@@ -598,6 +798,7 @@ type serverMetrics struct {
 	stageDecode  *obs.Histogram
 	batchJobs    *obs.Histogram
 	sessions     *obs.Gauge
+	evictions    *obs.Counter
 	conns        *obs.Counter
 	connPanics   *obs.Counter
 	degraded     *obs.Gauge
@@ -642,6 +843,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		stageDecode:  stage("decode"),
 		batchJobs:    r.Histogram(obs.MetricServeBatchJobs, "Jobs per shard batch.", obs.LinBuckets(1, 1, 32)),
 		sessions:     r.Gauge(obs.MetricServeSessions, "Live reader sessions."),
+		evictions:    r.Counter(obs.MetricServeEvictions, "Idle sessions reclaimed by the per-shard TTL sweep."),
 		conns:        r.Counter(obs.MetricServeConns, "Accepted TCP connections."),
 		connPanics:   r.Counter(obs.MetricServeConnPanics, "Connection handlers recovered from a panic."),
 		degraded:     r.Gauge(obs.MetricServeDegraded, "Sessions held in degraded mode by the SIC-health watchdog."),
@@ -684,6 +886,11 @@ type Server struct {
 	robust    tag.Config
 	ladderTop int
 
+	// pool shares multi-tag excitation templates across every session
+	// the daemon opens (SlotPool is internally locked; one pool serves
+	// all shards).
+	pool *core.SlotPool
+
 	m serverMetrics
 }
 
@@ -701,6 +908,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		conns: map[net.Conn]struct{}{},
 		m:     newServerMetrics(cfg.Obs),
+		pool:  core.NewSlotPool(cfg.Link.Seed),
 	}
 	// The ladder is a pure function of the template's preamble/id, so
 	// every session shares it; resolve the degraded-mode target once.
@@ -976,7 +1184,7 @@ func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true, Code: CodeOK}, tctx
-	case OpDecode, OpStats:
+	case OpDecode, OpStats, OpMultiDecode:
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: unknown op %q", req.Op)}, tctx
 	}
@@ -986,9 +1194,22 @@ func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
 	if req.Op == OpDecode && len(req.Payload) == 0 {
 		return Response{Code: CodeBadRequest, Error: "serve: empty payload", Session: req.Session}, tctx
 	}
+	if req.Op == OpMultiDecode {
+		if len(req.Payloads) == 0 {
+			return Response{Code: CodeBadRequest, Error: "serve: empty payload group", Session: req.Session}, tctx
+		}
+		if len(req.Payloads) > s.cfg.MultiTagMax {
+			return Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: %d payloads exceeds the %d-tag bound", len(req.Payloads), s.cfg.MultiTagMax), Session: req.Session}, tctx
+		}
+		for _, p := range req.Payloads {
+			if len(p) == 0 {
+				return Response{Code: CodeBadRequest, Error: "serve: empty payload in group", Session: req.Session}, tctx
+			}
+		}
+	}
 	if s.draining.Load() {
 		s.m.jobsRejDrain.Inc()
-		if req.Op == OpDecode {
+		if req.Op == OpDecode || req.Op == OpMultiDecode {
 			s.cfg.SLO.Record(false, 0)
 		}
 		return Response{Code: CodeDraining, Error: ErrDraining.Error(), Session: req.Session}, tctx
@@ -997,6 +1218,7 @@ func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
 		op:       req.Op,
 		session:  req.Session,
 		payload:  req.Payload,
+		payloads: req.Payloads,
 		enqueued: time.Now(),
 		tctx:     tctx,
 		resp:     make(chan Response, 1),
@@ -1017,7 +1239,7 @@ func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
 			ctr = s.m.jobsRejDrain
 		}
 		ctr.Inc()
-		if req.Op == OpDecode {
+		if req.Op == OpDecode || req.Op == OpMultiDecode {
 			s.cfg.SLO.Record(false, time.Since(j.enqueued).Seconds())
 		}
 		return Response{Code: code, Error: err.Error(), Session: req.Session}, tctx
@@ -1037,6 +1259,27 @@ func shardOf(id string, shards int) int {
 // Draining reports whether Shutdown has begun — the readiness signal
 // behind a drain-aware /readyz.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Sessions reports the live session count across all shards — the
+// value behind the backfi_serve_sessions gauge, readable without a
+// registry.
+func (s *Server) Sessions() int {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.nsessions.Load()
+	}
+	return int(n)
+}
+
+// Evictions reports how many idle sessions the TTL sweeps have
+// reclaimed since start.
+func (s *Server) Evictions() int {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.nevicted.Load()
+	}
+	return int(n)
+}
 
 // Shutdown drains the daemon gracefully: stop accepting connections,
 // reject new jobs with ErrDraining, let every admitted job finish (or

@@ -126,6 +126,7 @@ type Tag struct {
 	Cfg      Config
 	Detector *EnergyDetector
 	wakeSeq  []byte
+	wakeID   int
 }
 
 // New returns a tag with the given configuration.
@@ -133,11 +134,31 @@ func New(cfg Config) (*Tag, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tag{Cfg: cfg, Detector: NewEnergyDetector(), wakeSeq: WakeSequence(cfg.ID)}, nil
+	return &Tag{Cfg: cfg, Detector: NewEnergyDetector(), wakeSeq: WakeSequence(cfg.ID), wakeID: cfg.ID}, nil
+}
+
+// NewWithWake returns a tag whose wake correlator listens for wakeID's
+// sequence instead of its own ID's. This is the group wake of the
+// multi-tag MAC (DESIGN.md §5i): every tag in an arbitration group
+// shares one wake sequence — a single wake burst lights the whole
+// group — while Cfg.ID still selects the tag's own PN preamble, which
+// is what the reader's joint decoder separates the reflections by.
+func NewWithWake(cfg Config, wakeID int) (*Tag, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wakeID < 0 {
+		return nil, fmt.Errorf("tag: negative wake ID %d", wakeID)
+	}
+	return &Tag{Cfg: cfg, Detector: NewEnergyDetector(), wakeSeq: WakeSequence(wakeID), wakeID: wakeID}, nil
 }
 
 // WakeSeq returns the tag's 16-bit wake sequence.
 func (t *Tag) WakeSeq() []byte { return t.wakeSeq }
+
+// WakeID returns the ID whose sequence the tag wakes on — Cfg.ID
+// unless the tag was built with NewWithWake.
+func (t *Tag) WakeID() int { return t.wakeID }
 
 // PayloadCapacity returns the largest payload (bytes) that fits in an
 // excitation packet of packetSamples.
