@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"backfi/internal/cluster"
 	"backfi/internal/core"
 	"backfi/internal/fault"
 	"backfi/internal/obs"
@@ -58,6 +59,8 @@ func main() {
 	wdResidual := flag.Float64("watchdog-residual", -80, "SIC residual threshold in dBm above which a frame counts unhealthy")
 	wdRecover := flag.Int("watchdog-recover", 8, "consecutive healthy frames to lift degraded mode")
 	killEvery := flag.Int("kill-every", 15, "sever each session's connection every N frames (0 disables connection chaos)")
+	clusterN := flag.Int("cluster", 0, "run the cluster chaos harness instead: boot N handoff-enabled nodes plus a single-node control, hard-kill one node mid-soak, and assert every session heals onto a survivor with a byte-identical stream (0 disables; needs >= 2)")
+	killAt := flag.Int("kill-at", 0, "cluster mode: hard-kill the victim node when the first session reaches this frame (0 = frames/3)")
 	minRatio := flag.Float64("min-ratio", 2, "assert adaptive delivery ≥ this multiple of fixed delivery (0 disables)")
 	floor := flag.Float64("floor", 0.45, "assert adaptive delivery rate ≥ this absolute floor (0 disables)")
 	out := flag.String("out", "", "merge the run's summary under a \"chaos\" key in this JSON file")
@@ -70,6 +73,25 @@ func main() {
 	tlSpec := *timeline
 	link := core.DefaultLinkConfig(*distance)
 	link.Seed = *seed
+
+	if *clusterN > 0 {
+		if *clusterN < 2 {
+			log.Fatalf("cluster mode needs at least 2 nodes, got %d", *clusterN)
+		}
+		at := *killAt
+		if at <= 0 {
+			at = *frames / 3
+		}
+		clusterChaos(clusterParams{
+			nodes: *clusterN, sessions: *sessions, frames: *frames,
+			payloadBytes: *payload, killAt: at, seed: *seed,
+			link: link, rho: *rho, retries: *retries, shards: *shards,
+			timeline: tlSpec, minSymRate: *minSymRate,
+			goroutinesStart: goroutinesStart,
+			out:             *out, flightOut: *flightOut, traceOut: *traceOut,
+		})
+		return
+	}
 
 	// One tracer and one flight recorder span the whole run — both
 	// daemons and every client — so a watchdog trip on the adaptive
@@ -249,7 +271,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *out != "" {
-		if err := mergeOut(*out, sum); err != nil {
+		if err := mergeOut(*out, "chaos", sum); err != nil {
 			log.Fatalf("out: %v", err)
 		}
 		log.Printf("merged chaos entry into %s", *out)
@@ -367,9 +389,9 @@ func soak(addr string, sessions, frames, payloadBytes, killEvery int, seed int64
 	return res, nil
 }
 
-// mergeOut folds the summary into path under "chaos", preserving every
+// mergeOut folds the summary into path under key, preserving every
 // other top-level key ("figures", "micro", "serving", ...).
-func mergeOut(path string, sum map[string]any) error {
+func mergeOut(path, key string, sum map[string]any) error {
 	doc := map[string]any{}
 	if b, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(b, &doc); err != nil {
@@ -378,10 +400,343 @@ func mergeOut(path string, sum map[string]any) error {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	doc["chaos"] = sum
+	doc[key] = sum
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// clusterParams carries the parsed flags into the cluster harness.
+type clusterParams struct {
+	nodes, sessions, frames, payloadBytes, killAt int
+	seed                                          int64
+	link                                          core.LinkConfig
+	rho                                           float64
+	retries, shards                               int
+	timeline                                      string
+	minSymRate                                    float64
+	goroutinesStart                               int
+	out, flightOut, traceOut                      string
+}
+
+// clusterChaos is the §5j acceptance harness: N identical handoff-
+// enabled adaptive nodes behind consistent-hash routing, one
+// uninterrupted control node, one hard kill mid-soak. The gates are
+// absolute: every session heals onto a survivor, every session's
+// response stream (and final stats) is byte-identical to the control
+// node's, sequence numbers stay strictly gapless (zero lost or
+// duplicated frames), and the flight recorder links each kill,
+// re-route, and handoff install under one trace id.
+func clusterChaos(p clusterParams) {
+	tracer := obs.NewTracer(obs.TracerConfig{Seed: p.seed, SampleEvery: 1})
+	flight := obs.NewFlightRecorder(16384)
+	if p.flightOut != "" {
+		flight.SetDumpPath(p.flightOut)
+	}
+	if p.killAt >= p.frames {
+		log.Fatalf("kill-at %d is past the last frame %d", p.killAt, p.frames-1)
+	}
+
+	boot := func() *serve.Server {
+		tl, err := fault.ParseTimeline(p.timeline)
+		if err != nil {
+			log.Fatalf("timeline: %v", err)
+		}
+		srv, err := serve.NewServer(serve.Config{
+			Addr:                 "localhost:0",
+			Link:                 p.link,
+			CoherenceRho:         p.rho,
+			MaxRetries:           p.retries,
+			Shards:               p.shards,
+			Timeline:             tl,
+			Handoff:              true,
+			Adapt:                true,
+			AdaptMinSymbolRateHz: p.minSymRate,
+			Obs:                  obs.NewRegistry(),
+			Tracer:               tracer,
+			Flight:               flight,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		return srv
+	}
+	control := boot()
+	byAddr := map[string]*serve.Server{}
+	addrs := make([]string, p.nodes)
+	for i := range addrs {
+		n := boot()
+		addrs[i] = n.Addr()
+		byAddr[n.Addr()] = n
+	}
+	template := serve.ClientConfig{
+		Proto:      "binary",
+		IOTimeout:  10 * time.Second,
+		MaxRedials: 3,
+		RedialBase: 2 * time.Millisecond,
+		RedialMax:  20 * time.Millisecond,
+	}
+	sessionID := func(s int) string { return fmt.Sprintf("cluster-%03d", s) }
+
+	// Routing is deterministic, so the victim — the node owning the
+	// first session — and its session count are known before any frame
+	// is served.
+	probe, err := cluster.New(cluster.Config{Addrs: addrs, Client: template})
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, _ := probe.Owner(sessionID(0))
+	victimSessions := 0
+	for s := 0; s < p.sessions; s++ {
+		if o, _ := probe.Owner(sessionID(s)); o == victim {
+			victimSessions++
+		}
+	}
+	probe.Close()
+	log.Printf("control on %s; %d nodes %v; victim %s owns %d/%d sessions, dies at frame %d",
+		control.Addr(), p.nodes, addrs, victim, victimSessions, p.sessions, p.killAt)
+
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			log.Printf("killing %s", victim)
+			byAddr[victim].Kill()
+		})
+	}
+
+	type outcome struct {
+		err           error
+		delivered     int
+		controlDel    int
+		mismatch      string
+		seqViolations int
+		statsDiverged bool
+	}
+	outcomes := make([]outcome, p.sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < p.sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := &outcomes[s]
+			id := sessionID(s)
+			cc, err := serve.DialClient(serve.ClientConfig{
+				Addr: control.Addr(), Proto: "binary", IOTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer cc.Close()
+			cl, err := cluster.New(cluster.Config{
+				Addrs: addrs, Client: template, Flight: flight, TraceSeed: p.seed,
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < p.frames; i++ {
+				if i == p.killAt {
+					kill()
+				}
+				pay := []byte(fmt.Sprintf("%s/%06d/", id, i))
+				for len(pay) < p.payloadBytes {
+					pay = append(pay, byte(i))
+				}
+				pay = pay[:p.payloadBytes]
+				want, err := cc.Decode(id, pay)
+				if err != nil {
+					r.err = fmt.Errorf("control frame %d: %w", i, err)
+					return
+				}
+				got, err := cl.Decode(id, pay)
+				if err != nil {
+					r.err = fmt.Errorf("cluster frame %d did not heal: %w", i, err)
+					return
+				}
+				if want.Delivered {
+					r.controlDel++
+				}
+				if got.Delivered {
+					r.delivered++
+				}
+				if got.Seq != i+1 {
+					r.seqViolations++
+				}
+				wb, _ := json.Marshal(want)
+				gb, _ := json.Marshal(got)
+				if r.mismatch == "" && string(wb) != string(gb) {
+					r.mismatch = fmt.Sprintf("frame %d:\n  cluster %s\n  control %s", i, gb, wb)
+				}
+			}
+			cstats, cerr := cc.Stats(id)
+			gstats, gerr := cl.Stats(id)
+			if cerr != nil || gerr != nil {
+				r.err = errors.Join(cerr, gerr)
+				return
+			}
+			r.statsDiverged = *cstats != *gstats
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	for addr, srv := range byAddr {
+		if addr == victim {
+			continue
+		}
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Fatalf("node %s drain: %v", addr, err)
+		}
+	}
+	if err := control.Shutdown(context.Background()); err != nil {
+		log.Fatalf("control drain: %v", err)
+	}
+	goroutinesEnd := runtime.NumGoroutine()
+	for wait := 0; goroutinesEnd > p.goroutinesStart && wait < 100; wait++ {
+		time.Sleep(20 * time.Millisecond)
+		goroutinesEnd = runtime.NumGoroutine()
+	}
+
+	var failures []string
+	offered := p.sessions * p.frames
+	delivered, controlDel, seqViolations := 0, 0, 0
+	byteIdentical := true
+	for s := range outcomes {
+		r := &outcomes[s]
+		if r.err != nil {
+			failures = append(failures, fmt.Sprintf("session %s: %v", sessionID(s), r.err))
+			continue
+		}
+		delivered += r.delivered
+		controlDel += r.controlDel
+		seqViolations += r.seqViolations
+		if r.mismatch != "" {
+			byteIdentical = false
+			failures = append(failures, fmt.Sprintf("session %s diverged from control at %s", sessionID(s), r.mismatch))
+		}
+		if r.statsDiverged {
+			failures = append(failures, fmt.Sprintf("session %s: final stats diverged from control", sessionID(s)))
+		}
+	}
+	if seqViolations > 0 {
+		failures = append(failures, fmt.Sprintf("%d sequence violations (lost or duplicated frames)", seqViolations))
+	}
+	if delivered < controlDel {
+		failures = append(failures, fmt.Sprintf("cluster delivered %d < control %d", delivered, controlDel))
+	}
+
+	// Black-box gates: one node_down + one reroute + one handoff
+	// install per victim-owned session (each session runs its own
+	// cluster client, so each heals independently), and every reroute's
+	// trace id must also appear on a handoff_install — that shared id
+	// is what strings kill -> re-route -> handoff into one story.
+	nodeDowns := flight.Count(obs.FlightNodeDown)
+	reroutes := flight.Count(obs.FlightReroute)
+	installs := 0 // client-side installs: only they carry the episode trace
+	rerouteTraces := map[uint64]bool{}
+	installTraces := map[uint64]bool{}
+	for _, ev := range flight.Events() {
+		switch ev.Kind {
+		case obs.FlightReroute:
+			if ev.Trace == 0 {
+				failures = append(failures, fmt.Sprintf("reroute event without trace id: %+v", ev))
+			}
+			rerouteTraces[ev.Trace] = true
+		case obs.FlightHandoffInstall:
+			if ev.Trace != 0 {
+				installs++
+				installTraces[ev.Trace] = true
+			}
+		}
+	}
+	if nodeDowns != victimSessions {
+		failures = append(failures, fmt.Sprintf("node_down events = %d, want %d (one per victim session client)", nodeDowns, victimSessions))
+	}
+	if reroutes != victimSessions {
+		failures = append(failures, fmt.Sprintf("reroute events = %d, want %d", reroutes, victimSessions))
+	}
+	if installs != victimSessions {
+		failures = append(failures, fmt.Sprintf("client handoff_install events = %d, want %d", installs, victimSessions))
+	}
+	for tr := range rerouteTraces {
+		if !installTraces[tr] {
+			failures = append(failures, fmt.Sprintf("reroute trace %x has no linked handoff_install", tr))
+		}
+	}
+	if goroutinesEnd > p.goroutinesStart {
+		failures = append(failures, fmt.Sprintf("goroutine leak: %d before, %d after shutdown", p.goroutinesStart, goroutinesEnd))
+	}
+
+	traces, spans, droppedSpans := tracer.Stats()
+	sum := map[string]any{
+		"nodes":              p.nodes,
+		"sessions":           p.sessions,
+		"frames_per_session": p.frames,
+		"kill_at_frame":      p.killAt,
+		"victim":             victim,
+		"victim_sessions":    victimSessions,
+		"offered_frames":     offered,
+		"delivered_frames":   delivered,
+		"control_delivered":  controlDel,
+		"delivery_rate":      float64(delivered) / float64(offered),
+		"byte_identical":     byteIdentical,
+		"seq_violations":     seqViolations,
+		"node_down_events":   nodeDowns,
+		"reroute_events":     reroutes,
+		"handoff_installs":   installs,
+		"goroutines_start":   p.goroutinesStart,
+		"goroutines_end":     goroutinesEnd,
+		"wall_seconds":       wall,
+		"traces":             traces,
+		"trace_spans":        spans,
+		"trace_spans_drop":   droppedSpans,
+		"pass":               len(failures) == 0,
+	}
+
+	if p.flightOut != "" {
+		if err := flight.DumpFile(p.flightOut); err != nil {
+			log.Fatalf("flight-out: %v", err)
+		}
+		log.Printf("wrote flight dump %s (%d events)", p.flightOut, len(flight.Events()))
+	}
+	if p.traceOut != "" {
+		f, err := os.Create(p.traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		log.Printf("wrote %s (%d traces, %d spans)", p.traceOut, traces, spans)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal(err)
+	}
+	if p.out != "" {
+		if err := mergeOut(p.out, "cluster_chaos", sum); err != nil {
+			log.Fatalf("out: %v", err)
+		}
+		log.Printf("merged cluster_chaos entry into %s", p.out)
+	}
+	for _, f := range failures {
+		log.Printf("FAIL: %s", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	log.Printf("pass: %d sessions x %d frames across %d nodes, %d healed off %s, streams byte-identical to control",
+		p.sessions, p.frames, p.nodes, victimSessions, victim)
 }

@@ -22,6 +22,15 @@
 //
 //	backfi-loadgen -selfserve -multitag 2 -churn 100000 -ttl 300ms \
 //	    -max-session-bytes 4096 -out-key serving_multitag -out BENCH_results.json
+//
+// Cluster mode (DESIGN.md §5j) spreads the same closed-loop workload
+// across N reader nodes behind consistent-hash session routing — each
+// session goroutine drives its own cluster client, so aggregate
+// goodput scales with nodes when CPUs are available (the summary
+// records gomaxprocs so gates can scale their expectations):
+//
+//	backfi-loadgen -selfserve -cluster 3 -proto binary -session-cache \
+//	    -out-key serving_cluster -out BENCH_results.json
 package main
 
 import (
@@ -35,10 +44,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"backfi/internal/cluster"
 	"backfi/internal/core"
 	"backfi/internal/fault"
 	"backfi/internal/fec"
@@ -52,7 +63,9 @@ func main() {
 	log.SetPrefix("backfi-loadgen: ")
 
 	addr := flag.String("addr", "", "daemon address to load (empty with -selfserve)")
+	addrs := flag.String("addrs", "", "comma-separated reader-node addresses: load them as a cluster behind consistent-hash session routing (nodes must run -handoff; overrides -addr)")
 	selfserve := flag.Bool("selfserve", false, "spawn an in-process daemon on an ephemeral loopback port instead of dialing -addr")
+	clusterNodes := flag.Int("cluster", 0, "with -selfserve, spawn this many handoff-enabled nodes and route sessions across them (DESIGN.md §5j; 0 = one plain node)")
 	proto := flag.String("proto", "json", "wire protocol: json (legacy frames) or binary (zero-copy framing, DESIGN.md §5g)")
 	sessions := flag.Int("sessions", 8, "concurrent sessions (one connection each)")
 	frames := flag.Int("frames", 100, "frames offered per session")
@@ -77,6 +90,9 @@ func main() {
 	ttl := flag.Duration("ttl", 0, "self-served daemon session TTL — idle sessions are evicted by per-shard sweeps (-selfserve only; 0 keeps sessions forever)")
 	maxSessBytes := flag.Int64("max-session-bytes", 0, "churn mode gate: fail unless heap growth per churned session id stays at or below this many bytes (0 disables)")
 	compare := flag.Bool("compare-protos", false, "run the workload once per protocol on fresh identical daemons (best of two runs each) and exit non-zero unless binary goodput ≥ JSON goodput (-selfserve only)")
+	gateFile := flag.String("gate-baseline", "", "cluster goodput gate: JSON bench file holding the single-node baseline entry; the cluster run must reach -gate-ratio times its goodput_bps when this host has at least as many CPUs as nodes, and must at least match it otherwise")
+	gateKey := flag.String("gate-baseline-key", "serving_single", "cluster goodput gate: top-level key of the baseline entry inside -gate-baseline")
+	gateRatio := flag.Float64("gate-ratio", 2, "cluster goodput gate: required goodput multiple over the baseline when parallelism is available (gomaxprocs >= nodes); relaxes to 1.0 (no regression) on narrower hosts where node decode loops share cores")
 	out := flag.String("out", "", "merge the run's summary into this JSON file")
 	outKey := flag.String("out-key", "serving", "top-level key the summary merges under with -out")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's sampled frames to this file (open in chrome://tracing or Perfetto)")
@@ -133,6 +149,7 @@ func main() {
 			BatchMax:     *batch,
 			SessionCache: *sessionCache,
 			SessionTTL:   *ttl,
+			Handoff:      *clusterNodes > 1,
 
 			MultiTagImpostor: *mtImpostor,
 
@@ -159,16 +176,42 @@ func main() {
 		return
 	}
 
+	var clusterAddrs []string
+	if *addrs != "" {
+		clusterAddrs = strings.Split(*addrs, ",")
+	}
+	if *clusterNodes > 1 {
+		if !*selfserve {
+			log.Fatal("cluster: -cluster needs -selfserve (point -addrs at external handoff-enabled nodes instead)")
+		}
+		if len(clusterAddrs) > 0 {
+			log.Fatal("cluster: -cluster and -addrs are mutually exclusive")
+		}
+	}
+
 	target := *addr
 	var selfsrv *serve.Server
 	if *selfserve {
-		selfsrv = newServer()
-		defer selfsrv.Shutdown(context.Background())
-		target = selfsrv.Addr()
-		log.Printf("self-serving on %s (shards=%d proto=%s)", target, *shards, *proto)
+		if *clusterNodes > 1 {
+			for i := 0; i < *clusterNodes; i++ {
+				srv := newServer()
+				defer srv.Shutdown(context.Background())
+				clusterAddrs = append(clusterAddrs, srv.Addr())
+			}
+			log.Printf("self-serving a %d-node handoff cluster %v (shards=%d each, proto=%s)",
+				*clusterNodes, clusterAddrs, *shards, *proto)
+		} else {
+			selfsrv = newServer()
+			defer selfsrv.Shutdown(context.Background())
+			target = selfsrv.Addr()
+			log.Printf("self-serving on %s (shards=%d proto=%s)", target, *shards, *proto)
+		}
 	}
-	if target == "" {
-		log.Fatal("need -addr or -selfserve")
+	if target == "" && len(clusterAddrs) == 0 {
+		log.Fatal("need -addr, -addrs, or -selfserve")
+	}
+	if len(clusterAddrs) > 0 && (*churn > 0 || *mtTags > 0) {
+		log.Fatal("cluster mode drives the single-tag decode workload only (no -churn / -multitag)")
 	}
 
 	var sum map[string]any
@@ -186,8 +229,18 @@ func main() {
 			log.Printf("session-memory gate OK: %.0f heap bytes per churned session <= %d budget",
 				sum["bytes_per_session"].(float64), *maxSessBytes)
 		}
+	} else if len(clusterAddrs) > 0 {
+		sum, err = run(func() (frameDecoder, error) {
+			return cluster.New(cluster.Config{
+				Addrs:     clusterAddrs,
+				Client:    serve.ClientConfig{Proto: *proto, Tracer: tracer},
+				TraceSeed: *seed,
+			})
+		}, *sessions, *frames, *payload)
 	} else {
-		sum, err = run(target, *proto, *sessions, *frames, *payload, tracer)
+		sum, err = run(func() (frameDecoder, error) {
+			return serve.DialClient(serve.ClientConfig{Addr: target, Proto: *proto, Tracer: tracer})
+		}, *sessions, *frames, *payload)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -210,6 +263,9 @@ func main() {
 	sum["frames_per_session"] = *frames
 	sum["payload_bytes"] = *payload
 	sum["proto"] = *proto
+	if len(clusterAddrs) > 0 {
+		sum["cluster_nodes"] = len(clusterAddrs)
+	}
 	if *churn > 0 {
 		sum["multitag_group"] = *mtTags
 		sum["multitag_impostor"] = *mtImpostor
@@ -229,6 +285,15 @@ func main() {
 	if err := enc.Encode(sum); err != nil {
 		log.Fatal(err)
 	}
+	if *gateFile != "" {
+		if len(clusterAddrs) == 0 {
+			log.Fatal("gate-baseline: only meaningful for a cluster run (-cluster or -addrs)")
+		}
+		if err := gateGoodput(*gateFile, *gateKey, *gateRatio, len(clusterAddrs),
+			sum["goodput_bps"].(float64)); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *out != "" {
 		if err := mergeOut(*out, *outKey, sum); err != nil {
 			log.Fatalf("out: %v", err)
@@ -247,7 +312,10 @@ func compareProtos(newServer func() *serve.Server, sessions, frames, payload int
 	for _, proto := range []string{"json", "binary"} {
 		for attempt := 0; attempt < 2; attempt++ {
 			srv := newServer()
-			sum, err := run(srv.Addr(), proto, sessions, frames, payload, nil)
+			proto := proto
+			sum, err := run(func() (frameDecoder, error) {
+				return serve.DialClient(serve.ClientConfig{Addr: srv.Addr(), Proto: proto})
+			}, sessions, frames, payload)
 			srv.Shutdown(context.Background())
 			if err != nil {
 				log.Fatal(err)
@@ -264,10 +332,22 @@ func compareProtos(newServer func() *serve.Server, sessions, frames, payload int
 	log.Printf("protocol gate OK: binary %.0f bps >= json %.0f bps", best["binary"], best["json"])
 }
 
-// run offers sessions*frames jobs closed-loop and aggregates the
-// outcome into the serving summary. Latencies are recorded in
-// microseconds.
-func run(addr, proto string, sessions, frames, payloadBytes int, tracer *obs.Tracer) (map[string]any, error) {
+// frameDecoder is the client surface run measures: a single-node
+// serve.Client and a consistent-hash cluster.Client both satisfy it,
+// so single-node and cluster entries in the bench file are produced by
+// the identical measurement loop.
+type frameDecoder interface {
+	Decode(session string, payload []byte) (*serve.Response, error)
+	Close() error
+}
+
+// run offers sessions*frames jobs closed-loop — each session goroutine
+// owns one client from dial — and aggregates the outcome into the
+// serving summary. Latencies are recorded in microseconds. gomaxprocs
+// rides along because serving is CPU-bound: gates comparing entries
+// (e.g. cluster vs. single-node goodput) must scale expectations by
+// the parallelism the run actually had.
+func run(dial func() (frameDecoder, error), sessions, frames, payloadBytes int) (map[string]any, error) {
 	type sessionResult struct {
 		delivered int
 		rejected  int
@@ -283,7 +363,7 @@ func run(addr, proto string, sessions, frames, payloadBytes int, tracer *obs.Tra
 		go func(s int) {
 			defer wg.Done()
 			r := &results[s]
-			c, err := serve.DialClient(serve.ClientConfig{Addr: addr, Proto: proto, Tracer: tracer})
+			c, err := dial()
 			if err != nil {
 				r.err = err
 				return
@@ -336,6 +416,7 @@ func run(addr, proto string, sessions, frames, payloadBytes int, tracer *obs.Tra
 		"delivered_fps":    float64(delivered) / wall,
 		"delivery_rate":    float64(delivered) / float64(offered),
 		"goodput_bps":      float64(delivered*payloadBytes*8) / wall,
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
 		"latency_p50_us":   p50,
 		"latency_p95_us":   p95,
 		"latency_p99_us":   p99,
@@ -525,6 +606,45 @@ func runChurn(addr, proto string, workers, churnN, tags, slotsMax, payloadBytes 
 		sum["evictions"] = srv.Evictions()
 	}
 	return sum, nil
+}
+
+// gateGoodput enforces the cluster scaling contract against a
+// single-node baseline entry measured with the identical workload: with
+// at least one CPU per node the cluster must multiply goodput by
+// ratio; on narrower hosts the node decode loops time-share cores, so
+// the honest requirement is only that routing and handoff overhead
+// never cost throughput (>= 1x). The achieved parallelism (gomaxprocs)
+// is recorded in the cluster entry so readers can interpret the figure.
+func gateGoodput(path, key string, ratio float64, nodes int, got float64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate-baseline: %w", err)
+	}
+	var doc map[string]map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("gate-baseline %s: %w", path, err)
+	}
+	entry, ok := doc[key]
+	if !ok {
+		return fmt.Errorf("gate-baseline %s: no %q entry", path, key)
+	}
+	base, ok := entry["goodput_bps"].(float64)
+	if !ok || base <= 0 {
+		return fmt.Errorf("gate-baseline %s: %q has no positive goodput_bps", path, key)
+	}
+	need := ratio
+	if procs := runtime.GOMAXPROCS(0); procs < nodes {
+		log.Printf("cluster goodput gate: %d CPUs for %d nodes — relaxing %gx to 1x (no regression)",
+			procs, nodes, ratio)
+		need = 1
+	}
+	if got < base*need {
+		return fmt.Errorf("cluster goodput gate FAILED: %.0f bps < %.2fx single-node baseline %.0f bps",
+			got, need, base)
+	}
+	log.Printf("cluster goodput gate OK: %.0f bps >= %.2fx single-node baseline %.0f bps (%.2fx achieved)",
+		got, need, base, got/base)
+	return nil
 }
 
 // rate is a zero-guarded ratio.

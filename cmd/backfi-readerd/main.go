@@ -52,6 +52,7 @@ func main() {
 	wdRecover := flag.Int("watchdog-recover", 0, "consecutive healthy frames to lift degraded mode (0 = default 8)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline measured from admission (0 = none)")
 	sessionTTL := flag.Duration("session-ttl", 0, "evict sessions idle longer than this; each shard sweeps its own map (0 keeps sessions forever)")
+	handoff := flag.Bool("handoff", false, "cluster mode: attach a portable session snapshot to every decode response and accept handoff installs, so a cluster client can move sessions between nodes with no stream divergence (DESIGN.md §5j; all nodes of one cluster must run identical configs)")
 	mtImpostor := flag.Bool("multitag-impostor", false, "add an unpolled impostor tag to every multi-tag session (adversarial collisions, DESIGN.md §5i)")
 	mtMax := flag.Int("multitag-max", 0, "max payloads per mdecode group (0 = default 8)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for admitted jobs")
@@ -121,6 +122,7 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		DrainTimeout: *drainTimeout,
 		SessionTTL:   *sessionTTL,
+		Handoff:      *handoff,
 
 		MultiTagImpostor: *mtImpostor,
 		MultiTagMax:      *mtMax,

@@ -247,6 +247,58 @@ func NewController(cfg Config, cfgs []tag.Config, start tag.Config) (*Controller
 	return &Controller{cfg: cfg, ladder: ladder, idx: idx, ceiling: len(ladder) - 1}, nil
 }
 
+// State is the controller's complete mutable state, exported for
+// session handoff (DESIGN.md §5j): a survivor node restores it into a
+// freshly built controller over the same ladder and continues the
+// decision stream byte-identically. The switch trace is deliberately
+// not part of the state — it is observability, not control input (no
+// decision reads it), and the serving layer's ConfigSwitches counter
+// rides in core.SessionStats instead.
+type State struct {
+	// Index / Ceiling are the current rung and the watchdog clamp.
+	Index, Ceiling int
+	// Attempts, ConsecFail, ConsecGood, SinceSwitch are the streak
+	// counters driving hysteresis.
+	Attempts, ConsecFail, ConsecGood, SinceSwitch int
+	// EWMABER / EWMASet carry the raw-BER estimate.
+	EWMABER float64
+	EWMASet bool
+	// FloorDBm / FloorSet carry the observed SIC noise floor.
+	FloorDBm float64
+	FloorSet bool
+}
+
+// State snapshots the controller for handoff.
+func (c *Controller) State() State {
+	return State{
+		Index: c.idx, Ceiling: c.ceiling,
+		Attempts: c.attempts, ConsecFail: c.consecFail, ConsecGood: c.consecGood, SinceSwitch: c.sinceSwitch,
+		EWMABER: c.ewmaBER, EWMASet: c.ewmaSet,
+		FloorDBm: c.floorDBm, FloorSet: c.floorSet,
+	}
+}
+
+// Restore installs a snapshot taken from a controller over an
+// identical ladder. Counters and rung indices are validated against
+// this controller's ladder; the switch trace restarts empty.
+func (c *Controller) Restore(s State) error {
+	if s.Index < 0 || s.Index >= len(c.ladder) || s.Ceiling < 0 || s.Ceiling >= len(c.ladder) {
+		return fmt.Errorf("adapt: restore rung %d / ceiling %d outside ladder of %d rungs", s.Index, s.Ceiling, len(c.ladder))
+	}
+	if s.Index < c.cfg.Floor {
+		return fmt.Errorf("adapt: restore rung %d below floor %d", s.Index, c.cfg.Floor)
+	}
+	if s.Attempts < 0 || s.ConsecFail < 0 || s.ConsecGood < 0 || s.SinceSwitch < 0 {
+		return fmt.Errorf("adapt: negative restore counters")
+	}
+	c.idx, c.ceiling = s.Index, s.Ceiling
+	c.attempts, c.consecFail, c.consecGood, c.sinceSwitch = s.Attempts, s.ConsecFail, s.ConsecGood, s.SinceSwitch
+	c.ewmaBER, c.ewmaSet = s.EWMABER, s.EWMASet
+	c.floorDBm, c.floorSet = s.FloorDBm, s.FloorSet
+	c.trace = nil
+	return nil
+}
+
 // Config returns the current rung.
 func (c *Controller) Config() tag.Config { return c.ladder[c.idx] }
 

@@ -172,7 +172,20 @@ func (l *Link) runPacketHot(payload []byte) (*PacketResult, error) {
 // rebuildHot (re)builds the cached excitation for the current tag and
 // packet configuration, keeping the stream decoder (and its trained
 // scratch capacity) across rebuilds.
+//
+// In migratable mode the build's RNG draws (MSDU bytes, transmit
+// distortion) run under a temporary seed derived from the cache key
+// alone, and the attempt stream is re-pinned afterwards — so the
+// cached waveform is identical no matter *which* attempt ordinal
+// triggered the rebuild, and the attempt's own noise draws start from
+// the same stream position whether or not this frame rebuilt. Both
+// properties are load-bearing for byte-identical handoff resume
+// (DESIGN.md §5j): the surviving node rebuilds its cache on the first
+// resumed frame, an ordinal the original node built at long before.
 func (l *Link) rebuildHot(nppdu int) (*hotState, error) {
+	if l.Cfg.Migratable {
+		l.rng.Seed(l.cacheSeed(nppdu))
+	}
 	tspExc := l.trace.Start("excitation_build")
 	spExc := l.m.spanExcitation.Start()
 	x, packetStart, err := buildExcitation(l.rng, l.rate, l.Cfg.WiFiPSDUBytes, l.Scenario.TxPowerW(), l.Tag, nppdu)
@@ -195,5 +208,26 @@ func (l *Link) rebuildHot(nppdu int) (*hotState, error) {
 	h.nppdu = nppdu
 	h.psduBytes = l.Cfg.WiFiPSDUBytes
 	h.tagCfg = l.Tag.Cfg
+	if l.Cfg.Migratable {
+		l.rng.Seed(attemptSeed(l.Cfg.Seed, l.curAttempt))
+	}
 	return h, nil
+}
+
+// cacheSeed derives the migratable-mode excitation-build seed from the
+// cache key (tag configuration + packet sizing) and the link seed —
+// never from the attempt ordinal.
+func (l *Link) cacheSeed(nppdu int) int64 {
+	h := uint64(14695981039346656037) // FNV-1a 64 offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff // field separator
+		h *= 1099511628211
+	}
+	mix(fmt.Sprintf("%+v", l.Tag.Cfg))
+	mix(fmt.Sprintf("%d/%d", nppdu, l.Cfg.WiFiPSDUBytes))
+	return attemptSeed(l.Cfg.Seed^int64(h), 0)
 }

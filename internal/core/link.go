@@ -56,6 +56,19 @@ type LinkConfig struct {
 	// NewLink propagates the registry into the reader and SIC configs
 	// unless those carry their own.
 	Obs *obs.Registry
+	// Migratable pins every attempt's stochastic draws (excitation
+	// payload bytes, transmit distortion, AWGN, channel evolution
+	// innovations, fault draws) to a pure function of (Seed, attempt
+	// ordinal) by reseeding the link's streams at each attempt start,
+	// instead of letting one sequential stream accumulate position
+	// (DESIGN.md §5j). That makes the link's whole stochastic future a
+	// function of a tiny snapshot — the attempt counter — so a session
+	// can hand off to another reader node and continue byte-identically.
+	// Off (the default), draw schedules are bit-identical to previous
+	// builds. On, results are deterministic for a fixed (seed, call
+	// sequence) but follow the per-attempt schedule — a different
+	// realization of the same statistics, like SessionCache.
+	Migratable bool
 	// SessionCache enables the serving hot path (DESIGN.md §5g): the
 	// realized excitation (ideal + distorted copies) is cached across
 	// frames and rebuilt only when the tag configuration or packet
@@ -228,6 +241,13 @@ type Link struct {
 	// faultEpoch counts SetFaultProfile calls; it salts each new
 	// injector's seed so successive profiles draw decorrelated streams.
 	faultEpoch int
+	// injBase is the current injector's base seed (epoch-salted); the
+	// migratable mode mixes the attempt ordinal into it per attempt.
+	injBase int64
+	// curAttempt is the attempt ordinal the migratable mode last
+	// reseeded for; the hot path restores the attempt stream after a
+	// cache rebuild's temporary config-seeded draws.
+	curAttempt int
 	// trace is the per-frame trace context (DESIGN.md §5h); the serving
 	// layer reassigns it before each RunPacket. Zero = tracing off.
 	trace obs.TraceCtx
@@ -284,8 +304,31 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 		rng:      rng,
 		inj:      inj,
 		rate:     rate,
+		injBase:  cfg.Seed ^ faultSeedSalt,
 		m:        newLinkMetrics(cfg.Obs),
 	}, nil
+}
+
+// attemptSeed mixes an attempt ordinal into a base seed (splitmix64
+// finalizer), giving each attempt a decorrelated stream while staying
+// a pure function of (base, n) — the migratable mode's whole contract.
+func attemptSeed(base int64, n int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(n+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ReseedAttempt pins the link's RNG streams to attempt ordinal n —
+// the migratable-session schedule (DESIGN.md §5j). The main stream
+// (excitation bytes, transmit distortion, AWGN) and the fault stream
+// reseed to pure functions of their base seeds and n; the channel
+// evolver's stream is owned by the session and reseeded there. The
+// serving layer never calls this directly: Session.Send drives it.
+func (l *Link) ReseedAttempt(n int) {
+	l.curAttempt = n
+	l.rng.Seed(attemptSeed(l.Cfg.Seed, n))
+	l.inj.Reseed(attemptSeed(l.injBase, n))
 }
 
 // SetTagConfig swaps the link's tag configuration in place — the rate
@@ -321,6 +364,7 @@ func (l *Link) SetFaultProfile(p *fault.Profile) error {
 	}
 	l.faultEpoch++
 	l.inj = inj
+	l.injBase = l.Cfg.Seed ^ faultSeedSalt + int64(l.faultEpoch)*15485863
 	l.Cfg.Faults = p
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"backfi/internal/adapt"
 	"backfi/internal/channel"
@@ -36,7 +37,21 @@ type Session struct {
 	Backoff BackoffPolicy
 	// Stats accumulates over the session.
 	Stats SessionStats
+
+	// attempts counts RunPacket attempts ever started, across frames and
+	// retries — the migratable mode's reseed ordinal (DESIGN.md §5j).
+	// Unused (zero) outside migratable mode.
+	attempts int
+	// evolverRNG is the evolver's own stream in migratable mode, so
+	// per-attempt reseeds of the link's main stream and the evolver's
+	// never overlap draw positions. Nil outside migratable mode (the
+	// evolver then shares the link stream, the historical schedule).
+	evolverRNG *rand.Rand
 }
+
+// migrateEvolverSalt decorrelates the migratable evolver stream from
+// the link's main stream, which reseeds from the same attempt ordinal.
+const migrateEvolverSalt = 0x3c6ef372
 
 // BackoffPolicy is truncated binary exponential backoff, accounted in
 // virtual time: Delay(k) = BaseSec·2^(k−1) for retry k ≥ 1, capped at
@@ -130,15 +145,21 @@ func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session,
 	if maxRetries < 0 {
 		return nil, fmt.Errorf("core: negative retry budget")
 	}
-	ev, err := channel.NewEvolver(link.rng, coherenceRho, link.Scenario)
+	evRNG := link.rng
+	s := &Session{link: link, MaxRetries: maxRetries}
+	if cfg.Migratable {
+		// The evolver owns a private stream so the per-attempt reseed of
+		// the link's main stream never shifts evolution draws (and vice
+		// versa); both reseed per attempt in Send.
+		s.evolverRNG = rand.New(rand.NewSource(attemptSeed(cfg.Seed^migrateEvolverSalt, 0)))
+		evRNG = s.evolverRNG
+	}
+	ev, err := channel.NewEvolver(evRNG, coherenceRho, link.Scenario)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
-		link:       link,
-		evolver:    ev,
-		MaxRetries: maxRetries,
-	}, nil
+	s.evolver = ev
+	return s, nil
 }
 
 // NewAdaptiveSession is NewSession plus a closed-loop rate controller
@@ -210,7 +231,21 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 				s.Stats.BackoffSec += d
 			}
 		}
-		if attempt > 0 || s.Stats.PacketsSent > 0 {
+		if s.link.Cfg.Migratable {
+			// Migratable schedule (DESIGN.md §5j): pin every stream to the
+			// global attempt ordinal, and step the evolver once per ordinal
+			// after the very first. The step rule differs from the legacy
+			// gate only on the attempt after an aborted pipeline (legacy
+			// consults PacketsSent, which an abort leaves behind) — a
+			// simplification that keeps replay a pure function of the
+			// ordinal alone.
+			s.link.ReseedAttempt(s.attempts)
+			s.evolverRNG.Seed(attemptSeed(s.link.Cfg.Seed^migrateEvolverSalt, s.attempts))
+			if s.attempts > 0 {
+				s.evolver.Step()
+			}
+			s.attempts++
+		} else if attempt > 0 || s.Stats.PacketsSent > 0 {
 			s.evolver.Step()
 		}
 		res, err := s.link.RunPacket(payload)
@@ -250,6 +285,80 @@ func (s *Session) Send(payload []byte) (*PacketResult, bool, error) {
 		s.adapt(observe(res, false, false))
 	}
 	return last, false, nil
+}
+
+// SessionSnapshot is a session's complete resumable state under
+// migratable mode (DESIGN.md §5j): the attempt ordinal (which pins
+// every RNG stream), the accumulated stats, and the rate controller's
+// state when one is attached. Everything else a resumed session needs
+// — placement realization, excitation cache, evolver tap trajectory —
+// is recomputed from (link seed, Attempts) at restore, which is what
+// keeps the snapshot tens of bytes instead of megabytes of waveform.
+type SessionSnapshot struct {
+	// Attempts is the total RunPacket attempts started (frames plus
+	// retries plus wake misses).
+	Attempts int
+	// Stats is the accumulated session history.
+	Stats SessionStats
+	// Ctrl carries the adapt controller state; nil for fixed-rate
+	// sessions.
+	Ctrl *adapt.State
+}
+
+// Snapshot captures the session for handoff. Only migratable sessions
+// snapshot — without the per-attempt reseed schedule the RNG stream
+// position is not recoverable from any small state.
+func (s *Session) Snapshot() (SessionSnapshot, error) {
+	if !s.link.Cfg.Migratable {
+		return SessionSnapshot{}, fmt.Errorf("core: snapshot of non-migratable session")
+	}
+	snap := SessionSnapshot{Attempts: s.attempts, Stats: s.Stats}
+	if s.Controller != nil {
+		st := s.Controller.State()
+		snap.Ctrl = &st
+	}
+	return snap, nil
+}
+
+// RestoreSnapshot fast-forwards a freshly built migratable session to
+// a snapshot taken on another node: the evolver's tap trajectory is
+// replayed in O(Attempts · taps) by re-drawing each past attempt's
+// innovations (no decode work), the controller state is installed and
+// its rung applied to the link, and the attempt ordinal and stats are
+// adopted. The receiving session must be unused and constructed from
+// the identical link configuration; the next Send then continues the
+// decode stream byte-identically with the original's.
+func (s *Session) RestoreSnapshot(snap SessionSnapshot) error {
+	if !s.link.Cfg.Migratable {
+		return fmt.Errorf("core: restore into non-migratable session")
+	}
+	if s.attempts != 0 || s.Stats != (SessionStats{}) {
+		return fmt.Errorf("core: restore into used session (%d attempts)", s.attempts)
+	}
+	if snap.Attempts < 0 {
+		return fmt.Errorf("core: snapshot attempt ordinal %d negative", snap.Attempts)
+	}
+	if (snap.Ctrl != nil) != (s.Controller != nil) {
+		return fmt.Errorf("core: snapshot controller presence mismatch")
+	}
+	if snap.Ctrl != nil {
+		if err := s.Controller.Restore(*snap.Ctrl); err != nil {
+			return err
+		}
+		if err := s.link.SetTagConfig(s.Controller.Config()); err != nil {
+			return err
+		}
+	}
+	// Replay the evolver schedule: ordinal 0 never steps, every later
+	// ordinal reseeds then steps once (the Send rule).
+	base := s.link.Cfg.Seed ^ migrateEvolverSalt
+	for j := 1; j < snap.Attempts; j++ {
+		s.evolverRNG.Seed(attemptSeed(base, j))
+		s.evolver.Step()
+	}
+	s.attempts = snap.Attempts
+	s.Stats = snap.Stats
+	return nil
 }
 
 // observe maps one decoded attempt into the controller's terms.

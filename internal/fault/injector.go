@@ -83,6 +83,20 @@ func (in *Injector) Profile() Profile {
 	return in.p
 }
 
+// Reseed re-points the injector's private stream at a fresh seed —
+// the migratable-session mode (DESIGN.md §5j) calls it once per link
+// attempt so every fault draw becomes a pure function of (profile,
+// seed) instead of the attempt history, which is what lets a survivor
+// node resume a handed-off session byte-identically. No-op on a nil
+// injector. The Markov interference state is per-call, so reseeding
+// between attempts leaves single-attempt fault statistics unchanged.
+func (in *Injector) Reseed(seed int64) {
+	if in == nil {
+		return
+	}
+	in.rng.Seed(seed)
+}
+
 // ApplyFrontEnd applies carrier frequency offset and sampling clock
 // offset to the over-the-air excitation copy. The reader's ideal
 // transmit reference keeps its own clock, so these offsets degrade

@@ -37,6 +37,15 @@ const (
 	FlightJobPanic      = "job_panic"
 	FlightSigterm       = "sigterm"
 	FlightSessionEvict  = "session_evict"
+	// Cluster serving (DESIGN.md §5j): a node marked down by the
+	// cluster client, a session re-routed to a survivor, and a handoff
+	// snapshot installed on the receiving node. The three share the
+	// failing frame's trace id, so one trace links kill → re-route →
+	// handoff across processes.
+	FlightNodeDown       = "node_down"
+	FlightNodeUp         = "node_up"
+	FlightReroute        = "reroute"
+	FlightHandoffInstall = "handoff_install"
 )
 
 // FlightEvent is one recorded event. Seq is a global record counter

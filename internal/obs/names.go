@@ -104,6 +104,11 @@ const (
 	MetricServeFaultSwitches  = "backfi_serve_fault_switches_total"
 	MetricServeConfigSwitches = "backfi_serve_config_switches_total"
 
+	// MetricServeHandoffs counts handoff snapshots installed into this
+	// node (label outcome = ok | rejected) — the receiving half of the
+	// cluster migration path (DESIGN.md §5j).
+	MetricServeHandoffs = "backfi_serve_handoffs_total"
+
 	// Wire-protocol metrics (DESIGN.md §5g). MetricServeWireBytes counts
 	// bytes on the wire by direction (label dir = rx | tx) and protocol
 	// (label proto = json | binary); MetricServeFrameCodec is the
@@ -164,6 +169,7 @@ var AllMetricNames = []string{
 	MetricServeDegradedTrans,
 	MetricServeFaultSwitches,
 	MetricServeConfigSwitches,
+	MetricServeHandoffs,
 	MetricServeWireBytes,
 	MetricServeFrameCodec,
 	MetricServeConnsProto,

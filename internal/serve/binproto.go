@@ -25,11 +25,14 @@ import (
 //
 // Request body:
 //
-//	kind (1 byte: 0x01 decode, 0x02 stats, 0x03 ping, 0x04 mdecode)
+//	kind (1 byte: 0x01 decode, 0x02 stats, 0x03 ping, 0x04 mdecode,
+//	      0x05 handoff)
 //	uvarint session length | session bytes
 //	uvarint payload length | payload bytes          (0x01/0x02/0x03)
 //	  — or, for 0x04 —
 //	uvarint payload count | per payload: uvarint length | bytes
+//	  — or, for 0x05 —
+//	handoff block (layout below)
 //	uvarint timeout_ms
 //	[extension, optional: flags (1 byte: bit0 trace) | u64 LE trace id]
 //
@@ -42,7 +45,8 @@ import (
 //
 //	kind (1 byte: 0x81)
 //	flags (1 byte: bit0 ok, bit1 delivered, bit2 payload_ok,
-//	       bit3 degraded, bit4 stats present, bit5 tags present)
+//	       bit3 degraded, bit4 stats present, bit5 tags present,
+//	       bit6 handoff present)
 //	code (1 byte: enum below)
 //	uvarint error length | error bytes
 //	uvarint session length | session bytes
@@ -56,6 +60,22 @@ import (
 //	[tags, when bit5:
 //	  uvarint count | per tag: flags (1 byte: bit0 delivered,
 //	  bit1 payload_ok, bit2 woke) | f64 LE snr_db]
+//	[handoff block, when bit6]
+//
+// Handoff block (identical in 0x05 requests and bit6 responses):
+//
+//	uvarint version | attempts | seq | timeline_cur
+//	uvarint frames_offered | frames_delivered | packets_sent |
+//	        payload_bits | acks_dropped | no_wakes | backoffs |
+//	        config_switches
+//	f64 LE airtime_sec | backoff_sec | bit_rate_bps
+//	flags (1 byte: bit0 degraded, bit1 ctrl present)
+//	uvarint wd_hot | wd_cool
+//	[ctrl, when bit1:
+//	  uvarint idx | ceiling | attempts | consec_fail | consec_good |
+//	          since_switch
+//	  f64 LE ewma_ber | floor_dbm
+//	  flags (1 byte: bit0 ewma_set, bit1 floor_set)]
 //
 // Every integer on the wire is a count (non-negative); the codec
 // rejects anything else at encode time so the decoder never needs
@@ -74,6 +94,7 @@ const (
 	binKindStats       = 0x02
 	binKindPing        = 0x03
 	binKindMultiDecode = 0x04
+	binKindHandoff     = 0x05
 	binKindResp        = 0x81
 )
 
@@ -85,6 +106,19 @@ const (
 	binFlagDegraded  = 1 << 3
 	binFlagStats     = 1 << 4
 	binFlagTags      = 1 << 5
+	binFlagHandoff   = 1 << 6
+)
+
+// Handoff-block flag bits.
+const (
+	binHODegraded = 1 << 0
+	binHOCtrl     = 1 << 1
+)
+
+// Controller sub-block flag bits inside the handoff block.
+const (
+	binHOEWMASet  = 1 << 0
+	binHOFloorSet = 1 << 1
 )
 
 // Per-tag flag bits inside the response tags block.
@@ -225,6 +259,124 @@ func appendF64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
+// appendHandoff appends one handoff block (layout in the package
+// comment). Shared by 0x05 requests and bit6 responses so the snapshot
+// round-trips bit-identically through either direction.
+func appendHandoff(dst []byte, h *HandoffState) ([]byte, error) {
+	var err error
+	st := &h.Stats
+	for _, v := range [...]int{h.Version, h.Attempts, h.Seq, h.TimelineCur,
+		st.FramesOffered, st.FramesDelivered, st.PacketsSent, st.PayloadBits,
+		st.ACKsDropped, st.NoWakes, st.Backoffs, st.ConfigSwitches} {
+		if dst, err = appendCount(dst, v); err != nil {
+			return dst, err
+		}
+	}
+	dst = appendF64(dst, st.AirtimeSec)
+	dst = appendF64(dst, st.BackoffSec)
+	dst = appendF64(dst, st.BitRateBps)
+	var flags byte
+	if h.Degraded {
+		flags |= binHODegraded
+	}
+	if h.Ctrl != nil {
+		flags |= binHOCtrl
+	}
+	dst = append(dst, flags)
+	for _, v := range [...]int{h.WDHot, h.WDCool} {
+		if dst, err = appendCount(dst, v); err != nil {
+			return dst, err
+		}
+	}
+	if c := h.Ctrl; c != nil {
+		for _, v := range [...]int{c.Index, c.Ceiling, c.Attempts,
+			c.ConsecFail, c.ConsecGood, c.SinceSwitch} {
+			if dst, err = appendCount(dst, v); err != nil {
+				return dst, err
+			}
+		}
+		dst = appendF64(dst, c.EWMABER)
+		dst = appendF64(dst, c.FloorDBm)
+		var cf byte
+		if c.EWMASet {
+			cf |= binHOEWMASet
+		}
+		if c.FloorSet {
+			cf |= binHOFloorSet
+		}
+		dst = append(dst, cf)
+	}
+	return dst, nil
+}
+
+// takeHandoff pops one handoff block into a freshly allocated
+// HandoffState. Handoff frames are rare (one per node migration, plus
+// one per decode response in handoff mode), so this path trades the
+// zero-alloc discipline of the steady-state codec for a self-contained
+// snapshot the caller can retain past the frame buffer's reuse.
+func takeHandoff(b []byte) (*HandoffState, []byte, error) {
+	h := &HandoffState{}
+	st := &h.Stats
+	var err error
+	for _, p := range [...]*int{&h.Version, &h.Attempts, &h.Seq, &h.TimelineCur,
+		&st.FramesOffered, &st.FramesDelivered, &st.PacketsSent, &st.PayloadBits,
+		&st.ACKsDropped, &st.NoWakes, &st.Backoffs, &st.ConfigSwitches} {
+		if *p, b, err = takeUvarint(b); err != nil {
+			return nil, b, err
+		}
+	}
+	if st.AirtimeSec, b, err = takeF64(b); err != nil {
+		return nil, b, err
+	}
+	if st.BackoffSec, b, err = takeF64(b); err != nil {
+		return nil, b, err
+	}
+	if st.BitRateBps, b, err = takeF64(b); err != nil {
+		return nil, b, err
+	}
+	if len(b) == 0 {
+		return nil, b, errFrameTruncated
+	}
+	flags := b[0]
+	b = b[1:]
+	if flags&^byte(binHODegraded|binHOCtrl) != 0 {
+		return nil, b, fmt.Errorf("%w: unknown handoff flag bits %#x", ErrBadRequest, flags)
+	}
+	h.Degraded = flags&binHODegraded != 0
+	for _, p := range [...]*int{&h.WDHot, &h.WDCool} {
+		if *p, b, err = takeUvarint(b); err != nil {
+			return nil, b, err
+		}
+	}
+	if flags&binHOCtrl != 0 {
+		c := &CtrlState{}
+		for _, p := range [...]*int{&c.Index, &c.Ceiling, &c.Attempts,
+			&c.ConsecFail, &c.ConsecGood, &c.SinceSwitch} {
+			if *p, b, err = takeUvarint(b); err != nil {
+				return nil, b, err
+			}
+		}
+		if c.EWMABER, b, err = takeF64(b); err != nil {
+			return nil, b, err
+		}
+		if c.FloorDBm, b, err = takeF64(b); err != nil {
+			return nil, b, err
+		}
+		if len(b) == 0 {
+			return nil, b, errFrameTruncated
+		}
+		cf := b[0]
+		b = b[1:]
+		if cf&^byte(binHOEWMASet|binHOFloorSet) != 0 {
+			return nil, b, fmt.Errorf("%w: unknown handoff ctrl flag bits %#x", ErrBadRequest, cf)
+		}
+		c.EWMASet = cf&binHOEWMASet != 0
+		c.FloorSet = cf&binHOFloorSet != 0
+		h.Ctrl = c
+	}
+	return h, b, nil
+}
+
 // appendRequestBinary appends req's binary body to dst. Allocation-
 // free when dst has capacity.
 func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
@@ -238,6 +390,8 @@ func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
 		kind = binKindPing
 	case OpMultiDecode:
 		kind = binKindMultiDecode
+	case OpHandoff:
+		kind = binKindHandoff
 	default:
 		return dst, fmt.Errorf("serve: op %q has no binary encoding", req.Op)
 	}
@@ -249,6 +403,14 @@ func appendRequestBinary(dst []byte, req *Request) ([]byte, error) {
 		for _, p := range req.Payloads {
 			dst = binary.AppendUvarint(dst, uint64(len(p)))
 			dst = append(dst, p...)
+		}
+	} else if kind == binKindHandoff {
+		if req.Handoff == nil {
+			return dst, fmt.Errorf("serve: handoff request without handoff state")
+		}
+		var err error
+		if dst, err = appendHandoff(dst, req.Handoff); err != nil {
+			return dst, err
 		}
 	} else {
 		dst = binary.AppendUvarint(dst, uint64(len(req.Payload)))
@@ -285,6 +447,8 @@ func decodeRequestBinary(body []byte, req *Request, names *internTable) error {
 		req.Op = OpPing
 	case binKindMultiDecode:
 		req.Op = OpMultiDecode
+	case binKindHandoff:
+		req.Op = OpHandoff
 	default:
 		return errFrameKind
 	}
@@ -294,10 +458,19 @@ func decodeRequestBinary(body []byte, req *Request, names *internTable) error {
 		return err
 	}
 	req.Session = names.get(s)
+	// The reused Request must not leak a stale snapshot into later
+	// frames on this connection.
+	req.Handoff = nil
 	// Both payload shapes reset the other: the Request struct is reused
 	// across a connection's frames, and a stale Payloads from an earlier
 	// mdecode must not leak into a plain decode (and vice versa).
-	if body[0] == binKindMultiDecode {
+	if body[0] == binKindHandoff {
+		req.Payload = req.Payload[:0]
+		req.Payloads = req.Payloads[:0]
+		if req.Handoff, rest, err = takeHandoff(rest); err != nil {
+			return err
+		}
+	} else if body[0] == binKindMultiDecode {
 		req.Payload = req.Payload[:0]
 		var n int
 		if n, rest, err = takeUvarint(rest); err != nil {
@@ -377,6 +550,9 @@ func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
 	if len(resp.Tags) > 0 {
 		flags |= binFlagTags
 	}
+	if resp.Handoff != nil {
+		flags |= binFlagHandoff
+	}
 	code, err := codeToByte(resp.Code)
 	if err != nil {
 		return dst, err
@@ -420,6 +596,11 @@ func appendResponseBinary(dst []byte, resp *Response) ([]byte, error) {
 			dst = appendF64(dst, t.SNRdB)
 		}
 	}
+	if resp.Handoff != nil {
+		if dst, err = appendHandoff(dst, resp.Handoff); err != nil {
+			return dst, err
+		}
+	}
 	return dst, nil
 }
 
@@ -435,7 +616,7 @@ func decodeResponseBinary(body []byte, resp *Response, names *internTable, stats
 		return errFrameKind
 	}
 	flags := body[1]
-	if flags&^(binFlagOK|binFlagDelivered|binFlagPayloadOK|binFlagDegraded|binFlagStats|binFlagTags) != 0 {
+	if flags&^(binFlagOK|binFlagDelivered|binFlagPayloadOK|binFlagDegraded|binFlagStats|binFlagTags|binFlagHandoff) != 0 {
 		// Flag bits this version does not define would be silently
 		// dropped on re-encode; reject them so version skew surfaces as
 		// a typed error instead of data loss.
@@ -514,6 +695,12 @@ func decodeResponseBinary(body []byte, resp *Response, names *internTable, stats
 			if t.SNRdB, rest, err = takeF64(rest); err != nil {
 				return err
 			}
+		}
+	}
+	resp.Handoff = nil
+	if flags&binFlagHandoff != 0 {
+		if resp.Handoff, rest, err = takeHandoff(rest); err != nil {
+			return err
 		}
 	}
 	if len(rest) != 0 {

@@ -25,6 +25,23 @@ func binRequests() []Request {
 		{Op: OpMultiDecode, Session: "group-3", Payloads: [][]byte{
 			[]byte("reading-a"), []byte("reading-b"), []byte("reading-c"),
 		}, TimeoutMs: 900},
+		{Op: OpHandoff, Session: "migrant", Handoff: &HandoffState{
+			Version: HandoffVersion, Attempts: 17, Seq: 9, TimelineCur: 2,
+			Stats: SessionStats{
+				FramesOffered: 9, FramesDelivered: 8, PacketsSent: 12,
+				PayloadBits: 2048, AirtimeSec: 0.07, ACKsDropped: 1, NoWakes: 2,
+				Backoffs: 1, BackoffSec: 0.25, ConfigSwitches: 3, BitRateBps: 1.5e6,
+			},
+			Ctrl: &CtrlState{
+				Index: 2, Ceiling: 3, Attempts: 9, ConsecFail: 1, ConsecGood: 4,
+				SinceSwitch: 5, EWMABER: 0.02, EWMASet: true, FloorDBm: -61.5, FloorSet: true,
+			},
+			WDHot: 1, WDCool: 2, Degraded: true,
+		}},
+		{Op: OpHandoff, Session: "plain", Handoff: &HandoffState{
+			Version: HandoffVersion, Attempts: 3, Seq: 3,
+			Stats: SessionStats{FramesOffered: 3, FramesDelivered: 3, PacketsSent: 3},
+		}},
 	}
 }
 
@@ -45,6 +62,12 @@ func binResponses() []Response {
 			{Delivered: true, PayloadOK: true, Woke: true, SNRdB: 8.25},
 			{Woke: true, SNRdB: -1.5},
 		}},
+		{OK: true, Code: CodeOK, Session: "migrant", Seq: 5, Delivered: true,
+			PayloadOK: true, Attempts: 1, SNRdB: 12.5, Handoff: &HandoffState{
+				Version: HandoffVersion, Attempts: 6, Seq: 5,
+				Stats: SessionStats{FramesOffered: 5, FramesDelivered: 5, PacketsSent: 6, AirtimeSec: 0.01},
+				Ctrl:  &CtrlState{Index: 1, Ceiling: 3, Attempts: 5, EWMABER: 0.001, EWMASet: true},
+			}},
 	}
 }
 
@@ -64,7 +87,8 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 			want.Payload = []byte{}
 		}
 		if got.Op != want.Op || got.Session != want.Session || got.TimeoutMs != want.TimeoutMs ||
-			!bytes.Equal(got.Payload, want.Payload) || !samePayloads(got.Payloads, want.Payloads) {
+			!bytes.Equal(got.Payload, want.Payload) || !samePayloads(got.Payloads, want.Payloads) ||
+			!reflect.DeepEqual(got.Handoff, want.Handoff) {
 			t.Fatalf("req %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
 		}
 	}

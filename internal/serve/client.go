@@ -74,6 +74,18 @@ type ClientConfig struct {
 	// connections, successful redials, breaker transitions — so a
 	// post-incident dump shows both sides of the story. Nil disables.
 	Flight *obs.FlightRecorder
+	// SessionTTL reclaims the client's own per-session bookkeeping
+	// (breaker state, trace frame index, cached handoff snapshot) for
+	// sessions idle longer than this, mirroring the server's
+	// Config.SessionTTL policy: a client churning through many
+	// short-lived session ids holds memory proportional to the live
+	// set, not the lifetime id count. The sweep runs inline on calls
+	// (no background goroutine), at most once per TTL/2. Eviction
+	// forgets breaker state the same way the server forgets the
+	// session — a re-used id starts with a closed breaker and frame
+	// index zero. 0 disables (entries live for the client lifetime,
+	// the pre-§5j behavior).
+	SessionTTL time.Duration
 }
 
 func (c ClientConfig) redialBase() time.Duration {
@@ -123,6 +135,20 @@ type breaker struct {
 	probing  bool // half-open probe admitted, awaiting verdict
 }
 
+// clientSession is the client's per-session bookkeeping: the circuit
+// breaker, the trace head-sampling frame index, and the latest handoff
+// snapshot a decode response carried. One map entry per tracked id,
+// reclaimed by the SessionTTL sweep — keeping all three in one entry
+// is what makes the idle-eviction policy cover all of them (the
+// pre-§5j client kept breakers and frame indexes in two maps, neither
+// of which ever shrank under session churn).
+type clientSession struct {
+	br       breaker
+	frame    int // per-session decode/mdecode index for head sampling
+	handoff  *HandoffState
+	lastUsed time.Time // stamped only when SessionTTL > 0
+}
+
 // Client is a connection to a reader daemon. Calls are synchronous
 // (one request in flight per client, matching the server's
 // per-connection ordering that keeps a session's decode stream
@@ -150,10 +176,14 @@ type Client struct {
 	wbuf   []byte
 	names  internTable
 
-	jitter   *rand.Rand          // seeded; guarded by mu
-	breakers map[string]*breaker // per session id
-	frames   map[string]int      // per-session decode index for head sampling
-	health   ClientHealth
+	jitter *rand.Rand // seeded; guarded by mu
+	// sessions holds per-session state (breaker, trace index, cached
+	// handoff), swept by the SessionTTL policy. Entries are created
+	// only when a feature needs them (breaker, tracer, or a handoff
+	// snapshot arriving), so a zero-config client stays map-empty.
+	sessions  map[string]*clientSession
+	lastSweep time.Time
+	health    ClientHealth
 
 	// Injectable for deterministic tests; real clock/sleep otherwise.
 	now   func() time.Time
@@ -178,8 +208,7 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 		cfg:      cfg,
 		binary:   cfg.Proto == "binary",
 		jitter:   newJitter(cfg.JitterSeed),
-		breakers: make(map[string]*breaker),
-		frames:   make(map[string]int),
+		sessions: make(map[string]*clientSession),
 		now:      time.Now,
 		sleep:    time.Sleep,
 		dial:     func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
@@ -263,12 +292,20 @@ func (c *Client) Health() ClientHealth {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	h := c.health
-	for _, b := range c.breakers {
-		if b.open {
+	for _, cs := range c.sessions {
+		if cs.br.open {
 			h.OpenBreakers++
 		}
 	}
 	return h
+}
+
+// TrackedSessions reports how many session ids the client currently
+// holds state for — the quantity the SessionTTL sweep bounds.
+func (c *Client) TrackedSessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
 }
 
 // redialDelay returns the backoff before redial attempt k ≥ 1:
@@ -284,17 +321,55 @@ func (c *Client) redialDelay(attempt int) time.Duration {
 	return half + time.Duration(c.jitter.Int63n(int64(half)+1))
 }
 
-// breakerAllow gates a call on the session's circuit. nil session ids
-// (ping) and a zero threshold bypass breaking entirely.
-func (c *Client) breakerAllow(session string) error {
-	if c.cfg.BreakerThreshold <= 0 || session == "" {
+// track returns (creating if a configured feature needs one) the
+// session's state entry and stamps its idle clock. Returns nil for
+// sessionless calls (ping) and when no feature wants per-session
+// state — the zero-config client keeps an empty map. Caller holds mu.
+func (c *Client) track(session string) *clientSession {
+	if session == "" {
 		return nil
 	}
-	b := c.breakers[session]
-	if b == nil {
-		b = &breaker{}
-		c.breakers[session] = b
+	cs := c.sessions[session]
+	if cs == nil {
+		if c.cfg.BreakerThreshold <= 0 && c.cfg.Tracer == nil {
+			return nil
+		}
+		cs = &clientSession{}
+		c.sessions[session] = cs
 	}
+	if c.cfg.SessionTTL > 0 {
+		cs.lastUsed = c.now()
+	}
+	return cs
+}
+
+// sweepSessions reclaims session entries idle past the TTL, at most
+// once per TTL/2 so a busy client pays O(sessions) only occasionally.
+// Runs inline under mu — no background goroutine to leak or race.
+func (c *Client) sweepSessions() {
+	ttl := c.cfg.SessionTTL
+	if ttl <= 0 {
+		return
+	}
+	now := c.now()
+	if now.Sub(c.lastSweep) < ttl/2 {
+		return
+	}
+	c.lastSweep = now
+	for id, cs := range c.sessions {
+		if now.Sub(cs.lastUsed) >= ttl {
+			delete(c.sessions, id)
+		}
+	}
+}
+
+// breakerAllow gates a call on the session's circuit. A nil entry
+// (ping, or breaking disabled) bypasses entirely.
+func (c *Client) breakerAllow(cs *clientSession, session string) error {
+	if c.cfg.BreakerThreshold <= 0 || cs == nil {
+		return nil
+	}
+	b := &cs.br
 	if !b.open {
 		return nil
 	}
@@ -310,14 +385,11 @@ func (c *Client) breakerAllow(session string) error {
 // circuit. Hard failures are transport breaks and CodeError responses;
 // typed backpressure and bad requests are the server answering
 // healthily and count as successes here.
-func (c *Client) breakerRecord(session string, hardFail bool) {
-	if c.cfg.BreakerThreshold <= 0 || session == "" {
+func (c *Client) breakerRecord(cs *clientSession, session string, hardFail bool) {
+	if c.cfg.BreakerThreshold <= 0 || cs == nil {
 		return
 	}
-	b := c.breakers[session]
-	if b == nil {
-		return
-	}
+	b := &cs.br
 	switch {
 	case !hardFail:
 		if b.open {
@@ -393,26 +465,58 @@ func (c *Client) do(req *Request) (*Response, error) {
 	if c.closed {
 		return nil, ErrClientClosed
 	}
-	if err := c.breakerAllow(req.Session); err != nil {
+	c.sweepSessions()
+	cs := c.track(req.Session)
+	if err := c.breakerAllow(cs, req.Session); err != nil {
 		return nil, err
 	}
-	// Head-sample decode frames on (session, per-session index): the
-	// sampled id rides the request so the server's stage spans join the
-	// same trace. The index advances per attempted decode — including
-	// failed calls — so the client's decision sequence is deterministic
-	// for a fixed call order regardless of outcomes.
+	// Head-sample decode and mdecode frames on (session, per-session
+	// index): the sampled id rides the request so the server's stage
+	// spans join the same trace. The index advances per attempted
+	// frame — including failed calls — so the client's decision
+	// sequence is deterministic for a fixed call order regardless of
+	// outcomes. mdecode samples from the same per-session index the
+	// server head-samples on (its slot counter), so multi-tag traces
+	// line up end to end exactly like single-tag ones.
 	var tctx obs.TraceCtx
-	if c.cfg.Tracer != nil && req.Op == OpDecode {
-		n := c.frames[req.Session]
-		c.frames[req.Session] = n + 1
+	if c.cfg.Tracer != nil && (req.Op == OpDecode || req.Op == OpMultiDecode) {
+		n := cs.frame
+		cs.frame = n + 1
 		tctx = c.cfg.Tracer.Head(req.Session, n)
 		req.Trace = tctx.ID()
 	}
 	tsp := tctx.Start("client_send")
 	resp, err := c.doLocked(req)
 	tsp.End()
-	c.breakerRecord(req.Session, err != nil || resp.Code == CodeError)
+	c.breakerRecord(cs, req.Session, err != nil || resp.Code == CodeError)
+	if err == nil && resp.Handoff != nil {
+		// Cache the session's latest portable snapshot (Config.Handoff
+		// servers attach one per decode); this is what a cluster client
+		// installs on a survivor node after a failure.
+		if cs == nil {
+			cs = &clientSession{}
+			if c.cfg.SessionTTL > 0 {
+				cs.lastUsed = c.now()
+			}
+			c.sessions[req.Session] = cs
+		}
+		cs.handoff = resp.Handoff
+	}
 	return resp, err
+}
+
+// LastHandoff returns the session's most recent handoff snapshot (nil
+// if none arrived or its entry was TTL-evicted). The snapshot is the
+// one the latest successful decode response carried — installing it on
+// another node and retrying the failed frame resumes the stream with
+// no duplicate or lost frames.
+func (c *Client) LastHandoff(session string) *HandoffState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cs := c.sessions[session]; cs != nil {
+		return cs.handoff
+	}
+	return nil
 }
 
 // doLocked is do without the breaker wrapping. Caller holds mu.
@@ -472,6 +576,18 @@ func (c *Client) DecodeTimeout(session string, payload []byte, timeoutMs int) (*
 // outcomes come back in Response.Tags, aligned with payloads.
 func (c *Client) MultiDecode(session string, payloads [][]byte) (*Response, error) {
 	resp, err := c.do(&Request{Op: OpMultiDecode, Session: session, Payloads: payloads})
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
+// InstallHandoff submits a handoff snapshot for the session: the
+// daemon (running with Config.Handoff) builds a fresh session, replays
+// its fault timeline, and restores the snapshot so the session's next
+// decode continues the origin node's stream byte-identically.
+func (c *Client) InstallHandoff(session string, hs *HandoffState) (*Response, error) {
+	resp, err := c.do(&Request{Op: OpHandoff, Session: session, Handoff: hs})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"backfi/internal/obs"
 )
 
 // dialClient dials the test server with cfg, replacing the sleep hook
@@ -278,5 +280,118 @@ func TestClientClosed(t *testing.T) {
 	}
 	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("closed client answered: %v", err)
+	}
+}
+
+// TestBreakerProbeFailureRestartsCooldown pins the half-open timing
+// contract: a hard-failed probe restarts the cooldown from the probe's
+// own timestamp, not the original trip. A client that restarted from
+// the trip time would hammer a still-dead server with a probe per
+// call once the first cooldown elapsed.
+func TestBreakerProbeFailureRestartsCooldown(t *testing.T) {
+	s := startServer(t, Config{Shards: 1})
+	refuse := false
+	clock := time.Unix(2000, 0)
+	c, _ := dialClient(t, s.Addr(), ClientConfig{
+		MaxRedials:       1,
+		RedialBase:       time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  10 * time.Second,
+	})
+	c.now = func() time.Time { return clock }
+	realDial := c.dial
+	c.dial = func(addr string) (net.Conn, error) {
+		if refuse {
+			return nil, errors.New("refused")
+		}
+		return realDial(addr)
+	}
+
+	// Trip at t0.
+	refuse = true
+	c.BreakConn()
+	if _, err := c.Decode("cd", sessionPayload("cd", 0)); !errors.Is(err, ErrConnBroken) {
+		t.Fatal(err)
+	}
+	// t0+11s: the probe is admitted and fails hard.
+	clock = clock.Add(11 * time.Second)
+	if _, err := c.Decode("cd", sessionPayload("cd", 0)); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	// t0+20s is 9s after the failed probe: inside the restarted
+	// cooldown, even though it is 20s past the original trip. A breaker
+	// still counting from t0 would admit a probe here.
+	refuse = false
+	clock = clock.Add(9 * time.Second)
+	if _, err := c.Decode("cd", sessionPayload("cd", 0)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("cooldown not restarted by failed probe: %v", err)
+	}
+	// t0+22s clears the restarted cooldown; the healthy probe closes.
+	clock = clock.Add(2 * time.Second)
+	if _, err := c.Decode("cd", sessionPayload("cd", 0)); err != nil {
+		t.Fatalf("healing probe: %v", err)
+	}
+	if h := c.Health(); h.OpenBreakers != 0 {
+		t.Fatalf("circuit still open: %+v", h)
+	}
+}
+
+// TestBreakerRacingSuccessClosesOnce drives many goroutines through
+// the half-open window at once (run under -race): the circuit closes
+// exactly once — one breaker_close flight event, no re-trip, every
+// racing call served once the probe succeeds.
+func TestBreakerRacingSuccessClosesOnce(t *testing.T) {
+	s := startServer(t, Config{Shards: 1})
+	flight := obs.NewFlightRecorder(0)
+	refuse := false
+	clock := time.Unix(3000, 0)
+	c, _ := dialClient(t, s.Addr(), ClientConfig{
+		MaxRedials:       1,
+		RedialBase:       time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+		Flight:           flight,
+	})
+	c.now = func() time.Time { return clock }
+	realDial := c.dial
+	c.dial = func(addr string) (net.Conn, error) {
+		if refuse {
+			return nil, errors.New("refused")
+		}
+		return realDial(addr)
+	}
+
+	refuse = true
+	c.BreakConn()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Decode("race", sessionPayload("race", 0)); !errors.Is(err, ErrConnBroken) {
+			t.Fatal(err)
+		}
+	}
+	if h := c.Health(); h.BreakerOpens != 1 {
+		t.Fatalf("health after trip: %+v", h)
+	}
+	// Heal the transport and clear the cooldown before the stampede;
+	// the clock stays frozen while goroutines run.
+	refuse = false
+	clock = clock.Add(2 * time.Second)
+	const callers = 8
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			_, err := c.Decode("race", sessionPayload("race", 1))
+			errs <- err
+		}()
+	}
+	for g := 0; g < callers; g++ {
+		if err := <-errs; err != nil {
+			t.Errorf("racing call: %v", err)
+		}
+	}
+	if n := flight.Count(obs.FlightBreakerClose); n != 1 {
+		t.Errorf("breaker_close events = %d, want exactly 1", n)
+	}
+	if h := c.Health(); h.BreakerOpens != 1 || h.OpenBreakers != 0 {
+		t.Errorf("health after race: %+v", h)
 	}
 }

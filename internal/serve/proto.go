@@ -50,6 +50,13 @@ const (
 	OpStats = "stats"
 	// OpPing is a connection liveness check answered inline.
 	OpPing = "ping"
+	// OpHandoff installs a session snapshot taken on another reader
+	// node (DESIGN.md §5j): the daemon builds a fresh migratable
+	// session, replays the scripted fault timeline up to the snapshot's
+	// frame count, restores link/controller/watchdog state, and the
+	// session's decode stream continues byte-identically from where the
+	// origin node left off. Requires Config.Handoff on the server.
+	OpHandoff = "handoff"
 )
 
 // Response codes. CodeOK accompanies OK=true; every other code is a
@@ -103,6 +110,8 @@ type Request struct {
 	// carry no trace field: the response stream stays byte-identical
 	// with tracing off, on, or sampled.
 	Trace uint64 `json:"trace,omitempty"`
+	// Handoff carries the session snapshot to install (OpHandoff).
+	Handoff *HandoffState `json:"handoff,omitempty"`
 }
 
 // Response is one server reply. It deliberately carries no wall-clock
@@ -144,6 +153,89 @@ type Response struct {
 	// aligned with the request's Payloads. Absent on every other op, so
 	// single-tag response streams are byte-identical to legacy servers.
 	Tags []TagResult `json:"tags,omitempty"`
+
+	// Handoff is the session's post-frame snapshot, attached to every
+	// successful decode response when the server runs with
+	// Config.Handoff. A client that keeps only the latest snapshot can
+	// hand the session to any other reader node and resume its decode
+	// stream byte-identically (DESIGN.md §5j). Absent unless handoff is
+	// enabled, so legacy response streams are unchanged.
+	Handoff *HandoffState `json:"handoff,omitempty"`
+}
+
+// HandoffVersion is the snapshot format version. A receiver rejects
+// snapshots from a different version instead of guessing — the
+// snapshot encodes RNG-stream positions, so a silent format skew would
+// corrupt a decode stream rather than fail loudly.
+const HandoffVersion = 1
+
+// HandoffState is the complete portable state of one serving session
+// (DESIGN.md §5j). It is deliberately tiny: migratable-mode sessions
+// derive every stochastic draw from (session seed, attempt ordinal),
+// so the snapshot needs only counters — no waveforms, no RNG innards,
+// no tag configuration (the receiver re-derives the active config from
+// the controller index, or from the degraded flag for fixed sessions).
+type HandoffState struct {
+	// Version is the snapshot format version (HandoffVersion).
+	Version int `json:"v"`
+	// Attempts is the link-level attempt ordinal: how many times the
+	// session has keyed the channel. The single number that pins every
+	// RNG stream's position.
+	Attempts int `json:"attempts"`
+	// Seq is the session's decode sequence number at snapshot time; the
+	// receiver continues numbering from here so the merged response
+	// stream has no duplicate or missing Seq.
+	Seq int `json:"seq"`
+	// TimelineCur is the session's fault-timeline cursor. The receiver
+	// replays its own scripted timeline over the snapshot's frame count
+	// and cross-checks the cursor — a mismatch means the two nodes run
+	// different timelines and the fault stream would diverge.
+	TimelineCur int `json:"timeline_cur,omitempty"`
+	// Stats is the session's accumulated statistics.
+	Stats SessionStats `json:"stats"`
+	// Ctrl is the rate-adaptation controller state; present exactly
+	// when the origin session was adaptive.
+	Ctrl *CtrlState `json:"ctrl,omitempty"`
+	// WDHot / WDCool / Degraded carry the SIC-health watchdog streaks
+	// and mode.
+	WDHot    int  `json:"wd_hot,omitempty"`
+	WDCool   int  `json:"wd_cool,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Validate checks the snapshot's invariants that do not need a server
+// configuration: version match and non-negative counters. The install
+// path re-validates against the receiving server's ladder and timeline.
+func (h *HandoffState) Validate() error {
+	if h == nil {
+		return fmt.Errorf("%w: handoff state missing", ErrBadRequest)
+	}
+	if h.Version != HandoffVersion {
+		return fmt.Errorf("%w: handoff version %d (want %d)", ErrBadRequest, h.Version, HandoffVersion)
+	}
+	if h.Attempts < 0 || h.Seq < 0 || h.TimelineCur < 0 || h.WDHot < 0 || h.WDCool < 0 {
+		return fmt.Errorf("%w: negative handoff counter", ErrBadRequest)
+	}
+	if h.Stats.FramesOffered < 0 || h.Seq > h.Stats.FramesOffered {
+		return fmt.Errorf("%w: handoff seq %d exceeds frames offered %d", ErrBadRequest, h.Seq, h.Stats.FramesOffered)
+	}
+	return nil
+}
+
+// CtrlState mirrors adapt.State on the wire: the rate controller's
+// complete decision state, so the receiving node's controller makes the
+// same next decision the origin's would have.
+type CtrlState struct {
+	Index       int     `json:"idx"`
+	Ceiling     int     `json:"ceiling"`
+	Attempts    int     `json:"attempts,omitempty"`
+	ConsecFail  int     `json:"consec_fail,omitempty"`
+	ConsecGood  int     `json:"consec_good,omitempty"`
+	SinceSwitch int     `json:"since_switch,omitempty"`
+	EWMABER     float64 `json:"ewma_ber,omitempty"`
+	EWMASet     bool    `json:"ewma_set,omitempty"`
+	FloorDBm    float64 `json:"floor_dbm,omitempty"`
+	FloorSet    bool    `json:"floor_set,omitempty"`
 }
 
 // TagResult is one group member's outcome within a jointly decoded

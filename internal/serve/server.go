@@ -139,6 +139,19 @@ type Config struct {
 	// MultiTagMax bounds the payload-group size an mdecode request may
 	// carry. 0 defaults to 8.
 	MultiTagMax int
+	// Handoff makes every single-tag session portable (DESIGN.md §5j):
+	// sessions open in migratable mode (core.LinkConfig.Migratable —
+	// every stochastic draw becomes a pure function of the session seed
+	// and the link attempt ordinal), every successful decode response
+	// carries a versioned HandoffState snapshot, and the daemon accepts
+	// the handoff op to install a snapshot taken on another node.
+	// Migratable mode pins the RNG draw schedule differently from both
+	// legacy modes, so enabling it changes a session's realized decode
+	// stream — all nodes of a cluster must agree on this flag (and the
+	// rest of the serving configuration) for handoff to resume streams
+	// byte-identically. Multi-tag sessions are not portable and mdecode
+	// responses carry no snapshot.
+	Handoff bool
 }
 
 // Validate checks the configuration without filling defaults.
@@ -218,6 +231,8 @@ type job struct {
 	payload []byte
 	// payloads is the mdecode payload group (nil on every other op).
 	payloads [][]byte
+	// handoff is the snapshot to install (nil on every op but handoff).
+	handoff *HandoffState
 	enqueued time.Time
 	deadline time.Time // zero = none
 	// tctx is the job's trace context. Dispatch sets it from the
@@ -448,6 +463,9 @@ func (sh *shard) ensureSession(id string, jobs []*job) error {
 			st.multi = m
 		case j.op == OpStats && st.multi != nil:
 			// Report on the multi-tag session; no realization.
+		case j.op == OpHandoff:
+			// Install replaces whatever session exists; realizing one
+			// here would be wasted work.
 		default:
 			if st.sess != nil {
 				continue
@@ -474,6 +492,9 @@ func (s *Server) newSession(seedOffset int64) (*core.Session, error) {
 	cfg.Seed += seedOffset
 	if s.cfg.SessionCache {
 		cfg.SessionCache = true
+	}
+	if s.cfg.Handoff {
+		cfg.Migratable = true
 	}
 	if s.cfg.Adapt {
 		return core.NewAdaptiveSession(cfg, s.cfg.CoherenceRho, s.cfg.MaxRetries, s.cfg.AdaptTuning, s.cfg.AdaptMinSymbolRateHz)
@@ -553,6 +574,172 @@ func (sh *shard) setDegraded(st *sessionState, on bool) {
 	apply(st.savedTag)
 }
 
+// wireSessionStats / coreSessionStats convert between the core stats
+// and their wire mirror. BitRateBps is serve-derived (not core state)
+// and stays zero here; the OpStats arm fills it separately.
+func wireSessionStats(s core.SessionStats) SessionStats {
+	return SessionStats{
+		FramesOffered:   s.FramesOffered,
+		FramesDelivered: s.FramesDelivered,
+		PacketsSent:     s.PacketsSent,
+		PayloadBits:     s.PayloadBits,
+		AirtimeSec:      s.AirtimeSec,
+		ACKsDropped:     s.ACKsDropped,
+		NoWakes:         s.NoWakes,
+		Backoffs:        s.Backoffs,
+		BackoffSec:      s.BackoffSec,
+		ConfigSwitches:  s.ConfigSwitches,
+	}
+}
+
+func coreSessionStats(s SessionStats) core.SessionStats {
+	return core.SessionStats{
+		FramesOffered:   s.FramesOffered,
+		FramesDelivered: s.FramesDelivered,
+		PacketsSent:     s.PacketsSent,
+		PayloadBits:     s.PayloadBits,
+		AirtimeSec:      s.AirtimeSec,
+		ACKsDropped:     s.ACKsDropped,
+		NoWakes:         s.NoWakes,
+		Backoffs:        s.Backoffs,
+		BackoffSec:      s.BackoffSec,
+		ConfigSwitches:  s.ConfigSwitches,
+	}
+}
+
+// captureHandoff snapshots a session into the wire HandoffState that
+// rides on a decode response (Config.Handoff). Returns nil if the
+// session cannot snapshot — callers attach nothing rather than fail
+// the decode that just succeeded.
+func (sh *shard) captureHandoff(st *sessionState) *HandoffState {
+	snap, err := st.sess.Snapshot()
+	if err != nil {
+		return nil
+	}
+	hs := &HandoffState{
+		Version:     HandoffVersion,
+		Attempts:    snap.Attempts,
+		Seq:         st.seq,
+		TimelineCur: st.timelineCur,
+		Stats:       wireSessionStats(snap.Stats),
+		WDHot:       st.hot,
+		WDCool:      st.cool,
+		Degraded:    st.degraded,
+	}
+	if c := snap.Ctrl; c != nil {
+		hs.Ctrl = &CtrlState{
+			Index:       c.Index,
+			Ceiling:     c.Ceiling,
+			Attempts:    c.Attempts,
+			ConsecFail:  c.ConsecFail,
+			ConsecGood:  c.ConsecGood,
+			SinceSwitch: c.SinceSwitch,
+			EWMABER:     c.EWMABER,
+			EWMASet:     c.EWMASet,
+			FloorDBm:    c.FloorDBm,
+			FloorSet:    c.FloorSet,
+		}
+	}
+	return hs
+}
+
+// installHandoff realizes a snapshot taken on another node: build a
+// fresh migratable session for the id, replay the scripted fault
+// timeline over the snapshot's frame count (reproducing the origin's
+// profile-switch sequence, which the injector seed schedule depends
+// on), restore link/controller state, and adopt the watchdog mode.
+// The installed session's next decode continues the origin's stream
+// byte-identically (DESIGN.md §5j). Runs on the shard worker like any
+// job, so it is ordered against the session's decodes.
+func (sh *shard) installHandoff(st *sessionState, j *job) Response {
+	cfg := &sh.srv.cfg
+	m := &sh.srv.m
+	reject := func(format string, args ...any) Response {
+		m.handoffRej.Inc()
+		return Response{Code: CodeBadRequest, Session: j.session,
+			Error: fmt.Errorf("%w: "+format, append([]any{ErrBadRequest}, args...)...).Error()}
+	}
+	hs := j.handoff
+	if !cfg.Handoff {
+		return reject("handoff not enabled on this node")
+	}
+	if (hs.Ctrl != nil) != cfg.Adapt {
+		return reject("controller state %v does not match node adaptation %v", hs.Ctrl != nil, cfg.Adapt)
+	}
+	sess, err := sh.srv.newSession(sessionSeed(j.session))
+	if err != nil {
+		m.handoffRej.Inc()
+		return Response{Code: CodeError, Session: j.session, Error: err.Error()}
+	}
+	// Replay the timeline exactly as the decode path would have: one
+	// Advance per offered frame, one SetFaultProfile per switch — the
+	// link's fault epoch (and with it the injector seed schedule) must
+	// count the same switches the origin node applied.
+	cur := 0
+	for f := 0; f < hs.Stats.FramesOffered; f++ {
+		next, p, switched := cfg.Timeline.Advance(cur, f)
+		if !switched {
+			continue
+		}
+		cur = next
+		if err := sess.SetFaultProfile(p); err != nil {
+			m.handoffRej.Inc()
+			return Response{Code: CodeError, Session: j.session, Error: err.Error()}
+		}
+	}
+	if cur != hs.TimelineCur {
+		return reject("timeline cursor %d after replaying %d frames; snapshot says %d — nodes run different timelines",
+			cur, hs.Stats.FramesOffered, hs.TimelineCur)
+	}
+	snap := core.SessionSnapshot{Attempts: hs.Attempts, Stats: coreSessionStats(hs.Stats)}
+	if c := hs.Ctrl; c != nil {
+		snap.Ctrl = &adapt.State{
+			Index:       c.Index,
+			Ceiling:     c.Ceiling,
+			Attempts:    c.Attempts,
+			ConsecFail:  c.ConsecFail,
+			ConsecGood:  c.ConsecGood,
+			SinceSwitch: c.SinceSwitch,
+			EWMABER:     c.EWMABER,
+			EWMASet:     c.EWMASet,
+			FloorDBm:    c.FloorDBm,
+			FloorSet:    c.FloorSet,
+		}
+	}
+	if err := sess.RestoreSnapshot(snap); err != nil {
+		return reject("restore: %v", err)
+	}
+	// Watchdog mode travels with the session. An adaptive session's
+	// degraded forcing lives in the restored controller ceiling; a
+	// fixed session needs the robust rung applied directly. Neither
+	// counts a ConfigSwitch — the origin node already counted it and
+	// the snapshot stats carry it.
+	saved := sess.Link().Tag.Cfg
+	if hs.Degraded && sess.Controller == nil {
+		if err := sess.SetTagConfig(sh.srv.robust); err != nil {
+			return reject("degraded config: %v", err)
+		}
+	}
+	if st.degraded != hs.Degraded {
+		if hs.Degraded {
+			m.degraded.Add(1)
+		} else {
+			m.degraded.Add(-1)
+		}
+	}
+	st.sess = sess
+	st.seq = hs.Seq
+	st.timelineCur = hs.TimelineCur
+	st.hot, st.cool = hs.WDHot, hs.WDCool
+	st.degraded = hs.Degraded
+	st.savedTag = saved
+	m.handoffOK.Inc()
+	cfg.Flight.Record(obs.FlightHandoffInstall, j.session,
+		fmt.Sprintf("installed at frame %d (attempts %d, seq %d, degraded %v)",
+			hs.Stats.FramesOffered, hs.Attempts, hs.Seq, hs.Degraded), j.tctx.ID())
+	return Response{OK: true, Code: CodeOK, Session: j.session, Seq: st.seq}
+}
+
 // serveJob answers one job against its session. Panics are isolated to
 // the job: the session's shard keeps serving (CodeError response,
 // outcome=panic counter).
@@ -595,19 +782,8 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			}})
 			return
 		}
-		s := st.sess.Stats
-		ws := &SessionStats{
-			FramesOffered:   s.FramesOffered,
-			FramesDelivered: s.FramesDelivered,
-			PacketsSent:     s.PacketsSent,
-			PayloadBits:     s.PayloadBits,
-			AirtimeSec:      s.AirtimeSec,
-			ACKsDropped:     s.ACKsDropped,
-			NoWakes:         s.NoWakes,
-			Backoffs:        s.Backoffs,
-			BackoffSec:      s.BackoffSec,
-			ConfigSwitches:  s.ConfigSwitches,
-		}
+		ws := new(SessionStats)
+		*ws = wireSessionStats(st.sess.Stats)
 		if cfg.Adapt || cfg.WatchdogAfter > 0 {
 			ws.BitRateBps = st.sess.Link().Tag.Cfg.BitRate()
 		}
@@ -714,7 +890,12 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			resp.PayloadOK = res.PayloadOK
 			resp.SNRdB = res.MeasuredSNRdB
 		}
+		if cfg.Handoff {
+			resp.Handoff = sh.captureHandoff(st)
+		}
 		j.respond(resp)
+	case OpHandoff:
+		j.respond(sh.installHandoff(st, j))
 	case OpMultiDecode:
 		if got, want := len(j.payloads), st.multi.Tags(); got != want {
 			j.respond(Response{Code: CodeBadRequest, Session: j.session,
@@ -806,6 +987,8 @@ type serverMetrics struct {
 	degradeExit  *obs.Counter
 	faultSwitch  *obs.Counter
 	cfgSwitch    *obs.Counter
+	handoffOK    *obs.Counter
+	handoffRej   *obs.Counter
 
 	// Wire-protocol instruments, one per negotiated protocol.
 	connsJSON, connsBin    *obs.Counter
@@ -851,6 +1034,8 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		degradeExit:  r.Counter(obs.MetricServeDegradedTrans, "Degraded-mode transitions.", "dir", "exit"),
 		faultSwitch:  r.Counter(obs.MetricServeFaultSwitches, "Scripted fault-profile switches applied to sessions."),
 		cfgSwitch:    r.Counter(obs.MetricServeConfigSwitches, "Rate-controller ladder moves applied to sessions."),
+		handoffOK:    r.Counter(obs.MetricServeHandoffs, "Handoff snapshots installed, by outcome.", "outcome", "ok"),
+		handoffRej:   r.Counter(obs.MetricServeHandoffs, "Handoff snapshots installed, by outcome.", "outcome", "rejected"),
 
 		connsJSON:  r.Counter(obs.MetricServeConnsProto, "Accepted connections by negotiated protocol.", "proto", "json"),
 		connsBin:   r.Counter(obs.MetricServeConnsProto, "Accepted connections by negotiated protocol.", "proto", "binary"),
@@ -1184,7 +1369,7 @@ func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true, Code: CodeOK}, tctx
-	case OpDecode, OpStats, OpMultiDecode:
+	case OpDecode, OpStats, OpMultiDecode, OpHandoff:
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("serve: unknown op %q", req.Op)}, tctx
 	}
@@ -1193,6 +1378,11 @@ func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
 	}
 	if req.Op == OpDecode && len(req.Payload) == 0 {
 		return Response{Code: CodeBadRequest, Error: "serve: empty payload", Session: req.Session}, tctx
+	}
+	if req.Op == OpHandoff {
+		if err := req.Handoff.Validate(); err != nil {
+			return Response{Code: CodeBadRequest, Error: err.Error(), Session: req.Session}, tctx
+		}
 	}
 	if req.Op == OpMultiDecode {
 		if len(req.Payloads) == 0 {
@@ -1219,6 +1409,7 @@ func (s *Server) dispatchCtx(req *Request) (Response, obs.TraceCtx) {
 		session:  req.Session,
 		payload:  req.Payload,
 		payloads: req.Payloads,
+		handoff:  req.Handoff,
 		enqueued: time.Now(),
 		tctx:     tctx,
 		resp:     make(chan Response, 1),
@@ -1315,6 +1506,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	})
 	return err
+}
+
+// Kill hard-stops the daemon: the listener and every live connection
+// close immediately, nothing drains, and clients see broken
+// connections mid-stream — the crash the cluster chaos harness needs
+// to exercise failover, as opposed to Shutdown's graceful typed
+// ErrDraining rejections (which a well-behaved client would never
+// treat as a node failure). Queued jobs are abandoned; shard workers
+// exit after flushing their queues to nowhere. Shares Shutdown's
+// once-guard, so Kill then Shutdown (or vice versa) acts once.
+func (s *Server) Kill() {
+	s.shutdown.Do(func() {
+		s.draining.Store(true)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			sh.draining = true
+			close(sh.q)
+			sh.mu.Unlock()
+		}
+	})
 }
 
 // waitCtx waits for wg, bounded by ctx.

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -268,4 +269,118 @@ func TestClientFlightEvents(t *testing.T) {
 			t.Errorf("redial event names session %q, want fl", ev.Session)
 		}
 	}
+}
+
+// TestBinaryRequestLegacyBytesMultiDecode extends the byte-for-byte
+// pin to mdecode: an untraced multi-decode request must carry no trace
+// extension and stay byte-identical to the pre-sampling layout, so
+// fixing the head-sampling gap (mdecode now samples like decode) is
+// invisible on the wire when tracing is off.
+func TestBinaryRequestLegacyBytesMultiDecode(t *testing.T) {
+	req := Request{Op: OpMultiDecode, Session: "g-1",
+		Payloads: [][]byte{{0xAA, 0xBB}, {0xCC}}, TimeoutMs: 300}
+	got, err := appendRequestBinary(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		binKindMultiDecode,
+		3, 'g', '-', '1', // uvarint session len | session
+		2,             // uvarint payload count
+		2, 0xAA, 0xBB, // payload 0
+		1, 0xCC, // payload 1
+		0xAC, 0x02, // uvarint 300
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("untraced mdecode bytes changed:\n got % x\nwant % x", got, want)
+	}
+	req.Trace = 0x1122334455667788
+	traced, err := appendRequestBinary(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExt := append(append([]byte{}, want...),
+		binExtTrace,
+		0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
+	)
+	if !bytes.Equal(traced, wantExt) {
+		t.Fatalf("traced mdecode bytes:\n got % x\nwant % x", traced, wantExt)
+	}
+}
+
+// TestMultiDecodeHeadSampling pins the satellite fix: the client
+// head-samples mdecode frames exactly like decode frames — same
+// per-session index, same deterministic every-Nth decision — so a
+// multi-tag session's traces line up with a single-tag session's.
+// Before the fix only OpDecode advanced the index and mdecode frames
+// never carried a trace.
+func TestMultiDecodeHeadSampling(t *testing.T) {
+	t.Run("every-frame", func(t *testing.T) {
+		tracer := obs.NewTracer(obs.TracerConfig{Seed: 5, SampleEvery: 1})
+		srv := startCacheServer(t, Config{Shards: 1, Tracer: tracer})
+		c, err := DialClient(ClientConfig{Addr: srv.Addr(), Proto: "binary", Tracer: tracer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		group := [][]byte{bytes.Repeat([]byte{1}, 24), bytes.Repeat([]byte{2}, 24)}
+		if _, err := c.MultiDecode("grp", group); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decode("grp", bytes.Repeat([]byte{3}, 24)); err != nil {
+			t.Fatal(err)
+		}
+		// mdecode consumed index 0, so the plain decode is index 1: the
+		// two ops share one per-session counter.
+		ids := map[uint64]bool{}
+		for _, ev := range tracer.Events() {
+			if ev.Name == "client_send" {
+				ids[ev.Trace] = true
+			}
+		}
+		want0, want1 := obs.TraceID(5, "grp", 0), obs.TraceID(5, "grp", 1)
+		if !ids[want0] || !ids[want1] || len(ids) != 2 {
+			t.Fatalf("client_send trace ids = %v, want {%x, %x}", ids, want0, want1)
+		}
+	})
+	t.Run("sampled", func(t *testing.T) {
+		tracer := obs.NewTracer(obs.TracerConfig{Seed: 5, SampleEvery: 3})
+		srv := startCacheServer(t, Config{Shards: 1, Tracer: tracer})
+		c, err := DialClient(ClientConfig{Addr: srv.Addr(), Proto: "binary", Tracer: tracer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		payload := bytes.Repeat([]byte{9}, 24)
+		for i := 0; i < 6; i++ { // alternate ops; indices 0..5
+			if i%2 == 0 {
+				if _, err := c.MultiDecode("mix", [][]byte{payload}); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := c.Decode("mix", payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The sampling decision is a pure function of (seed, session,
+		// index): index i samples iff TraceID(seed, session, i) is 0 mod
+		// SampleEvery. Both ops drew from one shared index sequence, so
+		// the observed client_send ids must be exactly the sampled subset
+		// of indices 0..5, each traced once — an index skipped or
+		// double-counted by either op would shift the whole set.
+		want := map[uint64]int{}
+		for i := 0; i < 6; i++ {
+			if id := obs.TraceID(5, "mix", i); id%3 == 0 {
+				want[id] = 1
+			}
+		}
+		ids := map[uint64]int{}
+		for _, ev := range tracer.Events() {
+			if ev.Name == "client_send" {
+				ids[ev.Trace]++
+			}
+		}
+		if !reflect.DeepEqual(ids, want) {
+			t.Fatalf("sampled client_send trace ids = %v, want %v", ids, want)
+		}
+	})
 }
