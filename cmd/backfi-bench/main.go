@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("backfi-bench: ")
 
-	fig := flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, headline, ablation, excitation, mimo, robustness (empty = all)")
+	fig := flag.String("fig", "", "figure to regenerate: 7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, headline, ablation, excitation, mimo, robustness, wild (empty = all)")
 	trials := flag.Int("trials", 5, "Monte-Carlo trials per point")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "evaluation concurrency: 0 = all CPUs, 1 = sequential (results are identical for every value)")
@@ -48,7 +48,7 @@ func main() {
 		}
 		opt.Faults = &p
 	}
-	figs := []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "headline", "ablation", "excitation", "mimo", "robustness"}
+	figs := []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "headline", "ablation", "excitation", "mimo", "robustness", "wild"}
 	if *fig != "" {
 		figs = []string{*fig}
 	}
@@ -230,6 +230,15 @@ func headlineMetric(fig string, data any) (string, float64) {
 				return "QPSK-success@sev1", r.SuccessRate
 			}
 		}
+	case "wild":
+		// Delivery at the harshest cell — brisk walking on a starved
+		// harvest: how much of the stream survives the full "in the
+		// wild" regime once dark episodes are ridden out.
+		for _, r := range data.([]experiments.WildRow) {
+			if r.MobilitySeverity == 1 && r.HarvestSeverity == 1 {
+				return "delivery@wild-max", r.DeliveryRate
+			}
+		}
 	}
 	return "n/a", 0
 }
@@ -283,6 +292,8 @@ func runData(fig string, opt experiments.Options) (any, error) {
 		return experiments.MIMOExtension(opt)
 	case "robustness":
 		return experiments.Robustness(opt)
+	case "wild":
+		return experiments.Wild(opt)
 	}
 	return nil, fmt.Errorf("unknown figure %q", fig)
 }
@@ -318,6 +329,8 @@ func render(fig string, data any) string {
 		return experiments.RenderMIMO(data.([]experiments.MIMORow))
 	case "robustness":
 		return experiments.RenderRobustness(data.([]experiments.RobustnessRow))
+	case "wild":
+		return experiments.RenderWild(data.([]experiments.WildRow))
 	}
 	return ""
 }

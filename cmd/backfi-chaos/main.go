@@ -60,6 +60,9 @@ func main() {
 	wdRecover := flag.Int("watchdog-recover", 8, "consecutive healthy frames to lift degraded mode")
 	killEvery := flag.Int("kill-every", 15, "sever each session's connection every N frames (0 disables connection chaos)")
 	clusterN := flag.Int("cluster", 0, "run the cluster chaos harness instead: boot N handoff-enabled nodes plus a single-node control, hard-kill one node mid-soak, and assert every session heals onto a survivor with a byte-identical stream (0 disables; needs >= 2)")
+	energyMode := flag.Bool("energy", false, "run the energy soak instead: sweep -energy-severities on an energy-aware daemon under the -wild-timeline mobility script, asserting gap-free wake resume, the delivery floor at the baseline severity, and dark→wake cycling at the starved one (DESIGN.md §5k; -distance defaults to 1 m in this mode)")
+	energySevs := flag.String("energy-severities", "0,0.9,1", "energy mode: comma-separated harvest severities in [0,1], swept in order — the first is the baseline -floor applies to, the last must cycle dark")
+	wildTimeline := flag.String("wild-timeline", "0:0,5:0.4", "energy mode: mobility fault timeline frame:severity[,frame:severity...] parsed with Wild severities (the tag picks up speed and moderate RF impairments)")
 	killAt := flag.Int("kill-at", 0, "cluster mode: hard-kill the victim node when the first session reaches this frame (0 = frames/3)")
 	minRatio := flag.Float64("min-ratio", 2, "assert adaptive delivery ≥ this multiple of fixed delivery (0 disables)")
 	floor := flag.Float64("floor", 0.45, "assert adaptive delivery rate ≥ this absolute floor (0 disables)")
@@ -69,6 +72,36 @@ func main() {
 	flag.Parse()
 
 	goroutinesStart := runtime.NumGoroutine()
+
+	if *energyMode {
+		if *clusterN > 0 {
+			log.Fatal("-energy and -cluster are mutually exclusive")
+		}
+		// The 6 m default distance is calibrated for the adaptive-vs-
+		// fixed regime; the energy soak runs a fixed-rate daemon, so it
+		// defaults to the paper's 1 m headline point unless -distance
+		// was given explicitly.
+		dist := 1.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "distance" {
+				dist = *distance
+			}
+		})
+		sevs, err := parseSeverities(*energySevs)
+		if err != nil {
+			log.Fatalf("energy-severities: %v", err)
+		}
+		link := core.DefaultLinkConfig(dist)
+		link.Seed = *seed
+		energySoak(energyParams{
+			severities: sevs, wildTimeline: *wildTimeline,
+			sessions: *sessions, frames: *frames, payloadBytes: *payload,
+			link: link, rho: *rho, retries: *retries, shards: *shards,
+			floor: *floor, goroutinesStart: goroutinesStart,
+			out: *out, flightOut: *flightOut,
+		})
+		return
+	}
 
 	tlSpec := *timeline
 	link := core.DefaultLinkConfig(*distance)

@@ -83,6 +83,7 @@ func main() {
 	adapt := flag.Bool("adapt", false, "closed-loop rate adaptation on the self-served daemon (DESIGN.md §5f, -selfserve only)")
 	minSymRate := flag.Float64("min-symrate", 0, "with -adapt, restrict the ladder to symbol rates ≥ this (-selfserve only)")
 	timeline := flag.String("timeline", "", "scripted fault timeline frame:severity[,...] on the self-served daemon (overrides -impair; -selfserve only)")
+	harvest := flag.Float64("harvest", 0, "harvest scarcity severity in [0,1] on the self-served daemon: >0 enables the energy-aware poll scheduler (DESIGN.md §5k), so sessions mix live and dark tags by their seeded harvest traces; dark polls are retried within a budget and reported separately (-selfserve single-tag workload only)")
 	mtTags := flag.Int("multitag", 0, "multi-tag group size: offer mdecode slots of this many payloads instead of single-tag frames (0 = off)")
 	mtImpostor := flag.Bool("multitag-impostor", false, "add an unpolled impostor tag to every multi-tag session (-selfserve only)")
 	churn := flag.Int("churn", 0, "churn mode: walk this many distinct session ids with a heavy-tailed slots-per-id profile (0 = legacy fixed-session workload)")
@@ -103,6 +104,12 @@ func main() {
 	case "json", "binary":
 	default:
 		log.Fatalf("proto: unknown protocol %q (want json or binary)", *proto)
+	}
+	if *harvest < 0 || *harvest > 1 {
+		log.Fatalf("harvest: severity %v outside [0,1]", *harvest)
+	}
+	if *harvest > 0 && (!*selfserve || *clusterNodes > 1 || *addrs != "" || *churn > 0 || *mtTags > 0 || *compare) {
+		log.Fatal("harvest: the energy scheduler drives the plain -selfserve single-node decode workload only (no -cluster/-addrs/-churn/-multitag/-compare-protos)")
 	}
 
 	// One tracer shared by the clients and the self-served daemon: both
@@ -139,7 +146,7 @@ func main() {
 			}
 			tl = parsed
 		}
-		srv, err := serve.NewServer(serve.Config{
+		cfg := serve.Config{
 			Addr:         "localhost:0",
 			Link:         link,
 			CoherenceRho: *rho,
@@ -158,7 +165,17 @@ func main() {
 			Timeline:             tl,
 
 			Tracer: tracer,
-		})
+		}
+		if *harvest > 0 {
+			cfg.Energy = true
+			cfg.EnergySeverity = *harvest
+			// Cold start: 60% banked, so a starved harvest actually
+			// duty-cycles inside a ~100-frame workload.
+			tank := serve.DefaultEnergyTank()
+			tank.InitialJ = 0.6 * tank.CapacityJ
+			cfg.EnergyTank = &tank
+		}
+		srv, err := serve.NewServer(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -215,6 +232,7 @@ func main() {
 	}
 
 	var sum map[string]any
+	var dark []sessionDark
 	var err error
 	if *churn > 0 {
 		var srv *serve.Server
@@ -230,20 +248,29 @@ func main() {
 				sum["bytes_per_session"].(float64), *maxSessBytes)
 		}
 	} else if len(clusterAddrs) > 0 {
-		sum, err = run(func() (frameDecoder, error) {
+		sum, _, err = run(func() (frameDecoder, error) {
 			return cluster.New(cluster.Config{
 				Addrs:     clusterAddrs,
 				Client:    serve.ClientConfig{Proto: *proto, Tracer: tracer},
 				TraceSeed: *seed,
 			})
-		}, *sessions, *frames, *payload)
+		}, *sessions, *frames, *payload, 0)
 	} else {
-		sum, err = run(func() (frameDecoder, error) {
+		darkRetries := 0
+		if *harvest > 0 {
+			darkRetries = 64
+		}
+		sum, dark, err = run(func() (frameDecoder, error) {
 			return serve.DialClient(serve.ClientConfig{Addr: target, Proto: *proto, Tracer: tracer})
-		}, *sessions, *frames, *payload)
+		}, *sessions, *frames, *payload, darkRetries)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *harvest > 0 && *ttl > 0 && selfsrv != nil {
+		if err := harvestGate(target, *proto, *ttl, dark, selfsrv); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -313,9 +340,9 @@ func compareProtos(newServer func() *serve.Server, sessions, frames, payload int
 		for attempt := 0; attempt < 2; attempt++ {
 			srv := newServer()
 			proto := proto
-			sum, err := run(func() (frameDecoder, error) {
+			sum, _, err := run(func() (frameDecoder, error) {
 				return serve.DialClient(serve.ClientConfig{Addr: srv.Addr(), Proto: proto})
-			}, sessions, frames, payload)
+			}, sessions, frames, payload, 0)
 			srv.Shutdown(context.Background())
 			if err != nil {
 				log.Fatal(err)
@@ -341,19 +368,34 @@ type frameDecoder interface {
 	Close() error
 }
 
+// sessionDark is one session's energy-scheduler outcome: how many
+// polls the daemon answered tag_dark, the consecutive dark streak the
+// session ended on (exact — only this client polls the session), and
+// how many polls reached a live decode. The harvest TTL gate uses it
+// to find sessions that finished mid-backoff.
+type sessionDark struct {
+	id                               string
+	darkPolls, endStreak, liveFrames int
+}
+
 // run offers sessions*frames jobs closed-loop — each session goroutine
 // owns one client from dial — and aggregates the outcome into the
-// serving summary. Latencies are recorded in microseconds. gomaxprocs
-// rides along because serving is CPU-bound: gates comparing entries
-// (e.g. cluster vs. single-node goodput) must scale expectations by
-// the parallelism the run actually had.
-func run(dial func() (frameDecoder, error), sessions, frames, payloadBytes int) (map[string]any, error) {
+// serving summary. Latencies are recorded in microseconds (dark polls
+// are retried up to darkRetries per frame and counted separately, not
+// folded into the latency sample). gomaxprocs rides along because
+// serving is CPU-bound: gates comparing entries (e.g. cluster vs.
+// single-node goodput) must scale expectations by the parallelism the
+// run actually had.
+func run(dial func() (frameDecoder, error), sessions, frames, payloadBytes, darkRetries int) (map[string]any, []sessionDark, error) {
 	type sessionResult struct {
-		delivered int
-		rejected  int
-		failed    int
-		latencyUS []int64
-		err       error
+		delivered  int
+		rejected   int
+		failed     int
+		darkPolls  int
+		endStreak  int
+		liveFrames int
+		latencyUS  []int64
+		err        error
 	}
 	results := make([]sessionResult, sessions)
 	start := time.Now()
@@ -375,9 +417,27 @@ func run(dial func() (frameDecoder, error), sessions, frames, payloadBytes int) 
 				for len(p) < payloadBytes {
 					p = append(p, byte(i))
 				}
-				t0 := time.Now()
-				resp, err := c.Decode(id, p[:payloadBytes])
-				r.latencyUS = append(r.latencyUS, time.Since(t0).Microseconds())
+				var resp *serve.Response
+				var err error
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					resp, err = c.Decode(id, p[:payloadBytes])
+					lat := time.Since(t0).Microseconds()
+					if errors.Is(err, serve.ErrTagDark) {
+						r.darkPolls++
+						r.endStreak++
+						if attempt < darkRetries {
+							continue
+						}
+					} else {
+						r.endStreak = 0
+						r.latencyUS = append(r.latencyUS, lat)
+					}
+					break
+				}
+				if err == nil {
+					r.liveFrames++
+				}
 				switch {
 				case err == nil && resp.Delivered:
 					r.delivered++
@@ -387,26 +447,60 @@ func run(dial func() (frameDecoder, error), sessions, frames, payloadBytes int) 
 					r.failed++
 				}
 			}
+			if darkRetries > 0 {
+				// Park the session mid-backoff for the harvest TTL gate:
+				// the per-frame retry loop above always ends on a live
+				// poll, so keep polling (no retries, outside the offered/
+				// delivered accounting) until the tank next runs dry —
+				// the run then ends with real dark-but-tracked sessions
+				// for the eviction guard to protect. Bounded: a tank that
+				// never goes dark at this severity just burns the cap.
+				for extra := 0; extra < 40; extra++ {
+					p := []byte(fmt.Sprintf("%s/%06d/", id, frames+extra))
+					for len(p) < payloadBytes {
+						p = append(p, byte(extra))
+					}
+					_, err := c.Decode(id, p[:payloadBytes])
+					if errors.Is(err, serve.ErrTagDark) {
+						r.darkPolls++
+						r.endStreak++
+						break
+					}
+					if err != nil {
+						break
+					}
+					r.liveFrames++
+				}
+			}
 		}(s)
 	}
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 
-	var delivered, rejected, failed int
+	var delivered, rejected, failed, darkPolls, darkSessions int
 	var lat []int64
-	for _, r := range results {
+	dark := make([]sessionDark, sessions)
+	for s, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			return nil, nil, r.err
 		}
 		delivered += r.delivered
 		rejected += r.rejected
 		failed += r.failed
+		darkPolls += r.darkPolls
+		if r.darkPolls > 0 {
+			darkSessions++
+		}
+		dark[s] = sessionDark{
+			id:        fmt.Sprintf("loadgen-%03d", s),
+			darkPolls: r.darkPolls, endStreak: r.endStreak, liveFrames: r.liveFrames,
+		}
 		lat = append(lat, r.latencyUS...)
 	}
 	offered := sessions * frames
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	p50, p95, p99 := quantileUS(lat, 0.50), quantileUS(lat, 0.95), quantileUS(lat, 0.99)
-	return map[string]any{
+	sum := map[string]any{
 		"offered_frames":   offered,
 		"delivered_frames": delivered,
 		"rejected_frames":  rejected,
@@ -424,7 +518,12 @@ func run(dial func() (frameDecoder, error), sessions, frames, payloadBytes int) 
 		"latency_p50_ms": p50 / 1e3,
 		"latency_p95_ms": p95 / 1e3,
 		"latency_p99_ms": p99 / 1e3,
-	}, nil
+	}
+	if darkRetries > 0 {
+		sum["dark_polls"] = darkPolls
+		sum["dark_sessions"] = darkSessions
+	}
+	return sum, dark, nil
 }
 
 // runChurn is the §5i memory-and-goodput profile: churnN distinct
@@ -606,6 +705,50 @@ func runChurn(addr, proto string, workers, churnN, tags, slotsMax, payloadBytes 
 		sum["evictions"] = srv.Evictions()
 	}
 	return sum, nil
+}
+
+// harvestGate asserts the §5k eviction guard end to end: a session
+// that finished the workload mid-dark-backoff (its ending dark streak
+// below the backoff ceiling) must survive the TTL sweeps that run
+// while everything sits idle — the daemon tracks its tank and backoff
+// cursor; wiping them would turn the next wake into a fresh session
+// and lose the stream. The sweep ticker fires every TTL/2 regardless
+// of traffic, so sleeping two TTLs guarantees a sweep saw the idle
+// sessions before the stats probes ask whether they survived (a
+// wrongly evicted session comes back with zeroed stats).
+func harvestGate(addr, proto string, ttl time.Duration, dark []sessionDark, srv *serve.Server) error {
+	bp := serve.DefaultEnergyBackoff()
+	ceiling := 1
+	for bp.Delay(ceiling) < bp.MaxSec {
+		ceiling++
+	}
+	var cand []sessionDark
+	for _, d := range dark {
+		if d.endStreak > 0 && d.endStreak < ceiling && d.liveFrames > 0 {
+			cand = append(cand, d)
+		}
+	}
+	if len(cand) == 0 {
+		log.Printf("harvest TTL gate: no session ended mid-backoff (dark streak in (0,%d)) — nothing to assert this run", ceiling)
+		return nil
+	}
+	time.Sleep(2*ttl + 100*time.Millisecond)
+	c, err := serve.DialClient(serve.ClientConfig{Addr: addr, Proto: proto})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for _, d := range cand {
+		st, err := c.Stats(d.id)
+		if err != nil {
+			return fmt.Errorf("harvest TTL gate: stats %s: %w", d.id, err)
+		}
+		if st.FramesOffered == 0 {
+			return fmt.Errorf("harvest TTL gate FAILED: dark session %s (streak %d < ceiling %d after %d live frames) was evicted mid-backoff — its stats came back empty", d.id, d.endStreak, ceiling, d.liveFrames)
+		}
+	}
+	log.Printf("harvest TTL gate OK: %d dark-mid-backoff sessions survived the idle sweeps (evictions=%d)", len(cand), srv.Evictions())
+	return nil
 }
 
 // gateGoodput enforces the cluster scaling contract against a

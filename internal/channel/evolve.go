@@ -81,3 +81,55 @@ func CoherenceRho(packetIntervalSec, coherenceSec float64) float64 {
 	}
 	return math.Exp(-packetIntervalSec / coherenceSec)
 }
+
+// Rho returns the evolver's current AR(1) correlation.
+func (e *Evolver) Rho() float64 { return e.rho }
+
+// SetRho retargets the AR(1) correlation mid-stream — the mobility
+// hook (DESIGN.md §5k): a scripted fault timeline that sets a tag in
+// motion lowers ρ from the step's frame on. The stationary tap powers
+// keep their construction-time values, so E|t|² is preserved across
+// the change; only the decorrelation speed moves. Note that ρ = 1
+// short-circuits Step without consuming RNG draws, so crossing 1 in
+// either direction changes the draw schedule — callers that need
+// replayability must apply the same ρ switches at the same step
+// ordinals (the serving layer's frame-indexed timeline does).
+func (e *Evolver) SetRho(rho float64) error {
+	if rho < 0 || rho > 1 {
+		return fmt.Errorf("channel: evolution rho %v outside [0,1]", rho)
+	}
+	e.rho = rho
+	return nil
+}
+
+// DopplerHz is the maximum Doppler shift of a scatterer moving at
+// speedMps under carrierHz: f_d = v·f_c/c.
+func DopplerHz(speedMps, carrierHz float64) float64 {
+	return speedMps * carrierHz / 299792458.0
+}
+
+// ClarkeCoherenceSec is the standard Clarke-model coherence time for a
+// maximum Doppler f_d: τ ≈ 0.423/f_d (the 50%-correlation definition).
+// Non-positive Doppler means a static channel (infinite coherence).
+func ClarkeCoherenceSec(dopplerHz float64) float64 {
+	if dopplerHz <= 0 {
+		return math.Inf(1)
+	}
+	return 0.423 / dopplerHz
+}
+
+// MobilityRho maps a tag (or nearby scatterer) speed to the AR(1) ρ a
+// packet-to-packet evolver should run at: speed → Doppler → Clarke
+// coherence time → ρ = exp(−Δt/τ). A non-positive speed returns 1
+// (mobility imposes no decorrelation; the caller keeps its static
+// baseline).
+func MobilityRho(speedMps, carrierHz, packetIntervalSec float64) float64 {
+	if speedMps <= 0 || carrierHz <= 0 || packetIntervalSec <= 0 {
+		return 1
+	}
+	tau := ClarkeCoherenceSec(DopplerHz(speedMps, carrierHz))
+	if math.IsInf(tau, 1) {
+		return 1
+	}
+	return CoherenceRho(packetIntervalSec, tau)
+}

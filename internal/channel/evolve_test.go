@@ -91,6 +91,64 @@ func TestEvolverRhoValidation(t *testing.T) {
 	}
 }
 
+func TestMobilityRhoMapping(t *testing.T) {
+	// Faster motion → lower correlation; static → exactly 1.
+	if r := MobilityRho(0, DefaultCarrierHz, 5e-3); r != 1 {
+		t.Fatalf("static mobility rho = %v, want 1", r)
+	}
+	walk := MobilityRho(1.4, DefaultCarrierHz, 5e-3)
+	jog := MobilityRho(3, DefaultCarrierHz, 5e-3)
+	if !(walk < 1 && jog < walk && jog > 0) {
+		t.Fatalf("mobility rho ordering wrong: walk %v, jog %v", walk, jog)
+	}
+	// Spot-check the composition: fd = v·fc/c, τ = 0.423/fd, ρ = exp(−Δt/τ).
+	fd := DopplerHz(1.4, DefaultCarrierHz)
+	want := math.Exp(-5e-3 * fd / 0.423)
+	if math.Abs(walk-want) > 1e-12 {
+		t.Fatalf("walk rho %v, want %v", walk, want)
+	}
+}
+
+func TestEvolverSetRho(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := mustScenario(DefaultConfig(1), r)
+	ev := mustEvolver(r, 0.9, s)
+	if err := ev.SetRho(1.5); err == nil {
+		t.Fatal("expected error for rho out of range")
+	}
+	if ev.Rho() != 0.9 {
+		t.Fatalf("failed SetRho mutated rho to %v", ev.Rho())
+	}
+	if err := ev.SetRho(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Rho() != 0.5 {
+		t.Fatalf("rho = %v after SetRho(0.5)", ev.Rho())
+	}
+	// Two evolvers applying the same rho switch at the same step stay
+	// bit-identical; the stationary powers are untouched by the switch.
+	r1, r2 := rand.New(rand.NewSource(6)), rand.New(rand.NewSource(6))
+	s1, s2 := mustScenario(DefaultConfig(2), r1), mustScenario(DefaultConfig(2), r2)
+	e1, e2 := mustEvolver(r1, 0.95, s1), mustEvolver(r2, 0.95, s2)
+	for i := 0; i < 40; i++ {
+		if i == 20 {
+			if err := e1.SetRho(0.7); err != nil {
+				t.Fatal(err)
+			}
+			if err := e2.SetRho(0.7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e1.Step()
+		e2.Step()
+		for k := range s1.HB {
+			if s1.HB[k] != s2.HB[k] {
+				t.Fatalf("step %d: tap %d diverged under identical rho switches", i, k)
+			}
+		}
+	}
+}
+
 func TestCoherenceRhoMonotone(t *testing.T) {
 	// Longer coherence → higher correlation.
 	fast := CoherenceRho(0.01, 0.02)

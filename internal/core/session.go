@@ -42,6 +42,10 @@ type Session struct {
 	// retries — the migratable mode's reseed ordinal (DESIGN.md §5j).
 	// Unused (zero) outside migratable mode.
 	attempts int
+	// baseRho is the static-placement coherence the session was opened
+	// with; a mobility fault profile lowers the evolver below it and a
+	// profile without mobility restores it (DESIGN.md §5k).
+	baseRho float64
 	// evolverRNG is the evolver's own stream in migratable mode, so
 	// per-attempt reseeds of the link's main stream and the evolver's
 	// never overlap draw positions. Nil outside migratable mode (the
@@ -146,7 +150,7 @@ func NewSession(cfg LinkConfig, coherenceRho float64, maxRetries int) (*Session,
 		return nil, fmt.Errorf("core: negative retry budget")
 	}
 	evRNG := link.rng
-	s := &Session{link: link, MaxRetries: maxRetries}
+	s := &Session{link: link, MaxRetries: maxRetries, baseRho: coherenceRho}
 	if cfg.Migratable {
 		// The evolver owns a private stream so the per-attempt reseed of
 		// the link's main stream never shifts evolution draws (and vice
@@ -207,10 +211,37 @@ func (s *Session) SetTagConfig(cfg tag.Config) error {
 	return s.link.SetTagConfig(cfg)
 }
 
+// MobilityPacketIntervalSec is the nominal packet-to-packet interval
+// the mobility mapping integrates Doppler decorrelation over. It is a
+// fixed model constant — sessions own virtual time, so tying it to
+// wall clock would break the determinism contract.
+const MobilityPacketIntervalSec = 5e-3
+
 // SetFaultProfile swaps the session's impairment profile mid-stream
 // (scripted chaos timelines). Deterministic: see Link.SetFaultProfile.
+// A profile that sets MobilitySpeedMps additionally lowers the channel
+// evolver's packet-to-packet ρ through the Clarke mobility mapping
+// (floored by the session's static baseline); a profile without
+// mobility restores the baseline. Because the mapping lives here, every
+// caller — the serving layer's frame-indexed timeline, its handoff
+// replay, and the chaos harness — applies identical ρ switches at
+// identical frame ordinals, which is what keeps mobile tap evolutions
+// bit-identical for any worker or shard count.
 func (s *Session) SetFaultProfile(p *fault.Profile) error {
-	return s.link.SetFaultProfile(p)
+	if err := s.link.SetFaultProfile(p); err != nil {
+		return err
+	}
+	rho := s.baseRho
+	if p != nil && p.MobilitySpeedMps > 0 {
+		carrier := s.link.Cfg.Channel.CarrierHz
+		if carrier <= 0 {
+			carrier = channel.DefaultCarrierHz
+		}
+		if m := channel.MobilityRho(p.MobilitySpeedMps, carrier, MobilityPacketIntervalSec); m < rho {
+			rho = m
+		}
+	}
+	return s.evolver.SetRho(rho)
 }
 
 // Send delivers one application frame with stop-and-wait ARQ: on CRC

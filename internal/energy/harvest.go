@@ -1,11 +1,20 @@
 package energy
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"backfi/internal/fec"
 	"backfi/internal/tag"
 )
+
+// ErrNonFiniteHarvest is returned when a harvest power is NaN or
+// infinite. NaN in particular slips through a plain `<= 0` guard
+// (every NaN comparison is false) and used to propagate garbage duty
+// cycles; callers can errors.Is against this instead of checking for
+// zeros.
+var ErrNonFiniteHarvest = errors.New("energy: harvest power is not finite")
 
 // Harvesting budget analysis for requirement R2 (paper Sec. 1): a
 // battery-free tag powered by ambient RF harvests on the order of
@@ -37,6 +46,9 @@ func TxPowerW(mod tag.Modulation, coding fec.CodeRate, symbolRateHz float64) (fl
 // idle (banking) power is negligible next to the transmit power. A
 // value ≥ 1 means the tag can transmit continuously.
 func SustainableDutyCycle(mod tag.Modulation, coding fec.CodeRate, symbolRateHz, harvestW float64) (float64, error) {
+	if math.IsNaN(harvestW) || math.IsInf(harvestW, 0) {
+		return 0, fmt.Errorf("%w: %v W", ErrNonFiniteHarvest, harvestW)
+	}
 	if harvestW <= 0 {
 		return 0, fmt.Errorf("energy: harvest power must be positive")
 	}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWildSweep pins the §5k sweep's contract: the grid is
+// deterministic in the seed (the daemons it boots are real TCP servers,
+// but the serving determinism contract makes their streams pure
+// functions of the seed), the ideal cell stays dark-free, and the
+// starved-harvest cells actually exercise the dark/wake cycle.
+func TestWildSweep(t *testing.T) {
+	opt := QuickOptions()
+	rows, err := Wild(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Wild(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatalf("wild sweep not deterministic:\n first %+v\nsecond %+v", rows, again)
+	}
+
+	byCell := map[[2]float64]WildRow{}
+	for _, r := range rows {
+		byCell[[2]float64{r.MobilitySeverity, r.HarvestSeverity}] = r
+	}
+	ideal := byCell[[2]float64{0, 0}]
+	if ideal.DarkPollFrac != 0 || ideal.DarkEpisodes != 0 {
+		t.Fatalf("ideal cell saw dark polls: %+v", ideal)
+	}
+	if ideal.DeliveryRate < 0.9 {
+		t.Fatalf("ideal cell delivery %.2f < 0.9", ideal.DeliveryRate)
+	}
+	for _, mob := range []float64{0, 0.5, 1} {
+		starved := byCell[[2]float64{mob, 1}]
+		if starved.DarkEpisodes < 1 || starved.Wakes < starved.DarkEpisodes {
+			t.Fatalf("starved cell mob=%v never cycled dark→wake: %+v", mob, starved)
+		}
+		if starved.DeliveryRate <= 0 || starved.JoulesPerDeliveredBit <= 0 {
+			t.Fatalf("starved cell mob=%v delivered nothing: %+v", mob, starved)
+		}
+	}
+}

@@ -31,7 +31,10 @@
 // without this package.
 package fault
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Profile configures which impairments an Injector applies and how
 // hard. The zero value disables everything.
@@ -84,6 +87,13 @@ type Profile struct {
 	// ARQ counts a lost attempt with zero tag airtime
 	// (SessionStats.NoWakes).
 	NoWakeProb float64
+	// MobilitySpeedMps sets the tag (or a dominant nearby scatterer) in
+	// motion at this speed: the serving session maps it through the
+	// Clarke model (speed → Doppler → coherence time) and lowers its
+	// channel evolver's packet-to-packet ρ accordingly, floored by the
+	// session's static baseline (DESIGN.md §5k). 0 keeps the placement
+	// static. Walking is ~1.4 m/s.
+	MobilitySpeedMps float64
 }
 
 // Validate checks the profile. A nil profile is valid (faults off).
@@ -119,6 +129,9 @@ func (p *Profile) Validate() error {
 	if p.InterfBurstUs < 0 {
 		return fmt.Errorf("fault: InterfBurstUs %v must be non-negative", p.InterfBurstUs)
 	}
+	if p.MobilitySpeedMps < 0 || math.IsNaN(p.MobilitySpeedMps) || math.IsInf(p.MobilitySpeedMps, 0) {
+		return fmt.Errorf("fault: MobilitySpeedMps %v must be non-negative and finite", p.MobilitySpeedMps)
+	}
 	return nil
 }
 
@@ -129,7 +142,8 @@ func (p *Profile) Enabled() bool {
 	}
 	return p.CFOHz != 0 || p.SCOPpm != 0 || p.PhaseNoiseHz > 0 ||
 		p.ADCBits > 0 || p.InterfDuty > 0 || p.TruncateProb > 0 ||
-		p.PreambleCorruptProb > 0 || p.ACKDropProb > 0 || p.NoWakeProb > 0
+		p.PreambleCorruptProb > 0 || p.ACKDropProb > 0 || p.NoWakeProb > 0 ||
+		p.MobilitySpeedMps > 0
 }
 
 // withDefaults fills the secondary knobs of enabled impairments.
@@ -180,4 +194,25 @@ func Standard(severity float64) Profile {
 		PreambleCorruptProb: 0.1 * severity,
 		ACKDropProb:         0.15 * severity,
 	}
+}
+
+// Wild returns the calibrated "in the wild" profile at the given
+// severity in [0, 1] (DESIGN.md §5k): the Standard RF impairments at
+// half weight — a moving deployment is rarely also the worst static
+// one — plus tag mobility ramping from static to a brisk 2 m/s walk.
+// Standard itself is untouched, so every existing severity sweep stays
+// byte-identical. Severity is clamped to [0, 1].
+func Wild(severity float64) Profile {
+	if severity < 0 {
+		severity = 0
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	if severity == 0 {
+		return Profile{}
+	}
+	p := Standard(severity / 2)
+	p.MobilitySpeedMps = 2 * severity
+	return p
 }

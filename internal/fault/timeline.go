@@ -93,6 +93,26 @@ func ParseTimeline(spec string) (*Timeline, error) {
 	return NewTimeline(steps)
 }
 
+// ParseWildTimeline parses the same CLI spec as ParseTimeline but maps
+// each step's severity through Wild instead of Standard — the "in the
+// wild" mode of the chaos harness and the reader daemon, where a
+// severity ramp means the tag picks up speed (and moderate RF
+// impairments) rather than standing in a worsening static jammer. An
+// empty spec returns (nil, nil): no script.
+func ParseWildTimeline(spec string) (*Timeline, error) {
+	tl, err := ParseTimeline(spec)
+	if err != nil || tl == nil {
+		return tl, err
+	}
+	steps := make([]TimelineStep, len(tl.steps))
+	copy(steps, tl.steps)
+	for i := range steps {
+		p := Wild(steps[i].Severity)
+		steps[i].Profile = &p
+	}
+	return NewTimeline(steps)
+}
+
 // Steps returns the sorted steps (shared slice; do not mutate).
 func (t *Timeline) Steps() []TimelineStep {
 	if t == nil {

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMobilityValidation(t *testing.T) {
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1)} {
+		p := Profile{MobilitySpeedMps: v}
+		if err := p.Validate(); err == nil {
+			t.Errorf("MobilitySpeedMps %v accepted", v)
+		}
+	}
+	p := Profile{MobilitySpeedMps: 1.4}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("walking speed rejected: %v", err)
+	}
+	if !p.Enabled() {
+		t.Fatal("mobility-only profile reports disabled")
+	}
+}
+
+func TestWildProfile(t *testing.T) {
+	if p := Wild(0); p.Enabled() {
+		t.Fatal("Wild(0) must be the ideal front end")
+	}
+	p := Wild(1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MobilitySpeedMps != 2 {
+		t.Fatalf("Wild(1) speed %v, want 2 m/s", p.MobilitySpeedMps)
+	}
+	// Standard is untouched by the wild axis: no mobility, and Wild's RF
+	// terms sit at half the Standard severity.
+	if Standard(1).MobilitySpeedMps != 0 {
+		t.Fatal("Standard grew a mobility term")
+	}
+	if got, want := p.CFOHz, Standard(0.5).CFOHz; got != want {
+		t.Fatalf("Wild(1) CFO %v, want Standard(0.5)'s %v", got, want)
+	}
+}
+
+func TestParseWildTimeline(t *testing.T) {
+	tl, err := ParseWildTimeline("0:0,5:0.5,9:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := tl.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	for i, s := range steps {
+		if s.Profile == nil {
+			t.Fatalf("step %d has no explicit profile", i)
+		}
+		want := Wild(s.Severity)
+		if *s.Profile != want {
+			t.Fatalf("step %d profile diverges from Wild(%v)", i, s.Severity)
+		}
+	}
+	if tl, err := ParseWildTimeline(""); err != nil || tl != nil {
+		t.Fatalf("empty spec: %v %v", tl, err)
+	}
+	if _, err := ParseWildTimeline("bogus"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

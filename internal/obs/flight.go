@@ -46,6 +46,13 @@ const (
 	FlightNodeUp         = "node_up"
 	FlightReroute        = "reroute"
 	FlightHandoffInstall = "handoff_install"
+	// Energy-aware polling (DESIGN.md §5k): a session's tag ran its
+	// supercap down and went dark, and the wake after it banked back up.
+	// Both carry the trace id of the poll frame that observed the
+	// transition, so a delivery gap in a trace links directly to the
+	// energy episode that caused it (the watchdog-event pattern).
+	FlightTagDark = "tag_dark"
+	FlightTagWake = "tag_wake"
 )
 
 // FlightEvent is one recorded event. Seq is a global record counter

@@ -109,6 +109,14 @@ const (
 	// cluster migration path (DESIGN.md §5j).
 	MetricServeHandoffs = "backfi_serve_handoffs_total"
 
+	// Energy-aware polling metrics (DESIGN.md §5k). MetricTagLiveness
+	// gauges the per-shard mean of the sessions' liveness estimates —
+	// the EWMA probability that a poll finds the tag awake;
+	// MetricServeDarkPolls counts polls answered tag_dark without
+	// spending a decode (label reason = asleep | backoff).
+	MetricTagLiveness    = "backfi_tag_liveness"
+	MetricServeDarkPolls = "backfi_serve_dark_polls_total"
+
 	// Wire-protocol metrics (DESIGN.md §5g). MetricServeWireBytes counts
 	// bytes on the wire by direction (label dir = rx | tx) and protocol
 	// (label proto = json | binary); MetricServeFrameCodec is the
@@ -170,6 +178,8 @@ var AllMetricNames = []string{
 	MetricServeFaultSwitches,
 	MetricServeConfigSwitches,
 	MetricServeHandoffs,
+	MetricTagLiveness,
+	MetricServeDarkPolls,
 	MetricServeWireBytes,
 	MetricServeFrameCodec,
 	MetricServeConnsProto,

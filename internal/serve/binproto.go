@@ -133,7 +133,10 @@ const binExtTrace = 1 << 0
 
 // Response code enum. The wire carries the byte; the structs keep the
 // JSON string codes so both protocols share one Response type.
-var binCodes = [...]string{CodeOK, CodeQueueFull, CodeDraining, CodeDeadline, CodeBadRequest, CodeError}
+// Append-only: the decoder rejects bytes past the end of this table,
+// so inserting (rather than appending) a code would shift every later
+// byte and silently mistranslate frames across versions.
+var binCodes = [...]string{CodeOK, CodeQueueFull, CodeDraining, CodeDeadline, CodeBadRequest, CodeError, CodeTagDark}
 
 func codeToByte(code string) (byte, error) {
 	for i, c := range binCodes {

@@ -68,6 +68,14 @@ const (
 	CodeDeadline   = "deadline_exceeded"
 	CodeBadRequest = "bad_request"
 	CodeError      = "error"
+	// CodeTagDark is the energy-aware scheduler's typed backpressure
+	// (DESIGN.md §5k): the session's tag has run its supercap below the
+	// wake threshold and the poll was answered without spending a
+	// decode. Distinct from CodeError — the service is healthy and the
+	// session's decode stream is untouched; the tag just has no energy.
+	// The client's circuit breaker deliberately does not count it as a
+	// hard failure.
+	CodeTagDark = "tag_dark"
 )
 
 // Typed serving errors. The backpressure contract: a full shard queue
@@ -80,6 +88,7 @@ var (
 	ErrDraining   = errors.New("serve: server draining")
 	ErrDeadline   = errors.New("serve: job deadline exceeded")
 	ErrBadRequest = errors.New("serve: bad request")
+	ErrTagDark    = errors.New("serve: tag dark — supercap below wake threshold")
 )
 
 // Request is one client message.
@@ -285,6 +294,8 @@ func (r *Response) Err() error {
 		return ErrDraining
 	case CodeDeadline:
 		return ErrDeadline
+	case CodeTagDark:
+		return ErrTagDark
 	case CodeBadRequest:
 		return fmt.Errorf("%w: %s", ErrBadRequest, r.Error)
 	default:

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"backfi/internal/adapt"
 	"backfi/internal/core"
+	"backfi/internal/energy"
 	"backfi/internal/fault"
 	"backfi/internal/obs"
 	"backfi/internal/parallel"
@@ -152,6 +154,32 @@ type Config struct {
 	// byte-identically. Multi-tag sessions are not portable and mdecode
 	// responses carry no snapshot.
 	Handoff bool
+	// Energy enables the energy-aware poll scheduler (DESIGN.md §5k):
+	// every single-tag session carries a deterministic supercap tank
+	// seeded from the session seed, polls that find the tag below its
+	// wake threshold are answered CodeTagDark without touching the
+	// session (the dark episode is invisible to the decode stream —
+	// the session resumes byte-identically on wake), and each decoded
+	// frame's transmit energy is drained from the tank. Incompatible
+	// with Handoff: the tank and probe-backoff state are not part of
+	// HandoffState, so a migrated session's energy gate would diverge.
+	Energy bool
+	// EnergySeverity is the harvest scarcity in [0,1] applied to every
+	// session's tank (energy.TankConfig.Severity): the per-slot
+	// probability that ambient harvest is occluded down to ScarceFrac.
+	// 0 (the default) keeps tags effectively always-live.
+	EnergySeverity float64
+	// EnergyTank overrides the serving tank template (Seed and Severity
+	// are still filled per session / from EnergySeverity). Nil uses the
+	// serving default, which is scaled to the serving cadence so
+	// EnergySeverity sweeps the full live→dark range (see energy.go).
+	EnergyTank *energy.TankConfig
+	// EnergyBackoff shapes the dark-tag probe backoff: the k-th
+	// consecutive dark poll stands for Delay(k) seconds of virtual
+	// banking time (truncated binary exponential, accounted — never
+	// slept). Zero defaults to {20 ms, 2.56 s}. A dark session is not
+	// TTL-evictable until its streak has reached the MaxSec ceiling.
+	EnergyBackoff core.BackoffPolicy
 }
 
 // Validate checks the configuration without filling defaults.
@@ -189,6 +217,35 @@ func (c *Config) Validate() error {
 	if err := c.AdaptTuning.Defaults().Validate(); err != nil {
 		return err
 	}
+	if math.IsNaN(c.EnergySeverity) || c.EnergySeverity < 0 || c.EnergySeverity > 1 {
+		return fmt.Errorf("serve: energy severity %v outside [0,1]", c.EnergySeverity)
+	}
+	if c.EnergyBackoff.BaseSec < 0 || c.EnergyBackoff.MaxSec < 0 {
+		return fmt.Errorf("serve: negative energy backoff")
+	}
+	if c.Energy && c.Handoff {
+		return fmt.Errorf("serve: energy scheduler state (tank, probe backoff) is not portable — Energy and Handoff are mutually exclusive")
+	}
+	if c.Energy && c.EnergyTank != nil {
+		tc := *c.EnergyTank
+		tc.Seed = 1 // filled per session; validate the rest of the template
+		tc.Severity = c.EnergySeverity
+		if err := tc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Handoff && c.Timeline != nil {
+		// Migratable restore replays the evolver at the session's
+		// construction rho, not the historical rho schedule, so a
+		// mobility-bearing timeline would resume a migrated session on a
+		// diverged tap stream. Fail loudly at configuration time.
+		for _, step := range c.Timeline.Steps() {
+			if step.Profile != nil && step.Profile.MobilitySpeedMps > 0 {
+				return fmt.Errorf("serve: timeline step at frame %d carries mobility (%.2g m/s) — mobility fading is incompatible with Handoff (snapshot replay cannot reproduce the rho schedule)",
+					step.Frame, step.Profile.MobilitySpeedMps)
+			}
+		}
+	}
 	return nil
 }
 
@@ -221,6 +278,9 @@ func (c Config) withDefaults() Config {
 	if c.MultiTagMax == 0 {
 		c.MultiTagMax = 8
 	}
+	if c.Energy && c.EnergyBackoff == (core.BackoffPolicy{}) {
+		c.EnergyBackoff = DefaultEnergyBackoff()
+	}
 	return c
 }
 
@@ -232,7 +292,7 @@ type job struct {
 	// payloads is the mdecode payload group (nil on every other op).
 	payloads [][]byte
 	// handoff is the snapshot to install (nil on every op but handoff).
-	handoff *HandoffState
+	handoff  *HandoffState
 	enqueued time.Time
 	deadline time.Time // zero = none
 	// tctx is the job's trace context. Dispatch sets it from the
@@ -277,6 +337,17 @@ type sessionState struct {
 	hot, cool int
 	degraded  bool
 	savedTag  tag.Config
+	// Energy-aware poll scheduler state (DESIGN.md §5k, energy.go):
+	// the session's supercap tank (nil when Config.Energy is off or the
+	// id is multi-tag-only), the consecutive-dark-poll streak driving
+	// the probe backoff, the virtual seconds that backoff has stood
+	// for, and the liveness EWMA (probability a poll finds the tag
+	// awake).
+	tank        *energy.Tank
+	darkStreak  int
+	darkSec     float64
+	liveness    float64
+	livenessSet bool
 }
 
 // shard owns an id-partition of the session space: a bounded job
@@ -292,6 +363,7 @@ type shard struct {
 	q        chan *job
 	depth    atomic.Int64
 	depthG   *obs.Gauge
+	liveG    *obs.Gauge
 	sessions map[string]*sessionState
 	// nsessions / nevicted mirror len(sessions) and the eviction count
 	// for readers outside the worker goroutine (Server.Sessions).
@@ -355,6 +427,16 @@ func (sh *shard) evict(now time.Time) {
 		idle := now.Sub(st.lastUsed)
 		if idle < ttl {
 			continue
+		}
+		// A DARK-but-tracked session is not idle garbage: its tank and
+		// probe-backoff streak are what make the eventual wake resume
+		// byte-identical, so it stays until the backoff has reached its
+		// ceiling (an uncapped policy protects it indefinitely).
+		if st.darkStreak > 0 {
+			bp := sh.srv.cfg.EnergyBackoff
+			if bp.MaxSec <= 0 || bp.Delay(st.darkStreak) < bp.MaxSec {
+				continue
+			}
 		}
 		if st.degraded {
 			m.degraded.Add(-1)
@@ -436,6 +518,9 @@ func (sh *shard) process(batch []*job) {
 			sh.serveJob(st, j)
 		}
 	})
+	if sh.srv.cfg.Energy {
+		sh.updateLiveness()
+	}
 }
 
 // ensureSession realizes whatever session shapes this batch's jobs
@@ -475,6 +560,13 @@ func (sh *shard) ensureSession(id string, jobs []*job) error {
 				return fmt.Errorf("serve: open session %q: %w", id, err)
 			}
 			st.sess = sess
+			if sh.srv.cfg.Energy {
+				tank, err := sh.srv.newTank(sessionSeed(id))
+				if err != nil {
+					return fmt.Errorf("serve: open tank %q: %w", id, err)
+				}
+				st.tank = tank
+			}
 		}
 	}
 	if !ok {
@@ -789,6 +881,17 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 		}
 		j.respond(Response{OK: true, Code: CodeOK, Session: j.session, Seq: st.seq, Degraded: st.degraded, Stats: ws})
 	case OpDecode:
+		// Energy gate first: a dark-tag poll must be answered before
+		// anything below mutates the session (trace head-sampling reads
+		// but does not mutate; the timeline advance and the decode do).
+		// Dark polls deliberately skip the SLO too — the reader's error
+		// budget should not burn because the tag has no energy.
+		if st.tank != nil {
+			if resp, dark := sh.energyGate(st, j); dark {
+				j.respond(resp)
+				return
+			}
+		}
 		// Resolve the job's trace context: a propagated client id wins;
 		// otherwise head-sample deterministically on (session id, offered
 		// frame index) — the same decision a tracing client at the same
@@ -867,6 +970,9 @@ func (sh *shard) serveJob(st *sessionState, j *job) {
 			}
 		}
 		after := st.sess.Stats
+		if st.tank != nil {
+			sh.energyDrain(st, after.AirtimeSec-before.AirtimeSec)
+		}
 		if d := after.ConfigSwitches - before.ConfigSwitches; d > 0 {
 			m.cfgSwitch.Add(int64(d))
 			sh.srv.cfg.Flight.Record(obs.FlightConfigSwitch, j.session,
@@ -989,6 +1095,8 @@ type serverMetrics struct {
 	cfgSwitch    *obs.Counter
 	handoffOK    *obs.Counter
 	handoffRej   *obs.Counter
+	darkAsleep   *obs.Counter
+	darkBackoff  *obs.Counter
 
 	// Wire-protocol instruments, one per negotiated protocol.
 	connsJSON, connsBin    *obs.Counter
@@ -1036,6 +1144,8 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		cfgSwitch:    r.Counter(obs.MetricServeConfigSwitches, "Rate-controller ladder moves applied to sessions."),
 		handoffOK:    r.Counter(obs.MetricServeHandoffs, "Handoff snapshots installed, by outcome.", "outcome", "ok"),
 		handoffRej:   r.Counter(obs.MetricServeHandoffs, "Handoff snapshots installed, by outcome.", "outcome", "rejected"),
+		darkAsleep:   r.Counter(obs.MetricServeDarkPolls, "Polls answered tag_dark without spending a decode, by reason.", "reason", "asleep"),
+		darkBackoff:  r.Counter(obs.MetricServeDarkPolls, "Polls answered tag_dark without spending a decode, by reason.", "reason", "backoff"),
 
 		connsJSON:  r.Counter(obs.MetricServeConnsProto, "Accepted connections by negotiated protocol.", "proto", "json"),
 		connsBin:   r.Counter(obs.MetricServeConnsProto, "Accepted connections by negotiated protocol.", "proto", "binary"),
@@ -1117,6 +1227,7 @@ func NewServer(cfg Config) (*Server, error) {
 			q:        make(chan *job, cfg.QueueDepth),
 			sessions: map[string]*sessionState{},
 			depthG:   cfg.Obs.Gauge(obs.MetricServeQueueDepth, "Queued jobs per shard.", "shard", strconv.Itoa(i)),
+			liveG:    cfg.Obs.Gauge(obs.MetricTagLiveness, "Per-shard mean tag-liveness EWMA.", "shard", strconv.Itoa(i)),
 		}
 	}
 	return s, nil
